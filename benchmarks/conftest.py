@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's evaluation
+(Section 6) on the laptop-scale synthetic workloads and prints the reproduced
+rows/series so they can be compared with the paper's reported shapes.  The
+``--benchmark-only`` flag (see README) runs these without the unit-test suite.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def print_rows(title: str, rows, keys) -> None:
+    """Print a reproduced table/series in a compact fixed-width layout."""
+    from repro.experiments.common import summarize_rows
+
+    print(f"\n=== {title} ===")
+    print(summarize_rows(rows, keys))

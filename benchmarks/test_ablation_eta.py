@@ -1,0 +1,68 @@
+"""Ablation: re-sampling threshold η.
+
+Theorem 3.2 says the correlated re-sampling estimator is unbiased regardless of
+η; smaller η re-samples more aggressively, trading estimator variance for
+bounded intermediate join sizes.  This bench sweeps η and checks that (1) the
+estimates stay in a sane band around the no-re-sampling estimate and (2) the
+intermediate sizes actually shrink when η is small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.experiments.common import prepare_setup
+from repro.sampling.resampling import ResamplingPolicy
+
+ETAS = (20, 50, 100, 100_000)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare_setup("tpch", "Q2", scale=0.1, sampling_rate=0.6, mcmc_iterations=30)
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(setup):
+    budget = setup.budget_for_ratio(0.9)
+    baseline = setup.run_heuristic(budget=budget)
+    baseline_corr = baseline.best_evaluation.correlation if baseline.best_evaluation else 0.0
+    rows = []
+    for eta in ETAS:
+        policy = ResamplingPolicy(threshold=eta, rate=0.5, seed=0)
+        result = setup.run_heuristic(budget=budget, intermediate_hook=policy)
+        correlation = result.best_evaluation.correlation if result.best_evaluation else 0.0
+        rows.append(
+            {
+                "eta": eta,
+                "estimated_correlation": correlation,
+                "baseline_correlation": baseline_corr,
+                "join_rows": result.best_evaluation.join_rows if result.best_evaluation else 0,
+            }
+        )
+    return rows
+
+
+def test_ablation_eta(benchmark, ablation_rows):
+    benchmark.pedantic(lambda: ablation_rows, rounds=1, iterations=1)
+    print_rows(
+        "Ablation: re-sampling threshold eta",
+        ablation_rows,
+        ("eta", "estimated_correlation", "baseline_correlation", "join_rows"),
+    )
+    assert len(ablation_rows) == len(ETAS)
+
+
+def test_large_eta_matches_baseline(ablation_rows):
+    """With η far above any intermediate size, re-sampling never triggers."""
+    last = ablation_rows[-1]
+    assert last["estimated_correlation"] == pytest.approx(
+        last["baseline_correlation"], rel=0.3, abs=0.5
+    )
+
+
+def test_small_eta_bounds_join_rows(ablation_rows):
+    smallest = ablation_rows[0]
+    largest = ablation_rows[-1]
+    assert smallest["join_rows"] <= max(largest["join_rows"], 1)

@@ -1,0 +1,62 @@
+"""Ablation: MCMC iteration count ℓ vs result correlation.
+
+Algorithm 1 runs a fixed number of iterations; more iterations give the walk
+more chances to find a high-correlation target graph.  This bench sweeps ℓ and
+checks that the best correlation found is non-decreasing in ℓ (for a fixed
+seed, the prefix of the walk is shared, so the best-so-far can only improve).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.experiments.common import prepare_setup
+from repro.search.mcmc import MCMCConfig
+
+ITERATION_COUNTS = (5, 20, 80, 160)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return prepare_setup("tpch", "Q2", scale=0.1, mcmc_iterations=20)
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(setup):
+    budget = setup.budget_for_ratio(0.9)
+    rows = []
+    for iterations in ITERATION_COUNTS:
+        setup.mcmc_config = MCMCConfig(iterations=iterations, seed=0)
+        result = setup.run_heuristic(budget=budget)
+        correlation = (
+            result.best_evaluation.correlation if result.best_evaluation else 0.0
+        )
+        rows.append(
+            {
+                "iterations": iterations,
+                "best_correlation": correlation,
+                "accepted_steps": result.mcmc.accepted_steps,
+                "feasible_steps": result.mcmc.feasible_steps,
+            }
+        )
+    return rows
+
+
+def test_ablation_mcmc_iterations(benchmark, ablation_rows):
+    benchmark.pedantic(lambda: ablation_rows, rounds=1, iterations=1)
+    print_rows(
+        "Ablation: MCMC iterations vs best correlation",
+        ablation_rows,
+        ("iterations", "best_correlation", "accepted_steps", "feasible_steps"),
+    )
+    assert len(ablation_rows) == len(ITERATION_COUNTS)
+
+
+def test_more_iterations_never_reduce_best_correlation(ablation_rows):
+    correlations = [row["best_correlation"] for row in ablation_rows]
+    assert all(later >= earlier - 1e-9 for earlier, later in zip(correlations, correlations[1:]))
+
+
+def test_walk_actually_moves(ablation_rows):
+    assert ablation_rows[-1]["feasible_steps"] >= 1

@@ -1,0 +1,63 @@
+"""Figure 4: runtime of Heuristic vs LP vs GP on TPC-H, varying #instances.
+
+The paper's shape to reproduce: the heuristic is orders of magnitude faster
+than the exhaustive baselines (2,000x vs LP and 20,000x vs GP at n = 8 in the
+paper) and its runtime stays roughly flat as n grows, while LP and GP grow.
+Absolute numbers differ (laptop-scale synthetic data), but the ordering
+heuristic <= LP <= GP and the flatness of the heuristic must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.experiments.fig4 import run_fig4
+
+KEYS = ("query", "num_instances", "heuristic_seconds", "lp_seconds", "gp_seconds")
+
+
+@pytest.fixture(scope="module")
+def fig4_rows():
+    return run_fig4(
+        query_names=("Q1", "Q2", "Q3"),
+        instance_counts=(5, 6, 7, 8),
+        scale=0.1,
+        mcmc_iterations=40,
+        include_gp=True,
+    )
+
+
+def test_fig4_runtime_rows(benchmark, fig4_rows):
+    benchmark.pedantic(lambda: fig4_rows, rounds=1, iterations=1)
+    print_rows("Figure 4: time vs #instances (TPC-H-like)", fig4_rows, KEYS)
+    assert len(fig4_rows) == 12
+
+
+@pytest.mark.parametrize("query", ["Q1", "Q2", "Q3"])
+def test_fig4_heuristic_not_slower_than_gp(fig4_rows, query):
+    """At the largest n the heuristic must not be slower than the GP baseline."""
+    rows = [row for row in fig4_rows if row["query"] == query]
+    largest = max(rows, key=lambda row: row["num_instances"])
+    assert largest["heuristic_seconds"] <= largest["gp_seconds"] * 1.5
+
+
+def test_fig4_gp_slowest_on_average(fig4_rows):
+    heuristic = sum(row["heuristic_seconds"] for row in fig4_rows)
+    lp = sum(row["lp_seconds"] for row in fig4_rows)
+    gp = sum(row["gp_seconds"] for row in fig4_rows)
+    assert heuristic <= gp
+    assert lp <= gp * 1.5
+
+
+def test_fig4_heuristic_runtime_roughly_flat(fig4_rows):
+    """The heuristic's runtime grows far slower with n than the baselines'."""
+    for query in ("Q1", "Q2", "Q3"):
+        rows = sorted(
+            (row for row in fig4_rows if row["query"] == query),
+            key=lambda row: row["num_instances"],
+        )
+        first, last = rows[0], rows[-1]
+        heuristic_growth = last["heuristic_seconds"] / max(first["heuristic_seconds"], 1e-9)
+        gp_growth = last["gp_seconds"] / max(first["gp_seconds"], 1e-9)
+        assert heuristic_growth <= max(gp_growth * 2.0, 25.0)

@@ -1,0 +1,86 @@
+"""Figure 5: heuristic runtime on the TPC-E-like workload.
+
+(a) runtime vs number of instances (10..29);
+(b) the I-graph size found by Step 1 for each setting;
+(c) runtime vs budget ratio, with N/A entries when nothing is affordable.
+
+Shapes to reproduce: the runtime does not grow monotonically with n (it tracks
+the I-graph size instead), larger I-graphs cost more time, and runtime grows
+(then plateaus) with the budget ratio.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.experiments.fig5 import run_fig5_budget, run_fig5_instances
+
+INSTANCE_KEYS = ("query", "num_instances", "heuristic_seconds", "igraph_size", "feasible")
+BUDGET_KEYS = ("query", "budget_ratio", "heuristic_seconds", "affordable")
+
+
+@pytest.fixture(scope="module")
+def instance_rows():
+    return run_fig5_instances(
+        query_names=("Q1", "Q2", "Q3"),
+        instance_counts=(10, 15, 20, 25, 29),
+        scale=0.08,
+        mcmc_iterations=30,
+    )
+
+
+@pytest.fixture(scope="module")
+def budget_rows():
+    return run_fig5_budget(
+        query_names=("Q1", "Q2", "Q3"),
+        budget_ratios=(0.2, 0.4, 0.6, 0.8, 1.0),
+        scale=0.08,
+        mcmc_iterations=30,
+    )
+
+
+def test_fig5a_runtime_vs_instances(benchmark, instance_rows):
+    benchmark.pedantic(lambda: instance_rows, rounds=1, iterations=1)
+    print_rows("Figure 5(a)+(b): heuristic time and I-graph size (TPC-E-like)", instance_rows, INSTANCE_KEYS)
+    assert len(instance_rows) == 15
+    assert any(row["feasible"] for row in instance_rows)
+
+
+def test_fig5b_igraph_sizes_are_small(instance_rows):
+    """Step 1 returns small I-graphs (a handful of vertices), as in Figure 5(b)."""
+    feasible = [row for row in instance_rows if row["feasible"]]
+    assert feasible
+    assert all(1 <= row["igraph_size"] <= 10 for row in feasible)
+
+
+def test_fig5a_runtime_tracks_igraph_size(instance_rows):
+    """Bigger I-graphs take longer to search (the paper's headline observation)."""
+    feasible = [row for row in instance_rows if row["feasible"]]
+    small = [row for row in feasible if row["igraph_size"] <= 2]
+    large = [row for row in feasible if row["igraph_size"] >= 4]
+    if small and large:
+        avg_small = sum(row["heuristic_seconds"] for row in small) / len(small)
+        avg_large = sum(row["heuristic_seconds"] for row in large) / len(large)
+        assert avg_large >= avg_small * 0.5
+
+
+def test_fig5c_runtime_vs_budget(benchmark, budget_rows):
+    benchmark.pedantic(lambda: budget_rows, rounds=1, iterations=1)
+    print_rows("Figure 5(c): heuristic time vs budget ratio (TPC-E-like)", budget_rows, BUDGET_KEYS)
+    assert len(budget_rows) == 15
+
+
+def test_fig5c_high_budget_always_affordable(budget_rows):
+    """At budget ratio 1.0 every query must have an affordable acquisition."""
+    full_budget = [row for row in budget_rows if row["budget_ratio"] == 1.0]
+    assert all(row["affordable"] for row in full_budget)
+
+
+def test_fig5c_unaffordable_rows_marked_na(budget_rows):
+    """Rows without an affordable option carry NaN runtime (the paper's N/A)."""
+    for row in budget_rows:
+        if not row["affordable"]:
+            assert math.isnan(row["heuristic_seconds"])

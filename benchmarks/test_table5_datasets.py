@@ -1,0 +1,48 @@
+"""Table 5: dataset description of the two workloads.
+
+Reproduces the columns of the paper's Table 5 (number of instances, min/max
+instance sizes, min/max attribute counts, average number of FDs per table) on
+the laptop-scale TPC-H-like and TPC-E-like workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.experiments.common import load_workload
+from repro.experiments.table5 import run_table5
+
+KEYS = (
+    "workload",
+    "num_instances",
+    "min_instance_size",
+    "max_instance_size",
+    "min_num_attributes",
+    "max_num_attributes",
+    "avg_fds_per_table",
+)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {"tpch": load_workload("tpch", scale=0.2), "tpce": load_workload("tpce", scale=0.15)}
+
+
+def test_table5_dataset_description(benchmark, workloads):
+    rows = benchmark.pedantic(
+        run_table5, kwargs={"workloads": workloads, "fd_max_lhs_size": 1}, rounds=1, iterations=1
+    )
+    print_rows("Table 5: dataset description", rows, KEYS)
+
+    by_workload = {row["workload"]: row for row in rows}
+    assert by_workload["tpch"]["num_instances"] == 8
+    assert by_workload["tpce"]["num_instances"] == 29
+    # both workloads carry discoverable FDs, as the paper's Table 5 reports
+    assert by_workload["tpch"]["avg_fds_per_table"] > 0
+    assert by_workload["tpce"]["avg_fds_per_table"] > 0
+    # TPC-E-like is the wider workload (more attributes on its widest table)
+    assert (
+        by_workload["tpce"]["max_num_attributes"][1]
+        >= by_workload["tpch"]["min_num_attributes"][1]
+    )

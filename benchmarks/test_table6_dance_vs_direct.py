@@ -1,0 +1,74 @@
+"""Table 6: acquisition with DANCE vs direct purchase from the marketplace.
+
+Shape to reproduce: DANCE's recommendation achieves a correlation close to the
+direct (full-data optimal) purchase — the paper reports it reaches up to ~90 %
+of the optimum — at an equal or lower price, with comparable join
+informativeness; quality may be lower due to sampling error.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.experiments.table6 import run_table6
+
+KEYS = ("query", "approach", "correlation", "quality", "join_informativeness", "price")
+
+
+@pytest.fixture(scope="module")
+def table6_rows():
+    return run_table6(
+        query_names=("Q1", "Q2", "Q3"),
+        budget_ratio=0.9,
+        scale=0.1,
+        mcmc_iterations=60,
+    )
+
+
+def test_table6_rows(benchmark, table6_rows):
+    benchmark.pedantic(lambda: table6_rows, rounds=1, iterations=1)
+    print_rows("Table 6: DANCE vs direct marketplace purchase", table6_rows, KEYS)
+    assert len(table6_rows) == 6
+
+
+def _pairs(rows):
+    for query in ("Q1", "Q2", "Q3"):
+        dance = next(r for r in rows if r["query"] == query and r["approach"] == "DANCE")
+        direct = next(r for r in rows if r["query"] == query and r["approach"] == "direct")
+        yield query, dance, direct
+
+
+def test_table6_both_approaches_feasible(table6_rows):
+    assert all(row["feasible"] for row in table6_rows)
+
+
+def test_table6_dance_correlation_close_to_direct(table6_rows):
+    """DANCE reaches a substantial fraction of the direct-purchase correlation.
+
+    Averaged over the three queries; the long-path query carries a wider gap on
+    the synthetic workload (see EXPERIMENTS.md), so the per-query floor is loose.
+    """
+    ratios = []
+    for _query, dance, direct in _pairs(table6_rows):
+        if direct["correlation"] > 0:
+            ratio = dance["correlation"] / direct["correlation"]
+            ratios.append(ratio)
+            assert ratio >= 0.15
+    assert ratios
+    assert sum(ratios) / len(ratios) >= 0.4
+
+
+def test_table6_dance_price_not_wildly_higher(table6_rows):
+    """DANCE does not pay much more than the direct optimal purchase."""
+    for _query, dance, direct in _pairs(table6_rows):
+        if not math.isnan(direct["price"]) and direct["price"] > 0:
+            assert dance["price"] <= direct["price"] * 1.5
+
+
+def test_table6_metrics_are_finite(table6_rows):
+    for row in table6_rows:
+        assert not math.isnan(row["correlation"])
+        assert 0.0 <= row["quality"] <= 1.0

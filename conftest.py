@@ -1,0 +1,12 @@
+"""Pytest root configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed in editable mode (useful in constrained/offline environments).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

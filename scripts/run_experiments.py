@@ -1,0 +1,126 @@
+"""Run every experiment driver and dump the measured rows to JSON.
+
+Used to regenerate the measured numbers recorded in EXPERIMENTS.md::
+
+    python scripts/run_experiments.py --out results.json
+
+The scale / iteration parameters match the benchmark harness defaults, so the
+JSON produced here is directly comparable with the rows printed by
+``pytest benchmarks/ -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.experiments.common import load_workload
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5_budget, run_fig5_instances
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("experiment_results.json"))
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps for smoke runs")
+    args = parser.parse_args()
+
+    scale_tpch = 0.05 if args.quick else 0.1
+    scale_tpce = 0.05 if args.quick else 0.08
+    iters = 20 if args.quick else 60
+
+    results: dict[str, object] = {}
+    timings: dict[str, float] = {}
+
+    def run(name: str, func, **kwargs):
+        start = time.perf_counter()
+        rows = func(**kwargs)
+        timings[name] = round(time.perf_counter() - start, 2)
+        results[name] = rows
+        print(f"[{name}] {len(rows)} rows in {timings[name]:.1f}s", flush=True)
+
+    run(
+        "table5",
+        run_table5,
+        workloads={
+            "tpch": load_workload("tpch", scale=0.2),
+            "tpce": load_workload("tpce", scale=0.15),
+        },
+        fd_max_lhs_size=1,
+    )
+    run(
+        "fig4",
+        run_fig4,
+        query_names=("Q1", "Q2", "Q3"),
+        instance_counts=(5, 6, 7, 8),
+        scale=scale_tpch,
+        mcmc_iterations=40,
+        include_gp=True,
+    )
+    run(
+        "fig5_instances",
+        run_fig5_instances,
+        query_names=("Q1", "Q2", "Q3"),
+        instance_counts=(10, 15, 20, 25, 29),
+        scale=scale_tpce,
+        mcmc_iterations=30,
+    )
+    run(
+        "fig5_budget",
+        run_fig5_budget,
+        query_names=("Q1", "Q2", "Q3"),
+        budget_ratios=(0.2, 0.4, 0.6, 0.8, 1.0),
+        scale=scale_tpce,
+        mcmc_iterations=30,
+    )
+    run(
+        "fig6",
+        run_fig6,
+        query_names=("Q1", "Q2", "Q3"),
+        sampling_rates=(0.1, 0.4, 0.7, 1.0),
+        scale=scale_tpch,
+        mcmc_iterations=iters,
+    )
+    run(
+        "fig7",
+        run_fig7,
+        query_names=("Q1", "Q2", "Q3"),
+        budget_ratios=(0.3, 0.5, 0.7, 0.9),
+        scale=scale_tpch,
+        mcmc_iterations=iters,
+    )
+    run(
+        "fig8",
+        run_fig8,
+        query_names=("Q1", "Q2", "Q3"),
+        resampling_rates=(0.1, 0.3, 0.5, 0.7, 0.9),
+        resampling_threshold=40,
+        scale=scale_tpch,
+        mcmc_iterations=40,
+    )
+    run(
+        "table6",
+        run_table6,
+        query_names=("Q1", "Q2", "Q3"),
+        budget_ratio=0.9,
+        scale=scale_tpch,
+        mcmc_iterations=iters,
+    )
+
+    payload = {"timings_seconds": timings, "results": results}
+    args.out.write_text(json.dumps(payload, indent=2, default=str))
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

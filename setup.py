@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package (pip falls back to the legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

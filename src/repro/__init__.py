@@ -1,0 +1,76 @@
+"""DANCE: cost-efficient data acquisition on online data marketplaces for correlation analysis.
+
+This library is a from-scratch reproduction of the system described in
+"Cost-efficient Data Acquisition on Online Data Marketplaces for Correlation
+Analysis" (Li, Sun, Dong, Wang; VLDB 2018).  It provides:
+
+* a small relational substrate (:mod:`repro.relational`),
+* FD-based data-quality measurement and dirty-data injection (:mod:`repro.quality`),
+* entropy-based correlation and join informativeness (:mod:`repro.infotheory`),
+* correlated sampling / re-sampling estimators (:mod:`repro.sampling`),
+* arbitrage-free query-based pricing (:mod:`repro.pricing`),
+* an in-process data marketplace (:mod:`repro.marketplace`),
+* the two-layer join graph (:mod:`repro.graph`),
+* the two-step heuristic search plus the LP/GP baselines (:mod:`repro.search`),
+* the DANCE middleware facade (:mod:`repro.core`),
+* TPC-H-like / TPC-E-like synthetic workloads (:mod:`repro.workloads`), and
+* drivers regenerating every table and figure of the evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import DANCE, Marketplace, AcquisitionRequest
+    from repro.workloads import tpch_workload
+
+    workload = tpch_workload(scale=0.1)
+    market = Marketplace(workload.all_tables())
+    dance = DANCE(market)
+    dance.build_offline()
+    request = AcquisitionRequest(
+        source_attributes=["totalprice"],
+        target_attributes=["rname"],
+        budget=100.0,
+    )
+    result = dance.acquire(request)
+    print(result.sql())
+"""
+
+from repro.core.config import DanceConfig
+from repro.core.dance import DANCE, build_dance
+from repro.core.result import AcquisitionResult
+from repro.exceptions import (
+    BudgetExceededError,
+    InfeasibleAcquisitionError,
+    MarketplaceError,
+    ReproError,
+)
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace, ProjectionQuery
+from repro.marketplace.shopper import AcquisitionRequest, DataShopper
+from repro.quality.fd import FunctionalDependency
+from repro.relational.schema import Attribute, AttributeType, Schema
+from repro.relational.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DANCE",
+    "build_dance",
+    "DanceConfig",
+    "AcquisitionResult",
+    "AcquisitionRequest",
+    "DataShopper",
+    "Marketplace",
+    "MarketplaceDataset",
+    "ProjectionQuery",
+    "FunctionalDependency",
+    "Table",
+    "Schema",
+    "Attribute",
+    "AttributeType",
+    "ReproError",
+    "MarketplaceError",
+    "BudgetExceededError",
+    "InfeasibleAcquisitionError",
+    "__version__",
+]

@@ -1,0 +1,213 @@
+"""Command-line interface for the DANCE reproduction.
+
+The CLI covers the three things a downstream user typically wants to do from a
+shell without writing Python:
+
+``repro-dance catalog``
+    Generate a workload, host it on the in-process marketplace, and print the
+    (free) schema-level catalog.
+
+``repro-dance acquire``
+    Run the full offline + online pipeline for one acquisition request and
+    print the recommended SQL projection queries and the estimated metrics.
+    ``--top-k`` switches to the ranked multi-option recommendation.
+
+``repro-dance export-graph``
+    Build the join graph from samples and export it to JSON and/or DOT.
+
+All commands operate on the built-in synthetic workloads (``tpch`` / ``tpce``),
+since the library ships no external data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import DanceConfig
+from repro.core.dance import DANCE
+from repro.exceptions import ReproError
+from repro.graph.export import join_graph_to_dot, write_dot, write_join_graph_json
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace
+from repro.pricing.models import EntropyPricingModel
+from repro.search.mcmc import MCMCConfig
+from repro.search.topk import ScoreWeights, top_k_acquisition
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.workloads.queries import queries_for
+from repro.workloads.tpce import tpce_workload
+from repro.workloads.tpch import tpch_workload
+
+
+def _build_marketplace(workload_name: str, scale: float, seed: int) -> tuple[Marketplace, object]:
+    if workload_name == "tpch":
+        workload = tpch_workload(scale=scale, seed=seed)
+    elif workload_name == "tpce":
+        workload = tpce_workload(scale=scale, seed=seed)
+    else:
+        raise ReproError(f"unknown workload {workload_name!r} (expected 'tpch' or 'tpce')")
+    pricing = EntropyPricingModel()
+    marketplace = Marketplace(default_pricing=pricing)
+    for name in workload.tables:
+        marketplace.host(
+            MarketplaceDataset(table=workload.dirty_or_clean(name), pricing=pricing)
+        )
+    return marketplace, workload
+
+
+def _build_dance(marketplace: Marketplace, args: argparse.Namespace) -> DANCE:
+    config = DanceConfig(
+        sampling_rate=args.sampling_rate,
+        mcmc=MCMCConfig(iterations=args.mcmc_iterations, seed=args.seed),
+        num_landmarks=args.landmarks,
+    )
+    dance = DANCE(marketplace, config)
+    dance.build_offline()
+    return dance
+
+
+# ------------------------------------------------------------------- commands
+def cmd_catalog(args: argparse.Namespace) -> int:
+    marketplace, _ = _build_marketplace(args.workload, args.scale, args.seed)
+    entries = marketplace.catalog()
+    if args.json:
+        print(json.dumps(entries, indent=2))
+    else:
+        print(f"{'dataset':<22}{'rows':>8}{'attrs':>7}  attributes")
+        for entry in entries:
+            print(
+                f"{entry['name']:<22}{entry['num_rows']:>8}{len(entry['attributes']):>7}  "
+                f"{', '.join(entry['attributes'])}"
+            )
+    return 0
+
+
+def cmd_acquire(args: argparse.Namespace) -> int:
+    marketplace, workload = _build_marketplace(args.workload, args.scale, args.seed)
+    dance = _build_dance(marketplace, args)
+
+    if args.query:
+        query = queries_for(workload)[args.query]
+        source_attributes = list(query.source_attributes)
+        target_attributes = list(query.target_attributes)
+    else:
+        source_attributes = args.source or []
+        target_attributes = args.target or []
+    if not target_attributes:
+        print("error: provide --target attributes or --query Q1/Q2/Q3", file=sys.stderr)
+        return 2
+
+    if args.top_k > 1:
+        options = top_k_acquisition(
+            dance.join_graph,
+            source_attributes,
+            target_attributes,
+            dance.fds,
+            k=args.top_k,
+            budget=args.budget,
+            max_weight=args.alpha,
+            min_quality=args.beta,
+            weights=ScoreWeights(),
+            mcmc_config=dance.config.mcmc,
+            rng=args.seed,
+        )
+        payload = [option.summary() for option in options]
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    request = AcquisitionRequest(
+        source_attributes=source_attributes,
+        target_attributes=target_attributes,
+        budget=args.budget,
+        max_join_informativeness=args.alpha,
+        min_quality=args.beta,
+    )
+    result = dance.acquire(request)
+    if args.json:
+        print(json.dumps(result.summary(), indent=2, default=str))
+    else:
+        print("Recommended purchase:")
+        for sql in result.sql():
+            print(f"  {sql}")
+        print(f"estimated correlation         : {result.estimated_correlation:.4f}")
+        print(f"estimated quality             : {result.estimated_quality:.4f}")
+        print(f"estimated join informativeness: {result.estimated_join_informativeness:.4f}")
+        print(f"estimated price               : {result.estimated_price:.2f}")
+        print(f"sample cost                   : {result.sample_cost:.3f}")
+    return 0
+
+
+def cmd_export_graph(args: argparse.Namespace) -> int:
+    marketplace, _ = _build_marketplace(args.workload, args.scale, args.seed)
+    dance = _build_dance(marketplace, args)
+    graph = dance.join_graph
+    wrote = []
+    if args.json_out:
+        wrote.append(str(write_join_graph_json(graph, args.json_out)))
+    if args.dot_out:
+        wrote.append(str(write_dot(join_graph_to_dot(graph), args.dot_out)))
+    if not wrote:
+        print(json.dumps(dance.describe()["join_graph"], indent=2))
+    else:
+        for path in wrote:
+            print(f"wrote {path}")
+    return 0
+
+
+# --------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dance",
+        description="DANCE: cost-efficient data acquisition for correlation analysis",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--workload", choices=("tpch", "tpce"), default="tpch")
+        sub.add_argument("--scale", type=float, default=0.1, help="workload scale factor")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--sampling-rate", type=float, default=0.5)
+        sub.add_argument("--mcmc-iterations", type=int, default=100)
+        sub.add_argument("--landmarks", type=int, default=4)
+
+    catalog = subparsers.add_parser("catalog", help="print the marketplace catalog")
+    add_common(catalog)
+    catalog.add_argument("--json", action="store_true")
+    catalog.set_defaults(func=cmd_catalog)
+
+    acquire = subparsers.add_parser("acquire", help="run one acquisition request")
+    add_common(acquire)
+    acquire.add_argument("--query", choices=("Q1", "Q2", "Q3"), help="use a predefined query")
+    acquire.add_argument("--source", nargs="*", help="source attributes A_S")
+    acquire.add_argument("--target", nargs="*", help="target attributes A_T")
+    acquire.add_argument("--budget", type=float, default=100.0)
+    acquire.add_argument("--alpha", type=float, default=float("inf"),
+                         help="max total join informativeness")
+    acquire.add_argument("--beta", type=float, default=0.0, help="min quality")
+    acquire.add_argument("--top-k", type=int, default=1, help="return the k best options")
+    acquire.add_argument("--json", action="store_true")
+    acquire.set_defaults(func=cmd_acquire)
+
+    export = subparsers.add_parser("export-graph", help="export the join graph")
+    add_common(export)
+    export.add_argument("--json-out", type=Path)
+    export.add_argument("--dot-out", type=Path)
+    export.set_defaults(func=cmd_export_graph)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""The DANCE middleware facade: offline join-graph construction and online acquisition.
+
+``config``
+    :class:`DanceConfig` — sampling rate, re-sampling policy, MCMC settings,
+    landmark count, AFD discovery parameters.
+``result``
+    :class:`AcquisitionResult` — the purchase recommendation returned to the
+    shopper (projection queries, estimated correlation/quality/JI, price).
+``dance``
+    :class:`DANCE` — the middleware itself.
+"""
+
+from repro.core.config import DanceConfig
+from repro.core.result import AcquisitionResult
+from repro.core.dance import DANCE
+
+__all__ = ["DanceConfig", "AcquisitionResult", "DANCE"]

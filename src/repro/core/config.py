@@ -1,0 +1,86 @@
+"""Configuration of the DANCE middleware."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SamplingError
+from repro.sampling.resampling import ResamplingPolicy
+from repro.search.mcmc import MCMCConfig
+
+
+@dataclass
+class DanceConfig:
+    """All tunable knobs of the middleware in one place.
+
+    Attributes
+    ----------
+    sampling_rate:
+        Correlated-sampling rate used when buying samples from the marketplace
+        during the offline phase (the paper's sampling-rate experiment in
+        Figure 6 varies this between 0.1 and 1.0).
+    sampling_seed:
+        Selects the hash family of the correlated sampler.
+    resampling:
+        Correlated re-sampling policy for intermediate join results (threshold
+        ``eta`` and re-sampling rate; Figure 8 varies the rate).
+    mcmc:
+        Step 2 configuration (iterations ``ℓ``, seed, proposal mix).
+    num_landmarks:
+        Number of landmarks used by Step 1.
+    max_join_attribute_size:
+        Largest join attribute set enumerated per instance pair when building
+        the join graph.
+    afd_max_violation / afd_max_lhs_size:
+        Parameters of AFD discovery on the samples (quality measurement uses
+        the discovered AFDs; the paper uses a violation threshold of 0.1).
+    max_refinement_rounds:
+        How many times the online phase may buy more samples (at a higher
+        sampling rate) and retry when no feasible target graph exists.
+    refinement_rate_multiplier:
+        Factor applied to the sampling rate on each refinement round.
+    """
+
+    sampling_rate: float = 0.3
+    sampling_seed: int = 0
+    resampling: ResamplingPolicy = field(default_factory=ResamplingPolicy)
+    mcmc: MCMCConfig = field(default_factory=MCMCConfig)
+    num_landmarks: int = 4
+    max_join_attribute_size: int = 2
+    afd_max_violation: float = 0.1
+    afd_max_lhs_size: int = 2
+    max_refinement_rounds: int = 2
+    refinement_rate_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sampling_rate <= 1.0:
+            raise SamplingError(
+                f"sampling_rate must be in (0, 1], got {self.sampling_rate}"
+            )
+        if self.num_landmarks < 1:
+            raise SamplingError(f"num_landmarks must be >= 1, got {self.num_landmarks}")
+        if self.max_refinement_rounds < 0:
+            raise SamplingError(
+                f"max_refinement_rounds must be >= 0, got {self.max_refinement_rounds}"
+            )
+        if self.refinement_rate_multiplier < 1.0:
+            raise SamplingError(
+                "refinement_rate_multiplier must be >= 1.0, got "
+                f"{self.refinement_rate_multiplier}"
+            )
+
+    def refined(self) -> "DanceConfig":
+        """The configuration for one refinement round: a higher sampling rate."""
+        new_rate = min(1.0, self.sampling_rate * self.refinement_rate_multiplier)
+        return DanceConfig(
+            sampling_rate=new_rate,
+            sampling_seed=self.sampling_seed,
+            resampling=self.resampling,
+            mcmc=self.mcmc,
+            num_landmarks=self.num_landmarks,
+            max_join_attribute_size=self.max_join_attribute_size,
+            afd_max_violation=self.afd_max_violation,
+            afd_max_lhs_size=self.afd_max_lhs_size,
+            max_refinement_rounds=self.max_refinement_rounds,
+            refinement_rate_multiplier=self.refinement_rate_multiplier,
+        )

@@ -1,0 +1,215 @@
+"""The DANCE middleware.
+
+DANCE sits between the data shopper and the marketplace.  During the offline
+phase it buys correlated samples of every hosted instance and builds the
+two-layer join graph; during the online phase it answers acquisition requests
+by running the two-step heuristic search on that graph and translating the
+winning target graph into SQL projection queries.  When no feasible target
+graph exists it iteratively buys more samples (at a higher sampling rate) and
+retries, exactly as described in Section 2.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.config import DanceConfig
+from repro.core.result import AcquisitionResult, queries_for_target_graph
+from repro.exceptions import InfeasibleAcquisitionError
+from repro.graph.join_graph import JoinGraph
+from repro.marketplace.market import Marketplace
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.quality.discovery import discover_afds
+from repro.quality.fd import FunctionalDependency
+from repro.relational.table import Table
+from repro.sampling.correlated import CorrelatedSampler
+from repro.search.acquisition import heuristic_acquisition
+from repro.search.mcmc import MCMCConfig
+
+
+class DANCE:
+    """Data Acquisition framework on oNline data markets for CorrElation analysis."""
+
+    def __init__(
+        self,
+        marketplace: Marketplace,
+        config: DanceConfig | None = None,
+        *,
+        known_fds: Mapping[str, Sequence[FunctionalDependency]] | None = None,
+    ) -> None:
+        self.marketplace = marketplace
+        self.config = config or DanceConfig()
+        self._known_fds = {
+            name: list(fds) for name, fds in (known_fds or {}).items()
+        }
+        self._samples: dict[str, Table] = {}
+        self._source_tables: dict[str, Table] = {}
+        self._join_graph: JoinGraph | None = None
+        self._fds: list[FunctionalDependency] = []
+        self._sample_cost = 0.0
+        self._current_rate = self.config.sampling_rate
+
+    # --------------------------------------------------------------- offline
+    @property
+    def join_graph(self) -> JoinGraph:
+        if self._join_graph is None:
+            raise InfeasibleAcquisitionError(
+                "the offline phase has not run yet; call build_offline() first"
+            )
+        return self._join_graph
+
+    @property
+    def sample_cost(self) -> float:
+        """Total amount spent on samples so far."""
+        return self._sample_cost
+
+    @property
+    def fds(self) -> list[FunctionalDependency]:
+        """The FDs used for quality measurement (known plus discovered on samples)."""
+        return list(self._fds)
+
+    def register_source_tables(self, tables: Sequence[Table]) -> None:
+        """Register the shopper's local instances; they join for free."""
+        for table in tables:
+            self._source_tables[table.name] = table
+
+    def build_offline(self, *, sampling_rate: float | None = None) -> JoinGraph:
+        """Run the offline phase: buy samples of every hosted instance, build the graph."""
+        rate = sampling_rate if sampling_rate is not None else self.config.sampling_rate
+        self._current_rate = rate
+        sampler = CorrelatedSampler(rate=rate, seed=self.config.sampling_seed)
+        # Sample each dataset over its candidate join attributes (attributes
+        # shared with other datasets, known from the free schema catalog), so
+        # that joinable rows survive sampling together across instances.
+        samples, cost = self.marketplace.sell_samples(
+            sampler, join_attributes_by_dataset=self.marketplace.shared_attribute_map()
+        )
+        self._sample_cost += cost
+        self._samples = samples
+        self._rebuild_graph()
+        return self.join_graph
+
+    def _rebuild_graph(self) -> None:
+        tables: dict[str, Table] = dict(self._samples)
+        tables.update(self._source_tables)
+        self._join_graph = JoinGraph(
+            tables,
+            pricing=self.marketplace._default_pricing,
+            max_join_attribute_size=self.config.max_join_attribute_size,
+            source_instances=tuple(self._source_tables),
+        )
+        self._fds = self._collect_fds(tables)
+
+    def _collect_fds(self, tables: Mapping[str, Table]) -> list[FunctionalDependency]:
+        fds: list[FunctionalDependency] = []
+        seen: set[tuple] = set()
+        for name, table in tables.items():
+            if name in self._known_fds:
+                table_fds = self._known_fds[name]
+            else:
+                table_fds = discover_afds(
+                    table,
+                    max_violation=self.config.afd_max_violation,
+                    max_lhs_size=self.config.afd_max_lhs_size,
+                )
+            for fd in table_fds:
+                key = (fd.lhs, fd.rhs)
+                if key not in seen:
+                    seen.add(key)
+                    fds.append(fd)
+        return fds
+
+    # ---------------------------------------------------------------- online
+    def acquire(self, request: AcquisitionRequest) -> AcquisitionResult:
+        """Answer one acquisition request; may trigger sample refinement rounds.
+
+        Raises :class:`InfeasibleAcquisitionError` when no feasible target
+        graph exists even after the configured number of refinement rounds.
+        """
+        if self._join_graph is None:
+            self.build_offline()
+
+        rounds = 0
+        last_error: InfeasibleAcquisitionError | None = None
+        while rounds <= self.config.max_refinement_rounds:
+            try:
+                result = self._search_once(request)
+            except InfeasibleAcquisitionError as error:
+                result = None
+                last_error = error
+            if result is not None:
+                result.refinement_rounds = rounds
+                return result
+            rounds += 1
+            if rounds > self.config.max_refinement_rounds:
+                break
+            # Buy more samples at a higher rate and retry (iterative refinement).
+            next_rate = min(1.0, self._current_rate * self.config.refinement_rate_multiplier)
+            if next_rate <= self._current_rate:
+                break
+            self.build_offline(sampling_rate=next_rate)
+        raise last_error or InfeasibleAcquisitionError(
+            "no feasible acquisition satisfies the request constraints"
+        )
+
+    def _search_once(self, request: AcquisitionRequest) -> AcquisitionResult | None:
+        self.config.resampling.reset()
+        heuristic = heuristic_acquisition(
+            self.join_graph,
+            request.source_attributes,
+            request.target_attributes,
+            self._fds,
+            budget=request.budget,
+            max_weight=request.max_join_informativeness,
+            min_quality=request.min_quality,
+            num_landmarks=self.config.num_landmarks,
+            mcmc_config=self.config.mcmc,
+            rng=self.config.mcmc.seed,
+            intermediate_hook=self.config.resampling if self.config.resampling.enabled else None,
+        )
+        if not heuristic.feasible:
+            return None
+        target_graph, evaluation = heuristic.require_feasible()
+        queries = queries_for_target_graph(target_graph, exclude=tuple(self._source_tables))
+        return AcquisitionResult(
+            target_graph=target_graph,
+            evaluation=evaluation,
+            queries=queries,
+            sample_cost=self._sample_cost,
+            igraph_size=heuristic.igraph_size,
+        )
+
+    # --------------------------------------------------------------- summaries
+    def describe(self) -> dict[str, object]:
+        graph_info: dict[str, object] = {}
+        if self._join_graph is not None:
+            graph_info = self._join_graph.describe()
+        return {
+            "marketplace": self.marketplace.describe(),
+            "sampling_rate": self._current_rate,
+            "sample_cost": self._sample_cost,
+            "num_fds": len(self._fds),
+            "join_graph": graph_info,
+        }
+
+
+def build_dance(
+    marketplace: Marketplace,
+    *,
+    config: DanceConfig | None = None,
+    source_tables: Sequence[Table] = (),
+    mcmc_iterations: int | None = None,
+) -> DANCE:
+    """Convenience constructor: register sources, run the offline phase, return DANCE."""
+    if mcmc_iterations is not None:
+        config = config or DanceConfig()
+        config.mcmc = MCMCConfig(
+            iterations=mcmc_iterations,
+            seed=config.mcmc.seed,
+            projection_flip_probability=config.mcmc.projection_flip_probability,
+        )
+    dance = DANCE(marketplace, config)
+    if source_tables:
+        dance.register_source_tables(list(source_tables))
+    dance.build_offline()
+    return dance

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the DANCE reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch a single base class at the public API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an attribute reference is invalid."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was requested that does not exist in the schema."""
+
+    def __init__(self, attribute: str, available: tuple[str, ...] = ()) -> None:
+        self.attribute = attribute
+        self.available = tuple(available)
+        message = f"unknown attribute {attribute!r}"
+        if available:
+            message += f" (available: {', '.join(available)})"
+        super().__init__(message)
+
+
+class JoinError(ReproError):
+    """A join cannot be performed (for example, no shared join attributes)."""
+
+
+class SamplingError(ReproError):
+    """Invalid sampling parameters (rates outside (0, 1], negative thresholds)."""
+
+
+class PricingError(ReproError):
+    """Invalid pricing configuration or an attempt to price unknown data."""
+
+
+class BudgetExceededError(PricingError):
+    """A purchase would exceed the shopper's remaining budget."""
+
+    def __init__(self, price: float, budget: float) -> None:
+        self.price = price
+        self.budget = budget
+        super().__init__(f"price {price:.4f} exceeds remaining budget {budget:.4f}")
+
+
+class MarketplaceError(ReproError):
+    """The marketplace cannot satisfy a request (unknown dataset, bad query)."""
+
+
+class GraphConstructionError(ReproError):
+    """The join graph cannot be constructed from the given samples."""
+
+
+class SearchError(ReproError):
+    """The online search cannot run with the provided request."""
+
+
+class InfeasibleAcquisitionError(SearchError):
+    """No target graph satisfies the quality / informativeness / budget constraints."""
+
+
+class QualityError(ReproError):
+    """Invalid functional dependency or quality computation input."""

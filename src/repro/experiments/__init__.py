@@ -1,0 +1,31 @@
+"""Experiment drivers that regenerate every table and figure of the evaluation.
+
+Each module exposes one ``run_*`` function returning plain dictionaries /
+rows, so the same code backs the pytest-benchmark harness in ``benchmarks/``,
+the examples, and the EXPERIMENTS.md regeneration.  The drivers work on the
+laptop-scale synthetic workloads; the quantities of interest are the *shapes*
+(orderings, trends, crossovers) rather than the absolute numbers of the
+authors' testbed.
+"""
+
+from repro.experiments.common import ExperimentSetup, prepare_setup
+from repro.experiments.table5 import run_table5
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5_instances, run_fig5_budget
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.table6 import run_table6
+
+__all__ = [
+    "ExperimentSetup",
+    "prepare_setup",
+    "run_table5",
+    "run_fig4",
+    "run_fig5_instances",
+    "run_fig5_budget",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_table6",
+]

@@ -1,0 +1,57 @@
+"""Figure 4: runtime of Heuristic vs LP vs GP on TPC-H, varying #instances.
+
+The paper sweeps the number of marketplace instances n ∈ {5, 6, 7, 8} for
+queries Q1/Q2/Q3 and reports the wall-clock time of the three algorithms on a
+log scale.  The expected shape: the heuristic is orders of magnitude faster and
+roughly flat in n, while LP and GP grow with n (GP slowest because it evaluates
+candidates on the full data).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import prepare_setup, timed
+
+
+def run_fig4(
+    *,
+    query_names: Sequence[str] = ("Q1", "Q2", "Q3"),
+    instance_counts: Sequence[int] = (5, 6, 7, 8),
+    scale: float = 0.15,
+    sampling_rate: float = 0.4,
+    budget_ratio: float = 0.8,
+    mcmc_iterations: int = 60,
+    include_gp: bool = True,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """One row per (query, #instances): heuristic / LP / GP runtimes in seconds."""
+    rows: list[dict[str, object]] = []
+    for query_name in query_names:
+        for num_instances in instance_counts:
+            setup = prepare_setup(
+                "tpch",
+                query_name,
+                scale=scale,
+                sampling_rate=sampling_rate,
+                num_instances=num_instances,
+                mcmc_iterations=mcmc_iterations,
+                seed=seed,
+            )
+            budget = setup.budget_for_ratio(budget_ratio)
+            heuristic, heuristic_time = timed(setup.run_heuristic, budget=budget)
+            lp, lp_time = timed(setup.run_local_optimal, budget=budget)
+            row: dict[str, object] = {
+                "query": query_name,
+                "num_instances": num_instances,
+                "heuristic_seconds": heuristic_time,
+                "lp_seconds": lp_time,
+                "heuristic_feasible": heuristic.feasible,
+                "lp_feasible": lp.feasible,
+            }
+            if include_gp:
+                gp, gp_time = timed(setup.run_global_optimal, budget=budget)
+                row["gp_seconds"] = gp_time
+                row["gp_feasible"] = gp.feasible
+            rows.append(row)
+    return rows

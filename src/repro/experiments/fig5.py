@@ -1,0 +1,106 @@
+"""Figure 5: heuristic runtime on TPC-E — #instances sweep, I-graph sizes, budget sweep.
+
+(a) heuristic runtime for n ∈ {10, 15, 20, 25, 29} instances (LP/GP do not
+    terminate in reasonable time on the 29-table workload, so only the
+    heuristic is reported);
+(b) the I-graph size found by Step 1 for each setting;
+(c) heuristic runtime as the budget ratio varies (with "N/A" entries when no
+    option is affordable).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import InfeasibleAcquisitionError
+from repro.experiments.common import prepare_setup, timed
+
+
+def run_fig5_instances(
+    *,
+    query_names: Sequence[str] = ("Q1", "Q2", "Q3"),
+    instance_counts: Sequence[int] = (10, 15, 20, 25, 29),
+    scale: float = 0.12,
+    sampling_rate: float = 0.4,
+    budget_ratio: float = 0.8,
+    mcmc_iterations: int = 60,
+    seed: int = 1,
+) -> list[dict[str, object]]:
+    """Figure 5 (a) + (b): heuristic runtime and I-graph size per (query, n)."""
+    rows: list[dict[str, object]] = []
+    for query_name in query_names:
+        for num_instances in instance_counts:
+            setup = prepare_setup(
+                "tpce",
+                query_name,
+                scale=scale,
+                sampling_rate=sampling_rate,
+                num_instances=num_instances,
+                mcmc_iterations=mcmc_iterations,
+                seed=seed,
+            )
+            budget = setup.budget_for_ratio(budget_ratio)
+            try:
+                heuristic, heuristic_time = timed(setup.run_heuristic, budget=budget)
+                rows.append(
+                    {
+                        "query": query_name,
+                        "num_instances": num_instances,
+                        "heuristic_seconds": heuristic_time,
+                        "igraph_size": heuristic.igraph_size,
+                        "feasible": heuristic.feasible,
+                    }
+                )
+            except InfeasibleAcquisitionError:
+                rows.append(
+                    {
+                        "query": query_name,
+                        "num_instances": num_instances,
+                        "heuristic_seconds": float("nan"),
+                        "igraph_size": 0,
+                        "feasible": False,
+                    }
+                )
+    return rows
+
+
+def run_fig5_budget(
+    *,
+    query_names: Sequence[str] = ("Q1", "Q2", "Q3"),
+    budget_ratios: Sequence[float] = (0.04, 0.06, 0.08, 0.10, 0.12),
+    scale: float = 0.12,
+    sampling_rate: float = 0.4,
+    mcmc_iterations: int = 60,
+    seed: int = 1,
+) -> list[dict[str, object]]:
+    """Figure 5 (c): heuristic runtime per (query, budget ratio); N/A when unaffordable."""
+    rows: list[dict[str, object]] = []
+    setups = {
+        query_name: prepare_setup(
+            "tpce",
+            query_name,
+            scale=scale,
+            sampling_rate=sampling_rate,
+            mcmc_iterations=mcmc_iterations,
+            seed=seed,
+        )
+        for query_name in query_names
+    }
+    for query_name, setup in setups.items():
+        for ratio in budget_ratios:
+            budget = setup.budget_for_ratio(ratio)
+            try:
+                heuristic, heuristic_time = timed(setup.run_heuristic, budget=budget)
+                affordable = heuristic.feasible
+            except InfeasibleAcquisitionError:
+                heuristic_time = float("nan")
+                affordable = False
+            rows.append(
+                {
+                    "query": query_name,
+                    "budget_ratio": ratio,
+                    "heuristic_seconds": heuristic_time if affordable else float("nan"),
+                    "affordable": affordable,
+                }
+            )
+    return rows

@@ -1,0 +1,116 @@
+"""Export of the join graph and target graphs to JSON and Graphviz DOT.
+
+Downstream users (and the examples) want to *look* at the two-layer join graph
+and at the recommended target graph.  These helpers serialise both structures
+without pulling in any plotting dependency:
+
+* :func:`join_graph_to_dict` / :func:`target_graph_to_dict` — plain-dict forms
+  suitable for ``json.dumps`` or further processing;
+* :func:`join_graph_to_dot` / :func:`target_graph_to_dot` — Graphviz DOT text
+  (render with ``dot -Tpng`` outside this library if desired).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.graph.join_graph import JoinGraph
+from repro.graph.target import TargetGraph
+
+
+def join_graph_to_dict(join_graph: JoinGraph) -> dict[str, object]:
+    """A JSON-serialisable description of the I-layer and per-edge weight maps."""
+    nodes = []
+    for name in join_graph.instance_names:
+        sample = join_graph.sample(name)
+        nodes.append(
+            {
+                "name": name,
+                "num_rows": len(sample),
+                "attributes": list(sample.schema.names),
+                "is_source": name in join_graph.source_instances,
+            }
+        )
+    edges = []
+    for edge in join_graph.edges():
+        edges.append(
+            {
+                "left": edge.left,
+                "right": edge.right,
+                "weight": edge.weight,
+                "join_attribute_weights": {
+                    ",".join(sorted(attrs)): weight for attrs, weight in edge.weights.items()
+                },
+            }
+        )
+    return {"nodes": nodes, "edges": edges}
+
+
+def target_graph_to_dict(target_graph: TargetGraph) -> dict[str, object]:
+    """A JSON-serialisable description of a target graph."""
+    return {
+        "nodes": list(target_graph.nodes),
+        "source_instances": sorted(target_graph.source_instances),
+        "projections": {
+            name: sorted(attrs) for name, attrs in target_graph.projections.items()
+        },
+        "edges": [
+            {"parent": parent, "child": child, "join_attributes": sorted(attrs)}
+            for parent, child, attrs in target_graph.edge_pairs()
+        ],
+    }
+
+
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', r"\"") + '"'
+
+
+def join_graph_to_dot(join_graph: JoinGraph, *, name: str = "join_graph") -> str:
+    """Graphviz DOT text of the I-layer (edge labels: best join attributes + weight)."""
+    lines = [f"graph {_quote(name)} {{", "  node [shape=box];"]
+    for node_name in join_graph.instance_names:
+        label = node_name
+        if node_name in join_graph.source_instances:
+            lines.append(f"  {_quote(node_name)} [label={_quote(label)}, style=filled, fillcolor=lightblue];")
+        else:
+            lines.append(f"  {_quote(node_name)} [label={_quote(label)}];")
+    for edge in join_graph.edges():
+        join_attrs = ",".join(sorted(edge.best_join_attributes))
+        label = f"{join_attrs} ({edge.weight:.3f})"
+        lines.append(
+            f"  {_quote(edge.left)} -- {_quote(edge.right)} [label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def target_graph_to_dot(target_graph: TargetGraph, *, name: str = "target_graph") -> str:
+    """Graphviz DOT text of a target graph (node labels include the projections)."""
+    lines = [f"digraph {_quote(name)} {{", "  node [shape=record];"]
+    for node_name in target_graph.nodes:
+        attrs = ", ".join(sorted(target_graph.projections[node_name]))
+        label = f"{node_name}|{attrs}"
+        fill = ", style=filled, fillcolor=lightblue" if node_name in target_graph.source_instances else ""
+        lines.append(f"  {_quote(node_name)} [label={_quote(label)}{fill}];")
+    for parent, child, attrs in target_graph.edge_pairs():
+        label = ",".join(sorted(attrs))
+        lines.append(f"  {_quote(parent)} -> {_quote(child)} [label={_quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_join_graph_json(join_graph: JoinGraph, path: str | Path) -> Path:
+    """Write :func:`join_graph_to_dict` to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(join_graph_to_dict(join_graph), indent=2, sort_keys=True))
+    return path
+
+
+def write_dot(dot_text: str, path: str | Path) -> Path:
+    """Write DOT text to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dot_text)
+    return path

@@ -1,0 +1,252 @@
+"""The two-layer join graph (Definition 4.2 of the paper).
+
+The instance layer (I-layer) has one vertex per sampled marketplace instance
+and an I-edge between two instances whose schemas share at least one attribute.
+The attribute-set layer (AS-layer) is the union of the per-instance AS-lattices
+with AS-edges between attribute sets of different instances that share
+attributes; each AS-edge carries ``(J, w)`` where ``J`` is the shared join
+attribute set and ``w`` the join informativeness of the two instances on ``J``.
+
+Property 4.1 lets us avoid materialising the exponential AS-layer: all AS-edges
+between the same instance pair with the same join attribute set have the same
+weight, so the graph only needs, per I-edge, the map
+``join attribute set -> JI weight``; the I-edge weight is the minimum of those
+weights.  AS-vertex prices are computed lazily from the pricing model through
+the per-instance AS-lattice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.exceptions import GraphConstructionError
+from repro.graph.lattice import AttributeSetLattice
+from repro.infotheory.join_informativeness import join_informativeness
+from repro.pricing.models import EntropyPricingModel, PricingModel
+from repro.relational.joins import shared_join_attributes
+from repro.relational.table import Table
+
+
+@dataclass(frozen=True)
+class IEdge:
+    """An I-layer edge between two instances, with its join-attribute weight map."""
+
+    left: str
+    right: str
+    weights: Mapping[frozenset[str], float] = field(default_factory=dict)
+
+    @property
+    def weight(self) -> float:
+        """The I-edge weight: the minimum AS-edge weight over all join attribute sets."""
+        if not self.weights:
+            return float("inf")
+        return min(self.weights.values())
+
+    @property
+    def best_join_attributes(self) -> frozenset[str]:
+        """The join attribute set achieving the minimum weight."""
+        if not self.weights:
+            raise GraphConstructionError(f"I-edge {self.left}–{self.right} has no join attributes")
+        return min(self.weights, key=lambda attrs: (self.weights[attrs], sorted(attrs)))
+
+    def join_attribute_choices(self) -> list[frozenset[str]]:
+        """All candidate join attribute sets, cheapest (lowest JI) first."""
+        return sorted(self.weights, key=lambda attrs: (self.weights[attrs], sorted(attrs)))
+
+
+class JoinGraph:
+    """The two-layer join graph built from instance samples.
+
+    Parameters
+    ----------
+    samples:
+        The correlated samples of the marketplace instances, one per I-vertex
+        (keyed by instance name).  Full instances may be passed instead of
+        samples; the structure is identical (the GP baseline does exactly that).
+    pricing:
+        The pricing model used to price AS-vertices (attribute-set purchases).
+    max_join_attribute_size:
+        Upper bound on the size of the join attribute sets enumerated per
+        instance pair.  Join informativeness is not monotone in the attribute
+        set, so the graph enumerates subsets of the shared attributes up to
+        this size (Property 4.1 keeps this exponential only in the number of
+        *shared* attributes, which is small in practice).
+    source_instances:
+        Names of instances owned by the shopper (price 0; they appear in the
+        graph so that join paths can start from them).
+    """
+
+    def __init__(
+        self,
+        samples: Mapping[str, Table] | Sequence[Table],
+        *,
+        pricing: PricingModel | None = None,
+        max_join_attribute_size: int = 2,
+        source_instances: Iterable[str] = (),
+    ) -> None:
+        if not isinstance(samples, Mapping):
+            samples = {table.name: table for table in samples}
+        if not samples:
+            raise GraphConstructionError("a join graph needs at least one instance sample")
+        self._samples: dict[str, Table] = dict(samples)
+        self.pricing = pricing or EntropyPricingModel()
+        self.max_join_attribute_size = max_join_attribute_size
+        self.source_instances: set[str] = set(source_instances)
+        unknown_sources = self.source_instances - set(self._samples)
+        if unknown_sources:
+            raise GraphConstructionError(
+                f"source instances not present in the samples: {sorted(unknown_sources)}"
+            )
+
+        self._graph = nx.Graph()
+        self._edges: dict[tuple[str, str], IEdge] = {}
+        self._lattices: dict[str, AttributeSetLattice] = {}
+        self._build()
+
+    # ------------------------------------------------------------------- build
+    def _build(self) -> None:
+        for name, table in self._samples.items():
+            self._graph.add_node(name, num_rows=len(table), attributes=table.schema.names)
+            self._lattices[name] = AttributeSetLattice(name, table.schema.names)
+
+        for left_name, right_name in combinations(sorted(self._samples), 2):
+            left, right = self._samples[left_name], self._samples[right_name]
+            shared = shared_join_attributes(left, right)
+            if not shared:
+                continue
+            weights = self._edge_weights(left, right, shared)
+            edge = IEdge(left_name, right_name, weights)
+            self._edges[(left_name, right_name)] = edge
+            self._graph.add_edge(left_name, right_name, weight=edge.weight)
+
+    def _edge_weights(
+        self, left: Table, right: Table, shared: Sequence[str]
+    ) -> dict[frozenset[str], float]:
+        """JI weight per candidate join attribute set (Property 4.1 weight sharing)."""
+        weights: dict[frozenset[str], float] = {}
+        limit = min(self.max_join_attribute_size, len(shared))
+        for size in range(1, limit + 1):
+            for attrs in combinations(shared, size):
+                if len(left) == 0 or len(right) == 0:
+                    weights[frozenset(attrs)] = 1.0
+                else:
+                    weights[frozenset(attrs)] = join_informativeness(left, right, attrs)
+        return weights
+
+    # ------------------------------------------------------------------ access
+    @property
+    def instance_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._samples))
+
+    @property
+    def igraph(self) -> nx.Graph:
+        """The I-layer as a networkx graph (edge attribute ``weight`` = I-edge weight)."""
+        return self._graph
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._samples
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def sample(self, name: str) -> Table:
+        try:
+            return self._samples[name]
+        except KeyError:
+            raise GraphConstructionError(
+                f"unknown instance {name!r}; known: {sorted(self._samples)}"
+            ) from None
+
+    def samples(self, names: Sequence[str]) -> list[Table]:
+        return [self.sample(name) for name in names]
+
+    def lattice(self, name: str) -> AttributeSetLattice:
+        self.sample(name)
+        return self._lattices[name]
+
+    def edge(self, left: str, right: str) -> IEdge:
+        key = (left, right) if (left, right) in self._edges else (right, left)
+        try:
+            return self._edges[key]
+        except KeyError:
+            raise GraphConstructionError(f"no I-edge between {left!r} and {right!r}") from None
+
+    def has_edge(self, left: str, right: str) -> bool:
+        return (left, right) in self._edges or (right, left) in self._edges
+
+    def edges(self) -> list[IEdge]:
+        return list(self._edges.values())
+
+    def neighbors(self, name: str) -> tuple[str, ...]:
+        self.sample(name)
+        return tuple(sorted(self._graph.neighbors(name)))
+
+    # ---------------------------------------------------------------- vertices
+    def num_as_vertices(self) -> int:
+        """Total AS-layer size: ``Σ_i (2^{m_i} - m_i - 1)`` (reported, never materialised)."""
+        total = 0
+        for lattice in self._lattices.values():
+            m = lattice.num_attributes
+            total += 2**m - m - 1
+        return total
+
+    def instances_with_attribute(self, attribute: str) -> tuple[str, ...]:
+        """Instances whose schema contains ``attribute`` (Def. 4.3 covering vertices)."""
+        return tuple(
+            sorted(
+                name for name, table in self._samples.items() if attribute in table.schema
+            )
+        )
+
+    def price_of(self, name: str, attributes: Sequence[str]) -> float:
+        """Price of the AS-vertex ``(name, attributes)``; source instances are free."""
+        if name in self.source_instances:
+            return 0.0
+        table = self.sample(name)
+        return self.pricing.price(table, attributes)
+
+    # ---------------------------------------------------------------- mutation
+    def add_instance(self, table: Table, *, is_source: bool = False) -> None:
+        """Add (or replace) one instance sample and update the affected edges.
+
+        Used by the online phase's iterative refinement: when no feasible
+        target graph exists, DANCE purchases more samples and updates the graph.
+        """
+        name = table.name
+        replacing = name in self._samples
+        self._samples[name] = table
+        if is_source:
+            self.source_instances.add(name)
+        if replacing:
+            stale = [key for key in self._edges if name in key]
+            for key in stale:
+                del self._edges[key]
+            if self._graph.has_node(name):
+                self._graph.remove_node(name)
+        self._graph.add_node(name, num_rows=len(table), attributes=table.schema.names)
+        self._lattices[name] = AttributeSetLattice(name, table.schema.names)
+        for other_name, other in self._samples.items():
+            if other_name == name:
+                continue
+            shared = shared_join_attributes(table, other)
+            if not shared:
+                continue
+            weights = self._edge_weights(table, other, shared)
+            key = tuple(sorted((name, other_name)))
+            edge = IEdge(key[0], key[1], weights)
+            self._edges[(key[0], key[1])] = edge
+            self._graph.add_edge(key[0], key[1], weight=edge.weight)
+
+    # --------------------------------------------------------------- summaries
+    def describe(self) -> dict[str, object]:
+        return {
+            "num_instances": len(self._samples),
+            "num_i_edges": len(self._edges),
+            "num_as_vertices": self.num_as_vertices(),
+            "source_instances": sorted(self.source_instances),
+            "instances": {name: len(table) for name, table in self._samples.items()},
+        }

@@ -1,0 +1,120 @@
+"""Landmark-based approximate shortest paths on the I-layer.
+
+Step 1 of the online search (Section 5.1) extends the landmark / sketch-based
+approximate shortest-path method of Gubichev et al.: a small set of I-vertices
+is chosen as landmarks, the exact shortest weighted path from every vertex to
+every landmark is pre-computed offline, and an (approximate) path between two
+arbitrary vertices is obtained by concatenating their paths through the best
+landmark.  The pre-computation is one Dijkstra per landmark, so queries run in
+time logarithmic in the number of vertices (just a minimum over landmarks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import networkx as nx
+
+from repro.exceptions import SearchError
+
+
+class LandmarkIndex:
+    """Pre-computed shortest paths from every vertex to a set of landmark vertices."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        *,
+        num_landmarks: int = 4,
+        rng: random.Random | int | None = None,
+        weight: str = "weight",
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise SearchError("cannot build a landmark index on an empty graph")
+        if num_landmarks < 1:
+            raise SearchError(f"num_landmarks must be >= 1, got {num_landmarks}")
+        if isinstance(rng, int) or rng is None:
+            rng = random.Random(0 if rng is None else rng)
+
+        self._graph = graph
+        self._weight = weight
+        nodes = sorted(graph.nodes)
+        k = min(num_landmarks, len(nodes))
+        self.landmarks: tuple[str, ...] = tuple(rng.sample(nodes, k))
+
+        # distances[l][v] and paths[l][v]: shortest path from landmark l to v.
+        self._distances: dict[str, dict[str, float]] = {}
+        self._paths: dict[str, dict[str, list[str]]] = {}
+        for landmark in self.landmarks:
+            distances, paths = nx.single_source_dijkstra(graph, landmark, weight=weight)
+            self._distances[landmark] = distances
+            self._paths[landmark] = paths
+
+    # ------------------------------------------------------------------ access
+    def distance_to_landmark(self, vertex: str, landmark: str) -> float:
+        """Exact shortest distance from ``vertex`` to ``landmark`` (inf if disconnected)."""
+        return self._distances.get(landmark, {}).get(vertex, float("inf"))
+
+    def path_to_landmark(self, vertex: str, landmark: str) -> list[str]:
+        """Shortest path from ``landmark`` to ``vertex`` ([] if disconnected)."""
+        return list(self._paths.get(landmark, {}).get(vertex, []))
+
+    # ----------------------------------------------------------------- queries
+    def estimate_distance(self, source: str, destination: str) -> float:
+        """Landmark upper bound on d(source, destination): min over landmarks of the detour."""
+        best = float("inf")
+        for landmark in self.landmarks:
+            through = self.distance_to_landmark(source, landmark) + self.distance_to_landmark(
+                destination, landmark
+            )
+            best = min(best, through)
+        return best
+
+    def approximate_path(self, source: str, destination: str) -> list[str]:
+        """An approximate shortest path obtained by concatenating through the best landmark.
+
+        The concatenated walk may visit a vertex twice; such cycles are removed
+        (keeping the first occurrence), which can only shorten the path.
+        Returns ``[]`` when the two vertices are not connected through any
+        landmark.
+        """
+        if source == destination:
+            return [source]
+        best_landmark = None
+        best_distance = float("inf")
+        for landmark in self.landmarks:
+            through = self.distance_to_landmark(source, landmark) + self.distance_to_landmark(
+                destination, landmark
+            )
+            if through < best_distance:
+                best_distance = through
+                best_landmark = landmark
+        if best_landmark is None or best_distance == float("inf"):
+            return []
+        to_source = self.path_to_landmark(source, best_landmark)
+        to_destination = self.path_to_landmark(destination, best_landmark)
+        walk = list(reversed(to_source)) + to_destination[1:]
+        # remove cycles: keep the segment between the first and last occurrence collapse
+        seen: dict[str, int] = {}
+        cleaned: list[str] = []
+        for vertex in walk:
+            if vertex in seen:
+                cleaned = cleaned[: seen[vertex] + 1]
+            else:
+                seen[vertex] = len(cleaned)
+                cleaned.append(vertex)
+                continue
+            # re-index after truncation
+            seen = {v: i for i, v in enumerate(cleaned)}
+        return cleaned
+
+    def path_weight(self, path: Sequence[str]) -> float:
+        """Total weight of a path in the underlying graph."""
+        total = 0.0
+        for left, right in zip(path, path[1:]):
+            data = self._graph.get_edge_data(left, right)
+            if data is None:
+                return float("inf")
+            total += data.get(self._weight, 1.0)
+        return total

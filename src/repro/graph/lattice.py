@@ -1,0 +1,142 @@
+"""Attribute-set lattice (Definition 4.1 of the paper).
+
+For an instance with attribute set ``A`` (|A| = m), the AS-lattice contains one
+vertex per attribute subset of size >= 2 (2^m - m - 1 vertices in total); a
+vertex with attribute set ``A1`` is the parent of ``A2`` when ``A1 ⊂ A2`` and
+``|A2| = |A1| + 1``.  The lattice vertices are the purchase candidates of the
+instance (each corresponds to the projection ``pi_{A'}(D)``), so the lattice
+also carries per-vertex prices when a pricing model is supplied.
+
+For wide instances full materialisation is exponential; the class therefore
+supports both full enumeration (small m) and bounded/lazy enumeration around a
+set of attributes of interest, which is all the online search needs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import GraphConstructionError
+from repro.pricing.models import PricingModel
+from repro.relational.table import Table
+
+
+class AttributeSetLattice:
+    """The AS-lattice of one instance.
+
+    Parameters
+    ----------
+    instance_name:
+        Name of the instance the lattice belongs to.
+    attributes:
+        The instance's attribute names.
+    min_size:
+        Smallest attribute-set size that forms a vertex.  The paper uses 2 (the
+        lattice top level is all 2-attribute sets); 1 is allowed for single-
+        attribute purchases, which the search uses when a target attribute
+        stands alone in an instance.
+    """
+
+    def __init__(
+        self,
+        instance_name: str,
+        attributes: Sequence[str],
+        *,
+        min_size: int = 1,
+    ) -> None:
+        if not attributes:
+            raise GraphConstructionError(
+                f"cannot build an AS-lattice for instance {instance_name!r} with no attributes"
+            )
+        if min_size < 1:
+            raise GraphConstructionError(f"min_size must be >= 1, got {min_size}")
+        self.instance_name = instance_name
+        self.attributes: tuple[str, ...] = tuple(attributes)
+        self.min_size = min_size
+        self._attribute_set = frozenset(self.attributes)
+
+    # ------------------------------------------------------------------ counts
+    @property
+    def num_attributes(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def height(self) -> int:
+        """Lattice height as defined in the paper (m - 1 for the size-2 … size-m lattice)."""
+        return max(0, self.num_attributes - 1)
+
+    def num_vertices(self, *, min_size: int | None = None) -> int:
+        """Number of lattice vertices: ``sum_{k=min_size}^{m} C(m, k)``."""
+        from math import comb
+
+        m = self.num_attributes
+        start = self.min_size if min_size is None else min_size
+        return sum(comb(m, k) for k in range(start, m + 1))
+
+    # --------------------------------------------------------------- vertices
+    def __contains__(self, attribute_set: Iterable[str]) -> bool:
+        subset = frozenset(attribute_set)
+        return len(subset) >= self.min_size and subset <= self._attribute_set
+
+    def iter_vertices(self, *, max_size: int | None = None) -> Iterator[frozenset[str]]:
+        """Enumerate lattice vertices level by level (smallest sets first)."""
+        m = self.num_attributes
+        limit = m if max_size is None else min(max_size, m)
+        for size in range(self.min_size, limit + 1):
+            for subset in combinations(self.attributes, size):
+                yield frozenset(subset)
+
+    def vertices_containing(
+        self, required: Iterable[str], *, max_size: int | None = None
+    ) -> list[frozenset[str]]:
+        """Lattice vertices that contain all attributes in ``required``."""
+        required_set = frozenset(required)
+        if not required_set <= self._attribute_set:
+            return []
+        return [
+            vertex for vertex in self.iter_vertices(max_size=max_size) if required_set <= vertex
+        ]
+
+    # --------------------------------------------------------------- structure
+    def children(self, attribute_set: Iterable[str]) -> list[frozenset[str]]:
+        """Direct children: supersets with exactly one more attribute."""
+        current = frozenset(attribute_set)
+        if current not in self:
+            return []
+        return [
+            current | {extra}
+            for extra in self.attributes
+            if extra not in current
+        ]
+
+    def parents(self, attribute_set: Iterable[str]) -> list[frozenset[str]]:
+        """Direct parents: subsets with exactly one fewer attribute (respecting min_size)."""
+        current = frozenset(attribute_set)
+        if current not in self or len(current) <= self.min_size:
+            return []
+        return [current - {attribute} for attribute in current]
+
+    def is_ancestor(self, smaller: Iterable[str], larger: Iterable[str]) -> bool:
+        """True when ``smaller ⊂ larger`` (both being lattice vertices)."""
+        a, b = frozenset(smaller), frozenset(larger)
+        return a in self and b in self and a < b
+
+    def level_of(self, attribute_set: Iterable[str]) -> int:
+        """Level counted from the top of the paper's lattice (size-2 sets are level 1)."""
+        subset = frozenset(attribute_set)
+        if subset not in self:
+            raise GraphConstructionError(
+                f"{sorted(subset)} is not a vertex of the lattice of {self.instance_name!r}"
+            )
+        return len(subset) - self.min_size + 1
+
+    # ----------------------------------------------------------------- pricing
+    def price_of(self, attribute_set: Iterable[str], table: Table, pricing: PricingModel) -> float:
+        """Price of the lattice vertex (projection of ``table`` onto the attribute set)."""
+        subset = tuple(sorted(frozenset(attribute_set)))
+        if frozenset(subset) not in self:
+            raise GraphConstructionError(
+                f"{list(subset)} is not a vertex of the lattice of {self.instance_name!r}"
+            )
+        return pricing.price(table, subset)

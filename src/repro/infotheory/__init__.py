@@ -1,0 +1,45 @@
+"""Information-theoretic measures: entropy, correlation, join informativeness.
+
+The paper uses three information-theoretic quantities:
+
+* Shannon entropy / conditional entropy / mutual information over the value
+  distributions of attribute sets (``entropy.py``);
+* cumulative entropy for numerical attributes (``cumulative.py``), following
+  Nguyen et al.'s mixed-type correlation measure;
+* the mixed-type correlation ``CORR(X, Y)`` (Definition 2.5) and the join
+  informativeness ``JI(D, D')`` (Definition 2.4), both in ``correlation.py``
+  and ``join_informativeness.py``.
+
+Classical comparators (Pearson's r, Cramér's V) live in ``comparators.py`` and
+are used in the examples to sanity-check the entropy-based measure.
+"""
+
+from repro.infotheory.entropy import (
+    conditional_entropy,
+    entropy_of_counts,
+    joint_entropy,
+    mutual_information,
+    shannon_entropy,
+)
+from repro.infotheory.cumulative import (
+    conditional_cumulative_entropy,
+    cumulative_entropy,
+)
+from repro.infotheory.correlation import attribute_set_correlation, correlation
+from repro.infotheory.join_informativeness import join_informativeness
+from repro.infotheory.comparators import cramers_v, pearson_correlation
+
+__all__ = [
+    "shannon_entropy",
+    "entropy_of_counts",
+    "joint_entropy",
+    "conditional_entropy",
+    "mutual_information",
+    "cumulative_entropy",
+    "conditional_cumulative_entropy",
+    "correlation",
+    "attribute_set_correlation",
+    "join_informativeness",
+    "pearson_correlation",
+    "cramers_v",
+]

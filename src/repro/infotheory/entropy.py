@@ -1,0 +1,88 @@
+"""Shannon entropy, conditional entropy and mutual information.
+
+All functions operate either on raw value sequences (hashable values, ``None``
+allowed and treated as a regular symbol) or directly on count histograms.
+Entropies are measured in bits (log base 2); the choice of base cancels in the
+correlation and join-informativeness ratios, but bits make the unit tests easy
+to reason about.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Iterable, Mapping, Sequence
+
+
+def entropy_of_counts(counts: Iterable[int]) -> float:
+    """Shannon entropy (bits) of a histogram of non-negative counts."""
+    counts = [count for count in counts if count > 0]
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts:
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def shannon_entropy(values: Sequence[Hashable]) -> float:
+    """Shannon entropy (bits) of the empirical distribution of ``values``."""
+    return entropy_of_counts(Counter(values).values())
+
+
+def joint_entropy(*value_sequences: Sequence[Hashable]) -> float:
+    """Entropy of the joint empirical distribution of several aligned sequences."""
+    if not value_sequences:
+        return 0.0
+    length = len(value_sequences[0])
+    for seq in value_sequences:
+        if len(seq) != length:
+            raise ValueError("joint_entropy requires sequences of equal length")
+    return shannon_entropy(list(zip(*value_sequences)))
+
+
+def conditional_entropy(x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
+    """Conditional entropy ``H(X | Y)`` of aligned sequences, in bits.
+
+    Computed as ``H(X, Y) - H(Y)``, which equals the paper's
+    ``sum_y p(y) H(X | y)``.
+    """
+    if len(x) != len(y):
+        raise ValueError("conditional_entropy requires sequences of equal length")
+    return joint_entropy(x, y) - shannon_entropy(y)
+
+
+def mutual_information(x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
+    """Mutual information ``I(X; Y) = H(X) + H(Y) - H(X, Y)`` in bits (clamped at 0)."""
+    if len(x) != len(y):
+        raise ValueError("mutual_information requires sequences of equal length")
+    value = shannon_entropy(x) + shannon_entropy(y) - joint_entropy(x, y)
+    return max(0.0, value)
+
+
+def normalized_mutual_information(x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
+    """``I(X; Y) / H(X, Y)``, in [0, 1]; 0 when the joint entropy is 0."""
+    joint = joint_entropy(x, y)
+    if joint <= 0.0:
+        return 0.0
+    return mutual_information(x, y) / joint
+
+
+def entropy_of_distribution(probabilities: Mapping[Hashable, float] | Iterable[float]) -> float:
+    """Entropy of an explicit probability distribution (must sum to ~1)."""
+    if isinstance(probabilities, Mapping):
+        probs = list(probabilities.values())
+    else:
+        probs = list(probabilities)
+    total = sum(probs)
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for p in probs:
+        if p <= 0:
+            continue
+        p = p / total
+        entropy -= p * math.log2(p)
+    return entropy

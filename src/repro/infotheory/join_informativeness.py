@@ -1,0 +1,70 @@
+"""Join informativeness (Definition 2.4 of the paper).
+
+Given two instances ``D`` and ``D'`` with join attribute(s) ``J``, the join
+informativeness is
+
+    JI(D, D') = (H(D.J, D'.J) - I(D.J, D'.J)) / H(D.J, D'.J)
+
+where the joint distribution of ``D.J`` and ``D'.J`` is taken over the *full
+outer* join of ``D`` and ``D'``.  Unmatched rows contribute ``(value, NULL)``
+pairs, which raises the joint entropy without raising the mutual information,
+so joins with many unmatched values are penalised (JI closer to 1).  Lower JI
+means a more important / more informative join connection.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import JoinError
+from repro.infotheory.entropy import joint_entropy, mutual_information
+from repro.relational.joins import full_outer_join, shared_join_attributes
+from repro.relational.table import Table
+
+
+def join_informativeness_from_pairs(
+    left_values: Sequence[object], right_values: Sequence[object]
+) -> float:
+    """JI computed directly from the aligned ``(D.J, D'.J)`` value pairs."""
+    if len(left_values) != len(right_values):
+        raise ValueError("join informativeness requires aligned value sequences")
+    if not left_values:
+        return 1.0
+    joint = joint_entropy(left_values, right_values)
+    if joint <= 0.0:
+        # A single repeated value pair: the join carries no uncertainty at all.
+        return 0.0
+    mi = mutual_information(left_values, right_values)
+    value = (joint - mi) / joint
+    # Guard against tiny negative values from floating-point noise.
+    return min(1.0, max(0.0, value))
+
+
+def join_informativeness(
+    left: Table,
+    right: Table,
+    on: Sequence[str] | None = None,
+) -> float:
+    """``JI(left, right)`` over the full outer join on ``on`` (default: shared attributes).
+
+    Returns a value in ``[0, 1]``; smaller values indicate a more informative
+    (more important) join connection between the two instances.
+    """
+    join_attrs = tuple(on) if on is not None else shared_join_attributes(left, right)
+    if not join_attrs:
+        raise JoinError(
+            f"no join attributes between {left.name!r} and {right.name!r} for join informativeness"
+        )
+    outer = full_outer_join(left, right, join_attrs)
+    left_keys = outer.key_tuples(list(join_attrs))
+    right_copy_names = [f"{right.name}.{attr}" for attr in join_attrs]
+    right_keys = outer.key_tuples(right_copy_names)
+    return join_informativeness_from_pairs(left_keys, right_keys)
+
+
+def path_join_informativeness(tables: Sequence[Table]) -> float:
+    """Total JI along a join path: ``Σ JI(T_i, T_{i+1})`` (the paper's α constraint)."""
+    total = 0.0
+    for left, right in zip(tables, tables[1:]):
+        total += join_informativeness(left, right)
+    return total

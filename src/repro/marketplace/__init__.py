@@ -1,0 +1,29 @@
+"""Marketplace substrate: hosted datasets, catalog, sample sales, query billing.
+
+The paper assumes an online data marketplace (Azure Marketplace / BigQuery
+style) that exposes dataset schemas for free, sells data through SQL projection
+queries under a query-based pricing model, and can serve samples.  This package
+implements that substrate in-process so the whole DANCE pipeline can run
+end-to-end on a laptop:
+
+``MarketplaceDataset``
+    One hosted instance: data, discovered FDs, and its pricing.
+``Marketplace``
+    The catalog plus the two services DANCE uses: correlated-sample purchase
+    (offline phase) and projection-query execution with billing (online phase).
+``DataShopper``
+    The budget-carrying shopper with optional local source instances.
+"""
+
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace, ProjectionQuery, PurchaseReceipt
+from repro.marketplace.shopper import AcquisitionRequest, DataShopper
+
+__all__ = [
+    "MarketplaceDataset",
+    "Marketplace",
+    "ProjectionQuery",
+    "PurchaseReceipt",
+    "DataShopper",
+    "AcquisitionRequest",
+]

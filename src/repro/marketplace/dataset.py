@@ -1,0 +1,73 @@
+"""A single dataset hosted on the marketplace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.pricing.models import EntropyPricingModel, PricingModel
+from repro.quality.discovery import discover_afds
+from repro.quality.fd import FunctionalDependency
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+@dataclass
+class MarketplaceDataset:
+    """One instance offered for sale on the marketplace.
+
+    Attributes
+    ----------
+    table:
+        The full data of the instance (only the marketplace sees this; DANCE
+        and the shopper see schemas, samples, and purchased projections).
+    pricing:
+        The pricing model used to price projection queries on this instance.
+    fds:
+        The approximate FDs that hold on the instance; discovered lazily when
+        not provided (Table 5 reports FD counts per table).
+    description:
+        Free-text catalog description shown to shoppers.
+    """
+
+    table: Table
+    pricing: PricingModel = field(default_factory=EntropyPricingModel)
+    fds: list[FunctionalDependency] | None = None
+    description: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    @property
+    def schema(self) -> Schema:
+        return self.table.schema
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.table)
+
+    def discovered_fds(
+        self, *, max_violation: float = 0.1, max_lhs_size: int = 2
+    ) -> list[FunctionalDependency]:
+        """The AFDs holding on this instance (cached after first discovery)."""
+        if self.fds is None:
+            self.fds = discover_afds(
+                self.table, max_violation=max_violation, max_lhs_size=max_lhs_size
+            )
+        return self.fds
+
+    def price_of(self, attributes: Sequence[str]) -> float:
+        """Price of purchasing the projection of this instance onto ``attributes``."""
+        return self.pricing.price(self.table, attributes)
+
+    def catalog_entry(self) -> dict[str, object]:
+        """Schema-level metadata exposed for free in the marketplace catalog."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "attributes": list(self.schema.names),
+            "attribute_types": {a.name: a.type.value for a in self.schema},
+            "num_rows": self.num_rows,
+            "full_price": self.pricing.price_full(self.table) if len(self.schema) else 0.0,
+        }

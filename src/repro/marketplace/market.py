@@ -1,0 +1,205 @@
+"""The marketplace: catalog, sample service, and billed projection queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import MarketplaceError
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.pricing.models import EntropyPricingModel, PricingModel
+from repro.relational.table import Table
+from repro.sampling.correlated import CorrelatedSampler
+
+
+@dataclass(frozen=True)
+class ProjectionQuery:
+    """A SQL projection query ``SELECT <attributes> FROM <dataset>``.
+
+    This is the purchase unit of the query-based pricing model: DANCE's output
+    is a set of projection queries, and the shopper sends them to the
+    marketplace to receive (and pay for) the projected instances.
+    """
+
+    dataset: str
+    attributes: tuple[str, ...]
+
+    def __init__(self, dataset: str, attributes: Sequence[str]) -> None:
+        object.__setattr__(self, "dataset", dataset)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+    def to_sql(self) -> str:
+        """The SQL text of the query."""
+        columns = ", ".join(self.attributes) if self.attributes else "*"
+        return f"SELECT {columns} FROM {self.dataset};"
+
+    def __str__(self) -> str:
+        return self.to_sql()
+
+
+@dataclass(frozen=True)
+class PurchaseReceipt:
+    """The outcome of executing one billed projection query."""
+
+    query: ProjectionQuery
+    price: float
+    result: Table
+
+
+class Marketplace:
+    """An in-process data marketplace hosting :class:`MarketplaceDataset` objects.
+
+    The marketplace offers three services used by DANCE and the shopper:
+
+    * :meth:`catalog` — free schema-level metadata for every hosted dataset;
+    * :meth:`sell_sample` — correlated samples at a per-row sample price
+      (DANCE pays for samples during the offline phase);
+    * :meth:`execute` — billed execution of projection queries (the shopper's
+      actual data purchase during the online phase).
+    """
+
+    def __init__(
+        self,
+        datasets: Iterable[MarketplaceDataset | Table] = (),
+        *,
+        default_pricing: PricingModel | None = None,
+        sample_row_price: float = 0.001,
+    ) -> None:
+        self._default_pricing = default_pricing or EntropyPricingModel()
+        self._datasets: dict[str, MarketplaceDataset] = {}
+        self.sample_row_price = sample_row_price
+        self.sample_revenue = 0.0
+        self.query_revenue = 0.0
+        for dataset in datasets:
+            self.host(dataset)
+
+    # ------------------------------------------------------------------ hosting
+    def host(self, dataset: MarketplaceDataset | Table) -> MarketplaceDataset:
+        """Add a dataset to the marketplace (wrapping bare tables with default pricing)."""
+        if isinstance(dataset, Table):
+            dataset = MarketplaceDataset(table=dataset, pricing=self._default_pricing)
+        if dataset.name in self._datasets:
+            raise MarketplaceError(f"dataset {dataset.name!r} is already hosted")
+        self._datasets[dataset.name] = dataset
+        return dataset
+
+    def remove(self, name: str) -> None:
+        if name not in self._datasets:
+            raise MarketplaceError(f"unknown dataset {name!r}")
+        del self._datasets[name]
+
+    # ------------------------------------------------------------------ catalog
+    @property
+    def dataset_names(self) -> tuple[str, ...]:
+        return tuple(self._datasets)
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._datasets
+
+    def dataset(self, name: str) -> MarketplaceDataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise MarketplaceError(
+                f"unknown dataset {name!r}; hosted: {sorted(self._datasets)}"
+            ) from None
+
+    def catalog(self) -> list[dict[str, object]]:
+        """Free schema-level metadata of every hosted dataset."""
+        return [dataset.catalog_entry() for dataset in self._datasets.values()]
+
+    def shared_attribute_map(self) -> dict[str, tuple[str, ...]]:
+        """Per dataset, the attributes that also appear in at least one other dataset.
+
+        These are the candidate join attributes, derivable from the free
+        schema-level catalog; correlated sampling should key on them so that
+        joinable rows survive sampling together.  Datasets with no shared
+        attribute map to their full attribute set (plain row sampling).
+        """
+        occurrence: dict[str, int] = {}
+        for dataset in self._datasets.values():
+            for attribute in dataset.schema.names:
+                occurrence[attribute] = occurrence.get(attribute, 0) + 1
+        mapping: dict[str, tuple[str, ...]] = {}
+        for name, dataset in self._datasets.items():
+            shared = tuple(a for a in dataset.schema.names if occurrence[a] > 1)
+            mapping[name] = shared if shared else dataset.schema.names
+        return mapping
+
+    # ------------------------------------------------------------------ samples
+    def sell_sample(
+        self,
+        name: str,
+        sampler: CorrelatedSampler,
+        join_attributes: Sequence[str] | None = None,
+    ) -> tuple[Table, float]:
+        """Sell a correlated sample of dataset ``name``.
+
+        Returns the sample and its price (``sample_row_price`` per sampled row).
+        The sample is drawn over ``join_attributes`` (default: all attributes of
+        the dataset, which behaves like uniform row sampling keyed by rows).
+        """
+        dataset = self.dataset(name)
+        attrs = list(join_attributes) if join_attributes else list(dataset.schema.names)
+        sample = sampler.sample(dataset.table, attrs, name=f"{name}")
+        price = self.sample_row_price * len(sample)
+        self.sample_revenue += price
+        return sample, price
+
+    def sell_samples(
+        self,
+        sampler: CorrelatedSampler,
+        join_attributes_by_dataset: Mapping[str, Sequence[str]] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> tuple[dict[str, Table], float]:
+        """Sell correlated samples of several (default: all) datasets."""
+        mapping = join_attributes_by_dataset or {}
+        chosen = list(names) if names is not None else list(self._datasets)
+        samples: dict[str, Table] = {}
+        total = 0.0
+        for name in chosen:
+            sample, price = self.sell_sample(name, sampler, mapping.get(name))
+            samples[name] = sample
+            total += price
+        return samples, total
+
+    # ------------------------------------------------------------------ queries
+    def price_query(self, query: ProjectionQuery) -> float:
+        """Price of a projection query without executing it."""
+        dataset = self.dataset(query.dataset)
+        return dataset.price_of(query.attributes)
+
+    def price_queries(self, queries: Iterable[ProjectionQuery]) -> float:
+        return sum(self.price_query(query) for query in queries)
+
+    def execute(self, query: ProjectionQuery) -> PurchaseReceipt:
+        """Execute one billed projection query and return data + receipt."""
+        dataset = self.dataset(query.dataset)
+        missing = [a for a in query.attributes if a not in dataset.schema]
+        if missing:
+            raise MarketplaceError(
+                f"dataset {query.dataset!r} has no attributes {missing}; "
+                f"available: {list(dataset.schema.names)}"
+            )
+        price = dataset.price_of(query.attributes)
+        result = dataset.table.project(query.attributes, name=query.dataset)
+        self.query_revenue += price
+        return PurchaseReceipt(query=query, price=price, result=result)
+
+    def execute_all(self, queries: Sequence[ProjectionQuery]) -> list[PurchaseReceipt]:
+        return [self.execute(query) for query in queries]
+
+    # ---------------------------------------------------------------- summaries
+    def total_revenue(self) -> float:
+        return self.sample_revenue + self.query_revenue
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "num_datasets": len(self._datasets),
+            "datasets": sorted(self._datasets),
+            "sample_revenue": self.sample_revenue,
+            "query_revenue": self.query_revenue,
+        }

@@ -1,0 +1,93 @@
+"""Arbitrage-freeness checks for pricing models.
+
+A query-based pricing function is arbitrage-free when a shopper can never get
+the data of a query more cheaply by buying other queries and combining them.
+Two sufficient structural properties on attribute-set prices are checked here:
+
+* **monotonicity** — a superset of attributes never costs less than a subset;
+* **subadditivity** — the price of a union never exceeds the sum of the prices
+  of its parts.
+
+These correspond to the sufficient conditions identified by Lin & Kifer and
+Deep & Koutris for instance-dependent pricing functions.  The checks are
+exhaustive over the attribute-set lattice, so they are meant for the small /
+sampled instances DANCE works with rather than for million-row tables.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.pricing.models import PricingModel
+from repro.relational.table import Table
+
+
+def _attribute_subsets(names: Sequence[str], max_size: int | None = None) -> list[tuple[str, ...]]:
+    limit = len(names) if max_size is None else min(max_size, len(names))
+    subsets: list[tuple[str, ...]] = []
+    for size in range(1, limit + 1):
+        subsets.extend(combinations(names, size))
+    return subsets
+
+
+def is_monotone(
+    model: PricingModel,
+    table: Table,
+    *,
+    max_subset_size: int | None = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """True when ``A ⊆ B`` implies ``price(A) <= price(B) + tolerance``."""
+    names = table.schema.names
+    subsets = _attribute_subsets(names, max_subset_size)
+    prices = {subset: model.price(table, subset) for subset in subsets}
+    for smaller in subsets:
+        smaller_set = set(smaller)
+        for larger in subsets:
+            if smaller_set < set(larger) and prices[smaller] > prices[larger] + tolerance:
+                return False
+    return True
+
+
+def is_subadditive(
+    model: PricingModel,
+    table: Table,
+    *,
+    max_subset_size: int | None = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """True when ``price(A ∪ B) <= price(A) + price(B) + tolerance`` for all A, B."""
+    names = table.schema.names
+    subsets = _attribute_subsets(names, max_subset_size)
+    prices = {subset: model.price(table, subset) for subset in subsets}
+    subset_index = {frozenset(subset): subset for subset in subsets}
+    for a in subsets:
+        for b in subsets:
+            union = frozenset(a) | frozenset(b)
+            union_subset = subset_index.get(union)
+            if union_subset is None:
+                continue
+            if prices[union_subset] > prices[a] + prices[b] + tolerance:
+                return False
+    return True
+
+
+def verify_arbitrage_free(
+    model: PricingModel,
+    tables: Iterable[Table],
+    *,
+    max_subset_size: int | None = 4,
+) -> dict[str, bool]:
+    """Check monotonicity and subadditivity of ``model`` on every table.
+
+    Returns a mapping from table name to a boolean (arbitrage-free on that
+    table under both structural checks).  ``max_subset_size`` bounds the lattice
+    exploration for wide tables.
+    """
+    results: dict[str, bool] = {}
+    for table in tables:
+        monotone = is_monotone(model, table, max_subset_size=max_subset_size)
+        subadditive = is_subadditive(model, table, max_subset_size=max_subset_size)
+        results[table.name] = monotone and subadditive
+    return results

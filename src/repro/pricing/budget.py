@@ -1,0 +1,80 @@
+"""Budget bookkeeping and the paper's budget-ratio parameterisation.
+
+The experiments express the shopper's budget as ``r × UB`` where ``UB`` is the
+maximum price over all candidate acquisition options (join paths between the
+source and target vertices) and ``r ∈ (0, 1]`` is the *budget ratio*; the
+minimum such price ``LB`` is the cheapest feasible option, and the experiments
+require ``r × UB >= LB`` so that at least one option is affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import BudgetExceededError, PricingError
+
+
+def price_bounds(option_prices: Iterable[float]) -> tuple[float, float]:
+    """(LB, UB): cheapest and most expensive candidate-option price."""
+    prices = list(option_prices)
+    if not prices:
+        raise PricingError("price_bounds requires at least one candidate option price")
+    if any(price < 0 for price in prices):
+        raise PricingError("option prices must be non-negative")
+    return min(prices), max(prices)
+
+
+def budget_from_ratio(option_prices: Sequence[float], ratio: float) -> "Budget":
+    """The shopper budget ``ratio × UB`` for the given candidate option prices.
+
+    Raises :class:`PricingError` when the ratio is outside ``(0, 1]``.  The
+    returned budget may be below ``LB`` — exactly the "N/A: not affordable"
+    cases of Figure 5(c) — callers decide how to handle infeasibility.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise PricingError(f"budget ratio must be in (0, 1], got {ratio}")
+    _, upper = price_bounds(option_prices)
+    return Budget(total=ratio * upper)
+
+
+@dataclass
+class Budget:
+    """A mutable budget with spend tracking.
+
+    Attributes
+    ----------
+    total:
+        The total amount the shopper can spend.
+    spent:
+        The amount spent so far (starts at 0).
+    """
+
+    total: float
+    spent: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise PricingError(f"budget total must be non-negative, got {self.total}")
+        if self.spent < 0:
+            raise PricingError(f"budget spent must be non-negative, got {self.spent}")
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.total - self.spent)
+
+    def can_afford(self, price: float) -> bool:
+        """True when ``price`` fits in the remaining budget (with a tiny tolerance)."""
+        return price <= self.remaining + 1e-9
+
+    def charge(self, price: float) -> float:
+        """Record a purchase of ``price``; raises :class:`BudgetExceededError` if unaffordable."""
+        if price < 0:
+            raise PricingError(f"cannot charge a negative price: {price}")
+        if not self.can_afford(price):
+            raise BudgetExceededError(price, self.remaining)
+        self.spent += price
+        return self.remaining
+
+    def copy(self) -> "Budget":
+        return Budget(total=self.total, spent=self.spent)

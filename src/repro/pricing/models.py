@@ -1,0 +1,92 @@
+"""Pricing models for attribute-set purchases (query-based pricing).
+
+Every model prices a *projection query* ``pi_A(D)``: the purchase of attribute
+set ``A`` from marketplace instance ``D``.  The experiments use the
+entropy-based model, under which the price of an attribute set grows with the
+information content (Shannon entropy) of its joint value distribution; this is
+a natural instantiation of Koutris-style query pricing that is monotone and
+subadditive, hence arbitrage-free (Deep & Koutris 2017).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.exceptions import PricingError
+from repro.infotheory.entropy import shannon_entropy
+from repro.relational.table import Table
+
+
+class PricingModel(ABC):
+    """Interface of a query-based pricing function over attribute sets."""
+
+    @abstractmethod
+    def price(self, table: Table, attributes: Sequence[str]) -> float:
+        """Price of purchasing ``pi_attributes(table)`` from the marketplace."""
+
+    def price_full(self, table: Table) -> float:
+        """Price of purchasing the whole instance."""
+        return self.price(table, table.schema.names)
+
+    def _validate(self, table: Table, attributes: Sequence[str]) -> tuple[str, ...]:
+        validated = table.schema.validate_subset(attributes)
+        if not validated:
+            raise PricingError("cannot price an empty attribute set")
+        return validated
+
+
+class EntropyPricingModel(PricingModel):
+    """Entropy-based pricing: ``price = base + unit * H(A) * log10(rows + 1)``.
+
+    ``H(A)`` is the Shannon entropy of the joint distribution of the purchased
+    attribute set, so buying informative attributes costs more, and buying the
+    same information through two disjoint queries never costs less than buying
+    it at once (subadditivity holds because joint entropy is subadditive).
+    The ``log10(rows + 1)`` factor scales prices with the instance size without
+    making a 10x bigger instance 10x more expensive, mirroring how marketplaces
+    price datasets rather than cells.
+    """
+
+    def __init__(self, unit_price: float = 1.0, base_price: float = 0.5) -> None:
+        if unit_price < 0 or base_price < 0:
+            raise PricingError("unit_price and base_price must be non-negative")
+        self.unit_price = unit_price
+        self.base_price = base_price
+
+    def price(self, table: Table, attributes: Sequence[str]) -> float:
+        validated = self._validate(table, attributes)
+        if len(table) == 0:
+            return self.base_price
+        import math
+
+        joint_keys = table.key_tuples(validated)
+        entropy = shannon_entropy(joint_keys)
+        size_factor = math.log10(len(table) + 1)
+        return self.base_price + self.unit_price * entropy * size_factor
+
+
+class FlatAttributePricingModel(PricingModel):
+    """A flat price per purchased attribute (simple, trivially arbitrage-free)."""
+
+    def __init__(self, price_per_attribute: float = 1.0) -> None:
+        if price_per_attribute < 0:
+            raise PricingError("price_per_attribute must be non-negative")
+        self.price_per_attribute = price_per_attribute
+
+    def price(self, table: Table, attributes: Sequence[str]) -> float:
+        validated = self._validate(table, attributes)
+        return self.price_per_attribute * len(validated)
+
+
+class PerCellPricingModel(PricingModel):
+    """Price proportional to the number of purchased cells (rows × attributes)."""
+
+    def __init__(self, price_per_cell: float = 0.001) -> None:
+        if price_per_cell < 0:
+            raise PricingError("price_per_cell must be non-negative")
+        self.price_per_cell = price_per_cell
+
+    def price(self, table: Table, attributes: Sequence[str]) -> float:
+        validated = self._validate(table, attributes)
+        return self.price_per_cell * len(table) * len(validated)

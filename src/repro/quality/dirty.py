@@ -1,0 +1,98 @@
+"""Controlled injection of FD-violating (inconsistent) records.
+
+The experiment setup modifies a fraction of records in selected tables to
+introduce inconsistency (30 % of records in most TPC-H tables, and 20 of the 29
+TPC-E tables).  :func:`inject_inconsistency` reproduces that mechanism: for a
+given FD ``X -> Y`` it rewrites the ``Y`` value of a random subset of rows to a
+value that disagrees with the majority value of the row's equivalence class,
+thereby creating genuine violations rather than merely shuffling values.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.exceptions import QualityError
+from repro.quality.fd import FunctionalDependency
+from repro.relational.partitions import partition
+from repro.relational.table import Table, Value
+
+
+def _disagreeing_value(current: Value, pool: Sequence[Value], rng: random.Random) -> Value:
+    """Pick a value from ``pool`` different from ``current`` (or synthesise one)."""
+    candidates = [value for value in set(pool) if value != current]
+    if candidates:
+        return rng.choice(sorted(candidates, key=repr))
+    if isinstance(current, (int, float)) and not isinstance(current, bool):
+        return current + 1
+    return f"{current}_dirty"
+
+
+def inject_inconsistency(
+    table: Table,
+    fd: FunctionalDependency,
+    rate: float,
+    rng: random.Random | int | None = None,
+) -> Table:
+    """Return a copy of ``table`` in which ~``rate`` of rows violate ``fd``.
+
+    Only rows inside non-singleton equivalence classes of ``pi_lhs`` can create
+    violations, so the rows to corrupt are drawn from those classes.  If the
+    table has fewer corruptible rows than requested, all of them are corrupted.
+
+    Parameters
+    ----------
+    table:
+        The clean instance.
+    fd:
+        The FD whose right-hand side will be corrupted.
+    rate:
+        Target fraction of rows to corrupt, in ``[0, 1]``.
+    rng:
+        A :class:`random.Random`, an integer seed, or ``None`` for a fresh
+        deterministic generator (seed 0).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise QualityError(f"inconsistency rate must be in [0, 1], got {rate}")
+    if not fd.applies_to(table):
+        raise QualityError(f"FD {fd} does not apply to table {table.name!r}")
+    if isinstance(rng, int) or rng is None:
+        rng = random.Random(0 if rng is None else rng)
+
+    if len(table) == 0 or rate == 0.0:
+        return table
+
+    groups = partition(table, fd.lhs)
+    corruptible = [row for rows in groups.values() if len(rows) > 1 for row in rows]
+    target_count = min(len(corruptible), int(round(rate * len(table))))
+    if target_count == 0:
+        return table
+    to_corrupt = set(rng.sample(corruptible, target_count))
+
+    rhs_pool = [value for value in table.column(fd.rhs) if value is not None]
+    new_rhs = list(table.column(fd.rhs))
+    for row_index in to_corrupt:
+        new_rhs[row_index] = _disagreeing_value(new_rhs[row_index], rhs_pool, rng)
+
+    columns = {name: list(table.column(name)) for name in table.schema.names}
+    columns[fd.rhs] = new_rhs
+    return Table(table.name, table.schema, columns)
+
+
+def inject_inconsistency_multi(
+    table: Table,
+    fds: Sequence[FunctionalDependency],
+    rate: float,
+    rng: random.Random | int | None = None,
+) -> Table:
+    """Apply :func:`inject_inconsistency` for several FDs, splitting the rate evenly."""
+    if not fds:
+        return table
+    if isinstance(rng, int) or rng is None:
+        rng = random.Random(0 if rng is None else rng)
+    per_fd_rate = rate / len(fds)
+    dirty = table
+    for fd in fds:
+        dirty = inject_inconsistency(dirty, fd, per_fd_rate, rng)
+    return dirty

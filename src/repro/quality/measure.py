@@ -1,0 +1,87 @@
+"""Quality measurement: ``Q(D, F)`` for one FD and ``Q(D)`` for a join result.
+
+Following Definitions 2.2 and 2.3 of the paper:
+
+* For one FD ``X -> Y`` the correct-record set ``C(D, X -> Y)`` keeps, for each
+  equivalence class of ``pi_X``, only the rows of the *largest* sub-class of
+  ``pi_{X ∪ Y}``; quality is ``|C| / |D|``.
+* For a set of instances ``D`` the quality is measured on the join result
+  ``J = ⋈ D_i`` against the set of AFDs ``F`` that hold on ``J``:
+  ``Q(D) = |⋂_F C(J, F)| / |J|``.
+
+Because join can both create and destroy FD violations (Example 2.2 of the
+paper), quality must always be evaluated on the join result — these functions
+therefore accept either a pre-joined table or a list of tables to join.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.quality.fd import FunctionalDependency
+from repro.relational.joins import join_path
+from repro.relational.partitions import correct_row_indices
+from repro.relational.table import Table
+
+
+def correct_records(table: Table, fd: FunctionalDependency) -> set[int]:
+    """Row indices of ``C(table, fd)`` (Definition 2.2)."""
+    if not fd.applies_to(table):
+        return set(range(len(table)))
+    return correct_row_indices(table, fd.lhs, (fd.rhs,))
+
+
+def instance_quality(table: Table, fd: FunctionalDependency) -> float:
+    """``Q(table, fd) = |C(table, fd)| / |table|``; empty tables have quality 1."""
+    if len(table) == 0:
+        return 1.0
+    return len(correct_records(table, fd)) / len(table)
+
+
+def join_quality(table: Table, fds: Iterable[FunctionalDependency]) -> float:
+    """``Q`` of a (join-result) table against a set of FDs (Definition 2.3).
+
+    The correct set is the intersection of the per-FD correct sets; FDs whose
+    attributes are not all present in the table are ignored (they cannot be
+    checked on the projection the shopper buys).
+    """
+    if len(table) == 0:
+        return 1.0
+    applicable = [fd for fd in fds if fd.applies_to(table)]
+    if not applicable:
+        return 1.0
+    correct: set[int] | None = None
+    for fd in applicable:
+        fd_correct = correct_records(table, fd)
+        correct = fd_correct if correct is None else correct & fd_correct
+        if not correct:
+            return 0.0
+    assert correct is not None
+    return len(correct) / len(table)
+
+
+def quality_of_tables(
+    tables: Sequence[Table],
+    fds: Iterable[FunctionalDependency],
+    *,
+    intermediate_hook=None,
+) -> float:
+    """Join ``tables`` along their natural join path and measure the join quality.
+
+    ``intermediate_hook`` is forwarded to :func:`repro.relational.joins.join_path`
+    so that the sampling estimators can bound intermediate join sizes.
+    """
+    if not tables:
+        return 1.0
+    if len(tables) == 1:
+        joined = tables[0]
+    else:
+        joined = join_path(tables, intermediate_hook=intermediate_hook)
+    return join_quality(joined, fds)
+
+
+def violating_records(table: Table, fd: FunctionalDependency) -> set[int]:
+    """Row indices *not* in the correct set for ``fd`` (useful for repair/debugging)."""
+    if len(table) == 0 or not fd.applies_to(table):
+        return set()
+    return set(range(len(table))) - correct_records(table, fd)

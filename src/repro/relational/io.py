@@ -1,0 +1,72 @@
+"""CSV import/export for :class:`~repro.relational.table.Table`.
+
+The marketplace in this reproduction is in-process, but downstream users will
+want to load their own source instances from disk; these helpers provide a
+small, dependency-free CSV bridge with type inference.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import Attribute, AttributeType, Schema
+from repro.relational.table import Table, Value
+
+
+def _parse_value(text: str) -> Value:
+    """Parse one CSV cell: empty string -> None, numeric text -> int/float."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def infer_schema(header: Sequence[str], rows: Iterable[Sequence[Value]]) -> Schema:
+    """Infer an attribute type per column from already-parsed rows."""
+    columns: list[list[Value]] = [[] for _ in header]
+    for row in rows:
+        for i, value in enumerate(row):
+            columns[i].append(value)
+    attributes = [
+        Attribute(name, AttributeType.infer(column)) for name, column in zip(header, columns)
+    ]
+    return Schema(attributes)
+
+
+def read_csv(path: str | Path, *, name: str | None = None) -> Table:
+    """Load a CSV file (with a header row) into a :class:`Table`.
+
+    Numeric-looking cells become ``int``/``float``, empty cells become ``None``,
+    and column types are inferred from the parsed values.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty (no header row)") from None
+        rows = [[_parse_value(cell) for cell in row] for row in reader]
+    schema = infer_schema(header, rows)
+    return Table.from_rows(name or path.stem, schema, rows)
+
+
+def write_csv(table: Table, path: str | Path) -> Path:
+    """Write a :class:`Table` to a CSV file (``None`` becomes an empty cell)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.names)
+        for row in table.iter_rows():
+            writer.writerow(["" if value is None else value for value in row])
+    return path

@@ -1,0 +1,198 @@
+"""Equi-join operators: inner join, full outer join, and multi-way join paths.
+
+The correlation / quality estimators operate on the (inner) equi-join result of
+the purchased instances, while the join-informativeness measure (Definition
+2.4) is defined over the *full outer* join of two instances so that unmatched
+join values are penalised.  Both operators are hash joins on the shared join
+attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import JoinError
+from repro.relational.schema import Schema
+from repro.relational.table import Table, Value
+
+
+def shared_join_attributes(left: Table, right: Table) -> tuple[str, ...]:
+    """The natural-join attributes: names present in both schemas."""
+    return left.schema.common_attributes(right.schema)
+
+
+def _resolve_join_attributes(
+    left: Table, right: Table, on: Sequence[str] | None
+) -> tuple[str, ...]:
+    if on is None:
+        attrs = shared_join_attributes(left, right)
+    else:
+        attrs = tuple(on)
+        left.schema.validate_subset(attrs)
+        right.schema.validate_subset(attrs)
+    if not attrs:
+        raise JoinError(
+            f"no join attributes between {left.name!r} ({left.schema.names}) "
+            f"and {right.name!r} ({right.schema.names})"
+        )
+    return attrs
+
+
+def _build_hash_index(table: Table, attrs: Sequence[str]) -> dict[tuple, list[int]]:
+    index: dict[tuple, list[int]] = {}
+    for row_index, key in enumerate(table.key_tuples(attrs)):
+        if any(value is None for value in key):
+            continue
+        index.setdefault(key, []).append(row_index)
+    return index
+
+
+def _joined_schema(left: Table, right: Table, join_attrs: Sequence[str]) -> tuple[Schema, list[str]]:
+    """Schema of the join result and the right-side attributes that are appended."""
+    right_extra = [name for name in right.schema.names if name not in join_attrs]
+    extra_attrs = []
+    for name in right_extra:
+        attribute = right.schema[name]
+        if name in left.schema:
+            attribute = attribute.renamed(f"{right.name}.{name}")
+        extra_attrs.append(attribute)
+    schema = Schema(list(left.schema.attributes) + extra_attrs)
+    return schema, right_extra
+
+
+def inner_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str] | None = None,
+    *,
+    name: str | None = None,
+) -> Table:
+    """Hash equi-join of two tables on ``on`` (defaults to the shared attributes).
+
+    ``None`` join values never match (SQL NULL semantics).  Non-join attributes
+    of the right table that collide with a left attribute name are prefixed
+    with the right table's name.
+    """
+    join_attrs = _resolve_join_attributes(left, right, on)
+    schema, right_extra = _joined_schema(left, right, join_attrs)
+    result_name = name or f"{left.name}_join_{right.name}"
+
+    right_index = _build_hash_index(right, join_attrs)
+    left_names = left.schema.names
+    left_cols = [left.column(attr) for attr in left_names]
+    right_cols = [right.column(attr) for attr in right_extra]
+
+    rows: list[tuple] = []
+    for left_row_index, key in enumerate(left.key_tuples(join_attrs)):
+        if any(value is None for value in key):
+            continue
+        matches = right_index.get(key)
+        if not matches:
+            continue
+        left_values = tuple(col[left_row_index] for col in left_cols)
+        for right_row_index in matches:
+            right_values = tuple(col[right_row_index] for col in right_cols)
+            rows.append(left_values + right_values)
+    return Table.from_rows(result_name, schema, rows)
+
+
+def full_outer_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str] | None = None,
+    *,
+    name: str | None = None,
+) -> Table:
+    """Full outer equi-join: matched rows plus left-only and right-only rows.
+
+    Unmatched sides are padded with ``None``.  The join-informativeness measure
+    uses the joint distribution of the two join-attribute copies in this
+    result, so the join attribute of the *right* table is preserved in a
+    dedicated column named ``"<right.name>.<attr>"``.
+    """
+    join_attrs = _resolve_join_attributes(left, right, on)
+    right_extra = [name_ for name_ in right.schema.names if name_ not in join_attrs]
+
+    # The outer-join schema keeps both copies of the join attributes so that
+    # (value, NULL) pairs remain observable.
+    right_copy_attrs = [right.schema[a].renamed(f"{right.name}.{a}") for a in join_attrs]
+    extra_attrs = []
+    for name_ in right_extra:
+        attribute = right.schema[name_]
+        if name_ in left.schema:
+            attribute = attribute.renamed(f"{right.name}.{name_}")
+        extra_attrs.append(attribute)
+    schema = Schema(list(left.schema.attributes) + right_copy_attrs + extra_attrs)
+    result_name = name or f"{left.name}_outer_{right.name}"
+
+    right_index = _build_hash_index(right, join_attrs)
+    matched_right: set[int] = set()
+
+    left_names = left.schema.names
+    left_cols = [left.column(attr) for attr in left_names]
+    right_join_cols = [right.column(attr) for attr in join_attrs]
+    right_extra_cols = [right.column(attr) for attr in right_extra]
+
+    rows: list[tuple] = []
+    for left_row_index, key in enumerate(left.key_tuples(join_attrs)):
+        left_values = tuple(col[left_row_index] for col in left_cols)
+        matches = right_index.get(key) if not any(v is None for v in key) else None
+        if matches:
+            for right_row_index in matches:
+                matched_right.add(right_row_index)
+                right_key_values = tuple(col[right_row_index] for col in right_join_cols)
+                right_values = tuple(col[right_row_index] for col in right_extra_cols)
+                rows.append(left_values + right_key_values + right_values)
+        else:
+            rows.append(left_values + (None,) * (len(join_attrs) + len(right_extra)))
+
+    none_left = (None,) * len(left_names)
+    for right_row_index in range(len(right)):
+        if right_row_index in matched_right:
+            continue
+        right_key_values = tuple(col[right_row_index] for col in right_join_cols)
+        right_values = tuple(col[right_row_index] for col in right_extra_cols)
+        rows.append(none_left + right_key_values + right_values)
+
+    return Table.from_rows(result_name, schema, rows)
+
+
+def join_path(
+    tables: Sequence[Table],
+    *,
+    name: str | None = None,
+    intermediate_hook=None,
+) -> Table:
+    """Left-deep evaluation of a join path ``T1 ⋈ T2 ⋈ ... ⋈ Tk``.
+
+    ``intermediate_hook`` (if given) is called with each intermediate join
+    result and must return the (possibly re-sampled) table to continue with;
+    the correlated re-sampling estimator plugs in here to bound intermediate
+    sizes.
+    """
+    if not tables:
+        raise JoinError("join_path requires at least one table")
+    result = tables[0]
+    for right in tables[1:]:
+        result = inner_join(result, right)
+        if intermediate_hook is not None:
+            result = intermediate_hook(result)
+    if name is not None:
+        result = result.with_name(name)
+    return result
+
+
+def join_size_upper_bound(left: Table, right: Table, on: Sequence[str] | None = None) -> int:
+    """A cheap upper bound on the inner-join cardinality (sum over key histogram products)."""
+    try:
+        join_attrs = _resolve_join_attributes(left, right, on)
+    except JoinError:
+        return 0
+    left_counts = left.value_counts(join_attrs)
+    right_counts = right.value_counts(join_attrs)
+    total = 0
+    for key, left_count in left_counts.items():
+        if any(value is None for value in key):
+            continue
+        total += left_count * right_counts.get(key, 0)
+    return total

@@ -1,0 +1,104 @@
+"""Equivalence classes and partitions (Definition 2.1 of the paper).
+
+Given a table ``D`` and an attribute set ``X``, the *partition* ``pi_X`` groups
+row indices by their value combination on ``X``.  Partitions are the work-horse
+of FD/AFD checking (TANE-style) and of the paper's data-quality measure: the
+quality of an instance w.r.t. an FD ``X -> Y`` is computed by comparing the
+partition on ``X`` with the partition on ``X ∪ Y``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.relational.table import Table
+
+
+def partition(table: Table, attributes: Sequence[str]) -> dict[tuple, list[int]]:
+    """Partition of ``table`` on ``attributes``: value-combination -> row indices.
+
+    The returned mapping is the paper's ``pi_X``: each entry is one equivalence
+    class, keyed by the (tuple of) attribute values shared by its rows.
+    """
+    validated = table.schema.validate_subset(attributes)
+    groups: dict[tuple, list[int]] = {}
+    for index, key in enumerate(table.key_tuples(validated)):
+        groups.setdefault(key, []).append(index)
+    return groups
+
+
+def equivalence_classes(table: Table, attributes: Sequence[str]) -> list[list[int]]:
+    """The equivalence classes of ``pi_X`` as lists of row indices."""
+    return list(partition(table, attributes).values())
+
+
+def stripped_partition(table: Table, attributes: Sequence[str]) -> list[list[int]]:
+    """Equivalence classes with singletons removed (TANE's stripped partition).
+
+    Singleton classes can never witness an FD violation, so FD discovery only
+    needs the non-singleton classes.
+    """
+    return [eclass for eclass in equivalence_classes(table, attributes) if len(eclass) > 1]
+
+
+def refine(
+    base: Mapping[tuple, list[int]], table: Table, attributes: Sequence[str]
+) -> dict[tuple, list[int]]:
+    """Refine an existing partition by additionally grouping on ``attributes``.
+
+    ``refine(partition(D, X), D, Y)`` equals ``partition(D, X + Y)`` but avoids
+    recomputing the keys for ``X``.  Used when walking down the attribute-set
+    lattice during FD discovery.
+    """
+    validated = table.schema.validate_subset(attributes)
+    extra_keys = table.key_tuples(validated)
+    refined: dict[tuple, list[int]] = {}
+    for key, rows in base.items():
+        for row in rows:
+            refined.setdefault(key + extra_keys[row], []).append(row)
+    return refined
+
+
+def partition_error(table: Table, lhs: Sequence[str], rhs: Sequence[str]) -> float:
+    """The g3-style error of the FD ``lhs -> rhs`` on ``table``.
+
+    This is ``1 - Q(D, lhs -> rhs)`` under the paper's quality definition: for
+    every equivalence class of ``pi_lhs`` only the largest sub-class of
+    ``pi_{lhs ∪ rhs}`` is counted as correct.
+    """
+    if len(table) == 0:
+        return 0.0
+    lhs_partition = partition(table, lhs)
+    both_partition = partition(table, list(lhs) + [a for a in rhs if a not in lhs])
+    largest: dict[tuple, int] = {}
+    lhs_len = len(table.schema.validate_subset(lhs))
+    for key, rows in both_partition.items():
+        lhs_key = key[:lhs_len]
+        size = len(rows)
+        if size > largest.get(lhs_key, 0):
+            largest[lhs_key] = size
+    correct = sum(largest[key] for key in lhs_partition)
+    return 1.0 - correct / len(table)
+
+
+def correct_row_indices(table: Table, lhs: Sequence[str], rhs: Sequence[str]) -> set[int]:
+    """Row indices in the paper's correct-record set ``C(D, lhs -> rhs)``.
+
+    For every equivalence class ``eq_x`` of ``pi_lhs`` the *largest* equivalence
+    class of ``pi_{lhs ∪ rhs}`` contained in ``eq_x`` is kept (ties broken by
+    first occurrence, which is deterministic for a given row order).
+    """
+    validated_lhs = table.schema.validate_subset(lhs)
+    extra = [a for a in rhs if a not in validated_lhs]
+    both_partition = partition(table, list(validated_lhs) + extra)
+    lhs_len = len(validated_lhs)
+    best: dict[tuple, list[int]] = {}
+    for key, rows in both_partition.items():
+        lhs_key = key[:lhs_len]
+        current = best.get(lhs_key)
+        if current is None or len(rows) > len(current):
+            best[lhs_key] = rows
+    correct: set[int] = set()
+    for rows in best.values():
+        correct.update(rows)
+    return correct

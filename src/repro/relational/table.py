@@ -1,0 +1,273 @@
+"""Column-oriented relational table.
+
+:class:`Table` is the single data container used throughout the library.  It is
+column oriented (a dict of equal-length lists) because almost every operation
+the DANCE pipeline performs — projections, entropy of attribute sets, partition
+refinement for FD checking, hash-based correlated sampling on a join attribute —
+touches a few columns of many rows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import Attribute, AttributeType, Schema
+
+Row = tuple
+Value = object
+
+
+class Table:
+    """An immutable-by-convention, column-oriented relational instance.
+
+    Parameters
+    ----------
+    name:
+        Instance name (e.g. ``"lineitem"``).  Used as the vertex label in the
+        join graph and in generated SQL.
+    schema:
+        The table's :class:`Schema`.
+    columns:
+        Mapping from attribute name to a list of values.  All columns must have
+        the same length and exactly cover the schema.
+    """
+
+    __slots__ = ("name", "schema", "_columns", "_num_rows")
+
+    def __init__(self, name: str, schema: Schema, columns: Mapping[str, Sequence[Value]]) -> None:
+        if set(columns) != set(schema.names):
+            missing = set(schema.names) - set(columns)
+            extra = set(columns) - set(schema.names)
+            raise SchemaError(
+                f"columns do not match schema for table {name!r}: "
+                f"missing={sorted(missing)}, unexpected={sorted(extra)}"
+            )
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns of table {name!r} have unequal lengths: {sorted(lengths)}")
+        self.name = name
+        self.schema = schema
+        self._columns: dict[str, list[Value]] = {
+            attr: list(columns[attr]) for attr in schema.names
+        }
+        self._num_rows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema: Schema | Sequence[Attribute | str],
+        rows: Iterable[Sequence[Value]],
+    ) -> "Table":
+        """Build a table from an iterable of row tuples/lists."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        columns: dict[str, list[Value]] = {attr: [] for attr in schema.names}
+        names = schema.names
+        for row in rows:
+            if len(row) != len(names):
+                raise SchemaError(
+                    f"row of width {len(row)} does not match schema of width {len(names)}"
+                )
+            for attr, value in zip(names, row):
+                columns[attr].append(value)
+        return cls(name, schema, columns)
+
+    @classmethod
+    def from_dicts(
+        cls,
+        name: str,
+        schema: Schema | Sequence[Attribute | str],
+        records: Iterable[Mapping[str, Value]],
+    ) -> "Table":
+        """Build a table from an iterable of ``{attribute: value}`` mappings."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        columns: dict[str, list[Value]] = {attr: [] for attr in schema.names}
+        for record in records:
+            for attr in schema.names:
+                columns[attr].append(record.get(attr))
+        return cls(name, schema, columns)
+
+    @classmethod
+    def empty(cls, name: str, schema: Schema | Sequence[Attribute | str]) -> "Table":
+        """A zero-row table with the given schema."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        return cls(name, schema, {attr: [] for attr in schema.names})
+
+    # ------------------------------------------------------------------ dunder
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.iter_rows()
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows, {len(self.schema)} attributes)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            self.schema == other.schema
+            and self._num_rows == other._num_rows
+            and self._columns == other._columns
+        )
+
+    # ------------------------------------------------------------------ access
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self.schema.names
+
+    def column(self, name: str) -> list[Value]:
+        """The values of one attribute (a copy is *not* made; treat as read-only)."""
+        self.schema.index_of(name)
+        return self._columns[name]
+
+    def columns(self, names: Sequence[str]) -> list[list[Value]]:
+        return [self.column(name) for name in names]
+
+    def row(self, index: int) -> Row:
+        return tuple(self._columns[attr][index] for attr in self.schema.names)
+
+    def iter_rows(self) -> Iterator[Row]:
+        names = self.schema.names
+        cols = [self._columns[attr] for attr in names]
+        for i in range(self._num_rows):
+            yield tuple(col[i] for col in cols)
+
+    def to_dicts(self) -> list[dict[str, Value]]:
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.iter_rows()]
+
+    def key_tuples(self, names: Sequence[str]) -> list[tuple]:
+        """Row-aligned tuples of the values of ``names`` (used for grouping/joins)."""
+        cols = self.columns(list(names))
+        return list(zip(*cols)) if cols else [() for _ in range(self._num_rows)]
+
+    # -------------------------------------------------------------- operations
+    def with_name(self, name: str) -> "Table":
+        """The same data under a different instance name."""
+        return Table(name, self.schema, self._columns)
+
+    def project(self, names: Sequence[str], *, name: str | None = None) -> "Table":
+        """Relational projection onto ``names`` (duplicates are kept, SQL-bag style)."""
+        validated = self.schema.validate_subset(names)
+        schema = self.schema.project(validated)
+        columns = {attr: self._columns[attr] for attr in validated}
+        return Table(name or self.name, schema, columns)
+
+    def select(self, predicate: Callable[[dict[str, Value]], bool], *, name: str | None = None) -> "Table":
+        """Relational selection with a row-dict predicate."""
+        names = self.schema.names
+        keep: list[int] = []
+        for i in range(self._num_rows):
+            record = {attr: self._columns[attr][i] for attr in names}
+            if predicate(record):
+                keep.append(i)
+        return self.take(keep, name=name)
+
+    def take(self, indices: Sequence[int], *, name: str | None = None) -> "Table":
+        """A new table containing the rows at ``indices`` (in the given order)."""
+        columns = {
+            attr: [values[i] for i in indices] for attr, values in self._columns.items()
+        }
+        return Table(name or self.name, self.schema, columns)
+
+    def head(self, n: int) -> "Table":
+        return self.take(range(min(n, self._num_rows)))
+
+    def rename(self, mapping: Mapping[str, str], *, name: str | None = None) -> "Table":
+        """Rename attributes; data is shared column-wise."""
+        schema = self.schema.rename(mapping)
+        columns = {
+            mapping.get(attr, attr): values for attr, values in self._columns.items()
+        }
+        return Table(name or self.name, schema, columns)
+
+    def distinct(self, names: Sequence[str] | None = None, *, name: str | None = None) -> "Table":
+        """Distinct rows (over ``names`` if given, else over the whole schema)."""
+        subset = self if names is None else self.project(names)
+        seen: set[tuple] = set()
+        keep: list[int] = []
+        for i, row in enumerate(subset.iter_rows()):
+            if row not in seen:
+                seen.add(row)
+                keep.append(i)
+        return subset.take(keep, name=name)
+
+    def append_column(
+        self, attribute: Attribute | str, values: Sequence[Value], *, name: str | None = None
+    ) -> "Table":
+        """A new table with one extra column appended."""
+        if isinstance(attribute, str):
+            attribute = Attribute(attribute, AttributeType.infer(values))
+        if len(values) != self._num_rows:
+            raise SchemaError(
+                f"new column {attribute.name!r} has {len(values)} values, "
+                f"table has {self._num_rows} rows"
+            )
+        schema = Schema(list(self.schema.attributes) + [attribute])
+        columns = dict(self._columns)
+        columns[attribute.name] = list(values)
+        return Table(name or self.name, schema, columns)
+
+    def concat(self, other: "Table", *, name: str | None = None) -> "Table":
+        """Union-all of two tables with identical schemas."""
+        if self.schema != other.schema:
+            raise SchemaError(
+                f"cannot concat tables with different schemas: {self.schema} vs {other.schema}"
+            )
+        columns = {
+            attr: self._columns[attr] + other._columns[attr] for attr in self.schema.names
+        }
+        return Table(name or self.name, self.schema, columns)
+
+    def shuffled(self, rng: random.Random, *, name: str | None = None) -> "Table":
+        """Rows in a random order drawn from ``rng`` (used by re-sampling)."""
+        indices = list(range(self._num_rows))
+        rng.shuffle(indices)
+        return self.take(indices, name=name)
+
+    def sample_rows(self, rate: float, rng: random.Random, *, name: str | None = None) -> "Table":
+        """Bernoulli row sample at ``rate`` using ``rng`` (uniform, not correlated)."""
+        keep = [i for i in range(self._num_rows) if rng.random() <= rate]
+        return self.take(keep, name=name)
+
+    # --------------------------------------------------------------- summaries
+    def distinct_count(self, names: Sequence[str]) -> int:
+        """Number of distinct value combinations of ``names``."""
+        return len(set(self.key_tuples(names)))
+
+    def value_counts(self, names: Sequence[str]) -> dict[tuple, int]:
+        """Histogram of the value combinations of ``names``."""
+        counts: dict[tuple, int] = {}
+        for key in self.key_tuples(names):
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def null_fraction(self, name: str) -> float:
+        """Fraction of ``None`` values in one column."""
+        if self._num_rows == 0:
+            return 0.0
+        column = self.column(name)
+        return sum(1 for value in column if value is None) / self._num_rows
+
+    def describe(self) -> dict[str, object]:
+        """A small summary dict used by the marketplace catalog and Table 5 bench."""
+        return {
+            "name": self.name,
+            "num_rows": self._num_rows,
+            "num_attributes": len(self.schema),
+            "attributes": list(self.schema.names),
+            "numerical": list(self.schema.numerical_names()),
+            "categorical": list(self.schema.categorical_names()),
+        }

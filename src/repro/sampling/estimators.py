@@ -1,0 +1,151 @@
+"""Sample-based estimation of join informativeness, correlation and quality.
+
+The estimators follow Section 3 of the paper:
+
+* ``estimate_join_informativeness`` computes JI on the pair of correlated
+  samples (Theorem 3.1: unbiased for two-table joins).
+* ``estimate_correlation`` / ``estimate_quality`` evaluate the measure on the
+  join of the correlated samples along a join path, applying correlated
+  re-sampling to intermediate results whose size exceeds ``eta``
+  (Theorem 3.2: unbiased regardless of ``eta``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.infotheory.correlation import attribute_set_correlation
+from repro.infotheory.join_informativeness import join_informativeness
+from repro.quality.fd import FunctionalDependency
+from repro.quality.measure import join_quality
+from repro.relational.joins import join_path, shared_join_attributes
+from repro.relational.table import Table
+from repro.sampling.correlated import CorrelatedSampler
+from repro.sampling.resampling import ResamplingPolicy
+
+
+@dataclass
+class SampleEstimator:
+    """Estimates JI / CORR / Q of marketplace instances from correlated samples.
+
+    Parameters
+    ----------
+    sampler:
+        The correlated-sampling configuration used to draw per-instance samples.
+    resampling:
+        The correlated re-sampling policy applied to intermediate join results.
+    """
+
+    sampler: CorrelatedSampler
+    resampling: ResamplingPolicy = field(default_factory=ResamplingPolicy)
+
+    # ------------------------------------------------------------------ sampling
+    def draw_sample(self, table: Table, join_attributes: Sequence[str] | None = None) -> Table:
+        """Correlated sample of one instance over ``join_attributes`` (default: all)."""
+        attrs = list(join_attributes) if join_attributes else list(table.schema.names)
+        return self.sampler.sample(table, attrs)
+
+    def draw_samples(
+        self,
+        tables: Sequence[Table],
+        join_attributes_by_table: dict[str, Sequence[str]] | None = None,
+    ) -> list[Table]:
+        """Correlated samples of several instances."""
+        mapping = join_attributes_by_table or {}
+        return self.sampler.sample_all(tables, mapping)
+
+    # -------------------------------------------------------------- estimation
+    def estimate_join_informativeness(
+        self,
+        left: Table,
+        right: Table,
+        on: Sequence[str] | None = None,
+        *,
+        presampled: bool = False,
+    ) -> float:
+        """Estimated ``JI(left, right)`` from correlated samples (Theorem 3.1)."""
+        join_attrs = list(on) if on is not None else list(shared_join_attributes(left, right))
+        if presampled:
+            left_sample, right_sample = left, right
+        else:
+            left_sample = self.sampler.sample(left, join_attrs)
+            right_sample = self.sampler.sample(right, join_attrs)
+        if len(left_sample) == 0 or len(right_sample) == 0:
+            return 1.0
+        return join_informativeness(left_sample, right_sample, join_attrs)
+
+    def joined_sample(
+        self,
+        tables: Sequence[Table],
+        *,
+        presampled: bool = False,
+    ) -> Table:
+        """Join of the correlated samples along the path, with re-sampling applied."""
+        if presampled:
+            samples = list(tables)
+        else:
+            samples = []
+            for index, table in enumerate(tables):
+                join_attrs: list[str] = []
+                if index > 0:
+                    join_attrs.extend(shared_join_attributes(tables[index - 1], table))
+                if index + 1 < len(tables):
+                    join_attrs.extend(
+                        a
+                        for a in shared_join_attributes(table, tables[index + 1])
+                        if a not in join_attrs
+                    )
+                if not join_attrs:
+                    join_attrs = list(table.schema.names)
+                samples.append(self.sampler.sample(table, join_attrs))
+        self.resampling.reset()
+        if len(samples) == 1:
+            return samples[0]
+        return join_path(samples, intermediate_hook=self.resampling)
+
+    def estimate_correlation(
+        self,
+        tables: Sequence[Table],
+        source_attributes: Sequence[str],
+        target_attributes: Sequence[str],
+        *,
+        presampled: bool = False,
+    ) -> float:
+        """Estimated ``CORR(A_S, A_T)`` on the join of the sampled path (Theorem 3.2)."""
+        joined = self.joined_sample(tables, presampled=presampled)
+        return attribute_set_correlation(joined, source_attributes, target_attributes)
+
+    def estimate_quality(
+        self,
+        tables: Sequence[Table],
+        fds: Iterable[FunctionalDependency],
+        *,
+        presampled: bool = False,
+    ) -> float:
+        """Estimated ``Q`` of the joined path against ``fds`` (Theorem 3.2)."""
+        joined = self.joined_sample(tables, presampled=presampled)
+        return join_quality(joined, fds)
+
+    def estimate_all(
+        self,
+        tables: Sequence[Table],
+        source_attributes: Sequence[str],
+        target_attributes: Sequence[str],
+        fds: Iterable[FunctionalDependency],
+        *,
+        presampled: bool = False,
+    ) -> dict[str, float]:
+        """Correlation, quality and total path JI in one pass over the samples."""
+        joined = self.joined_sample(tables, presampled=presampled)
+        correlation = attribute_set_correlation(joined, source_attributes, target_attributes)
+        quality = join_quality(joined, list(fds))
+        total_ji = 0.0
+        for left, right in zip(tables, tables[1:]):
+            total_ji += self.estimate_join_informativeness(left, right, presampled=presampled)
+        return {
+            "correlation": correlation,
+            "quality": quality,
+            "join_informativeness": total_ji,
+            "join_rows": float(len(joined)),
+        }

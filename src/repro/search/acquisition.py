@@ -1,0 +1,173 @@
+"""The combined two-step heuristic acquisition (Section 5).
+
+Step 1 finds the minimal-weight I-layer subgraph connecting the instances that
+cover the source and target attributes; Step 2 runs the MCMC search over that
+subgraph's AS-layer.  The result carries the chosen target graph, its
+evaluation, and the I-graph size (the quantity reported in Figure 5(b)).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.exceptions import InfeasibleAcquisitionError, SearchError
+from repro.graph.join_graph import JoinGraph
+from repro.graph.steiner import IGraph, minimal_weight_igraphs
+from repro.graph.target import TargetGraph, TargetGraphEvaluation
+from repro.quality.fd import FunctionalDependency
+from repro.relational.table import Table
+from repro.search.candidates import build_initial_target_graph, terminal_instances
+from repro.search.mcmc import MCMCConfig, MCMCResult, mcmc_search
+
+
+@dataclass
+class HeuristicResult:
+    """Outcome of the two-step heuristic."""
+
+    igraph: IGraph
+    mcmc: MCMCResult
+
+    @property
+    def best_graph(self) -> TargetGraph | None:
+        return self.mcmc.best_graph
+
+    @property
+    def best_evaluation(self) -> TargetGraphEvaluation | None:
+        return self.mcmc.best_evaluation
+
+    @property
+    def feasible(self) -> bool:
+        return self.mcmc.feasible
+
+    @property
+    def igraph_size(self) -> int:
+        return self.igraph.size
+
+    def require_feasible(self) -> tuple[TargetGraph, TargetGraphEvaluation]:
+        return self.mcmc.require_feasible()
+
+
+def heuristic_acquisition(
+    join_graph: JoinGraph,
+    source_attributes: Sequence[str],
+    target_attributes: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+    *,
+    budget: float,
+    max_weight: float = float("inf"),
+    min_quality: float = 0.0,
+    num_landmarks: int = 4,
+    max_igraphs: int = 3,
+    mcmc_config: MCMCConfig | None = None,
+    evaluation_tables: Mapping[str, Table] | None = None,
+    rng: random.Random | int | None = None,
+    intermediate_hook=None,
+) -> HeuristicResult:
+    """Run Step 1 + Step 2 and return the best feasible target graph found.
+
+    Step 1 produces one candidate minimal-weight I-graph per landmark/terminal
+    hub; Step 2 runs the MCMC walk on the lightest ``max_igraphs`` of them and
+    the best feasible result (by correlation) wins.
+
+    Parameters
+    ----------
+    join_graph:
+        The two-layer join graph built from samples during the offline phase.
+    source_attributes / target_attributes:
+        ``A_S`` and ``A_T`` of the acquisition request.
+    fds:
+        The FDs used for quality measurement on candidate join results.
+    budget / max_weight / min_quality:
+        The B / α / β constraints.
+    num_landmarks:
+        Number of landmarks for Step 1's approximate Steiner search.
+    max_igraphs:
+        How many of Step 1's candidate I-graphs Step 2 explores.
+    mcmc_config:
+        Step 2 configuration (iterations, seed, proposal mix).
+    evaluation_tables:
+        Tables to evaluate candidates on; defaults to the samples inside the
+        join graph (the normal DANCE setting).
+    rng:
+        Randomness for landmark selection.
+    intermediate_hook:
+        Optional correlated re-sampling hook applied to intermediate joins.
+
+    Raises
+    ------
+    InfeasibleAcquisitionError
+        When Step 1 cannot connect the terminals within the α threshold.  Step
+        2 infeasibility (no candidate satisfies all constraints) is reported
+        through ``result.feasible`` instead, because the caller may want to
+        inspect the I-graph even when no affordable candidate exists.
+    """
+    try:
+        source_terminals, target_terminals = terminal_instances(
+            join_graph, source_attributes, target_attributes
+        )
+    except SearchError as error:
+        # A requested attribute that exists in no instance means no target
+        # graph can possibly cover it — that is an infeasible acquisition.
+        raise InfeasibleAcquisitionError(str(error)) from error
+    terminals = list(dict.fromkeys(source_terminals + target_terminals))
+    if not terminals:
+        raise InfeasibleAcquisitionError("no instance covers the requested attributes")
+
+    igraphs = minimal_weight_igraphs(
+        join_graph,
+        terminals,
+        num_landmarks=num_landmarks,
+        max_weight=max_weight,
+        rng=rng,
+    )[: max(1, max_igraphs)]
+
+    best_result: HeuristicResult | None = None
+    fallback_result: HeuristicResult | None = None
+    for igraph in igraphs:
+        try:
+            initial = build_initial_target_graph(
+                join_graph, igraph, source_attributes, target_attributes
+            )
+        except SearchError:
+            continue
+
+        tables = (
+            dict(evaluation_tables)
+            if evaluation_tables is not None
+            else {name: join_graph.sample(name) for name in igraph.nodes}
+        )
+
+        mcmc = mcmc_search(
+            join_graph,
+            initial,
+            tables,
+            source_attributes,
+            target_attributes,
+            fds,
+            budget=budget,
+            max_weight=max_weight,
+            min_quality=min_quality,
+            config=mcmc_config,
+            intermediate_hook=intermediate_hook,
+        )
+        result = HeuristicResult(igraph=igraph, mcmc=mcmc)
+        if fallback_result is None:
+            fallback_result = result
+        if not result.feasible:
+            continue
+        if (
+            best_result is None
+            or best_result.best_evaluation is None
+            or result.best_evaluation.correlation > best_result.best_evaluation.correlation
+        ):
+            best_result = result
+
+    if best_result is not None:
+        return best_result
+    if fallback_result is not None:
+        return fallback_result
+    raise InfeasibleAcquisitionError(
+        f"no joinable target graph covers the requested attributes over {terminals}"
+    )

@@ -1,0 +1,216 @@
+"""Step 2 of the online phase: MCMC search over the AS-layer (Algorithm 1).
+
+Starting from an initial target graph on the minimal-weight I-graph, the search
+repeatedly proposes a neighbouring target graph by replacing the join attribute
+set of one randomly-chosen edge with a different candidate set for the same
+instance pair.  Proposals that violate the price / weight / quality constraints
+are discarded; feasible proposals are accepted with probability
+``min(1, CORR' / CORR)`` (Metropolis), so the walk drifts towards
+high-correlation target graphs while still exploring.  The best feasible target
+graph seen during the walk is returned.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.exceptions import InfeasibleAcquisitionError
+from repro.graph.join_graph import JoinGraph
+from repro.graph.target import TargetGraph, TargetGraphEvaluation
+from repro.quality.fd import FunctionalDependency
+from repro.relational.table import Table
+
+
+@dataclass
+class MCMCConfig:
+    """Tuning knobs of the MCMC search.
+
+    Attributes
+    ----------
+    iterations:
+        Number of proposal steps ``ℓ`` (Algorithm 1 runs a fixed iteration count).
+    seed:
+        Seed of the private random generator; runs with the same seed and the
+        same inputs are reproducible.
+    projection_flip_probability:
+        Probability that a step additionally toggles one optional attribute of
+        one instance's projection (an inexpensive extension of Algorithm 1 that
+        lets the walk also explore AS-vertices differing in non-join
+        attributes; 0 recovers the paper's pure edge-swap proposal).
+    """
+
+    iterations: int = 200
+    seed: int = 0
+    projection_flip_probability: float = 0.0
+
+
+@dataclass
+class MCMCResult:
+    """Outcome of the MCMC walk."""
+
+    best_graph: TargetGraph | None
+    best_evaluation: TargetGraphEvaluation | None
+    accepted_steps: int = 0
+    feasible_steps: int = 0
+    iterations: int = 0
+    trace: list[float] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.best_graph is not None
+
+    def require_feasible(self) -> tuple[TargetGraph, TargetGraphEvaluation]:
+        if self.best_graph is None or self.best_evaluation is None:
+            raise InfeasibleAcquisitionError(
+                "MCMC search found no target graph satisfying the constraints"
+            )
+        return self.best_graph, self.best_evaluation
+
+
+def _propose_edge_swap(
+    current: TargetGraph, join_graph: JoinGraph, rng: random.Random
+) -> TargetGraph | None:
+    """Pick a random edge and a random *different* join attribute set for it."""
+    if not current.edges:
+        return None
+    index = rng.randrange(len(current.edges))
+    left = current.nodes[current.parents[index]]
+    right = current.nodes[index + 1]
+    if not join_graph.has_edge(left, right):
+        return None
+    choices = join_graph.edge(left, right).join_attribute_choices()
+    alternatives = [attrs for attrs in choices if attrs != current.edges[index]]
+    if not alternatives:
+        return None
+    return current.replace_edge(index, rng.choice(alternatives))
+
+
+def _propose_projection_flip(
+    current: TargetGraph,
+    join_graph: JoinGraph,
+    wanted: set[str],
+    rng: random.Random,
+) -> TargetGraph | None:
+    """Toggle one optional (non-join, non-requested) attribute in one projection."""
+    name = rng.choice(current.nodes)
+    index = current.nodes.index(name)
+    required: set[str] = set()
+    for edge_index, edge in enumerate(current.edges):
+        if edge_index + 1 == index or current.parents[edge_index] == index:
+            required |= set(edge)
+    schema_names = set(join_graph.sample(name).schema.names)
+    required |= wanted & schema_names
+    optional = sorted(schema_names - required)
+    if not optional:
+        return None
+    attribute = rng.choice(optional)
+    projection = set(current.projections[name])
+    if attribute in projection:
+        projection.discard(attribute)
+    else:
+        projection.add(attribute)
+    projection |= required
+    return current.with_projection(name, projection)
+
+
+def mcmc_search(
+    join_graph: JoinGraph,
+    initial: TargetGraph,
+    tables: Mapping[str, Table],
+    source_attributes: Sequence[str],
+    target_attributes: Sequence[str],
+    fds: Sequence[FunctionalDependency],
+    *,
+    budget: float,
+    max_weight: float = float("inf"),
+    min_quality: float = 0.0,
+    config: MCMCConfig | None = None,
+    intermediate_hook=None,
+) -> MCMCResult:
+    """Algorithm 1: find the best feasible target graph by a Metropolis walk.
+
+    Parameters
+    ----------
+    join_graph:
+        The two-layer join graph (supplies the per-edge join-attribute choices).
+    initial:
+        The starting target graph (from Step 1's minimal-weight I-graph).
+    tables:
+        The tables to evaluate candidates on — the per-instance samples for the
+        heuristic / LP setting, or the full instances for GP-style evaluation.
+    source_attributes / target_attributes:
+        ``A_S`` and ``A_T``.
+    fds:
+        The FDs against which quality is measured on the join result.
+    budget / max_weight / min_quality:
+        The B / α / β constraints of the optimisation problem (Eq. 9).
+    config:
+        Iteration count, seed, and proposal mix.
+    intermediate_hook:
+        Optional re-sampling hook applied to intermediate join results during
+        candidate evaluation (correlated re-sampling).
+    """
+    config = config or MCMCConfig()
+    rng = random.Random(config.seed)
+    pricing = join_graph.pricing
+    wanted = set(source_attributes) | set(target_attributes)
+
+    def evaluate(graph: TargetGraph) -> TargetGraphEvaluation:
+        return graph.evaluate(
+            tables,
+            source_attributes,
+            target_attributes,
+            fds,
+            pricing,
+            intermediate_hook=intermediate_hook,
+        )
+
+    current = initial
+    current_eval = evaluate(current)
+    current_feasible = current_eval.satisfies(
+        max_weight=max_weight, min_quality=min_quality, budget=budget
+    )
+
+    best: TargetGraph | None = current if current_feasible else None
+    best_eval: TargetGraphEvaluation | None = current_eval if current_feasible else None
+
+    result = MCMCResult(best_graph=best, best_evaluation=best_eval)
+    result.feasible_steps = 1 if current_feasible else 0
+
+    for _ in range(config.iterations):
+        result.iterations += 1
+        proposal: TargetGraph | None = None
+        if config.projection_flip_probability > 0 and rng.random() < config.projection_flip_probability:
+            proposal = _propose_projection_flip(current, join_graph, wanted, rng)
+        if proposal is None:
+            proposal = _propose_edge_swap(current, join_graph, rng)
+        if proposal is None:
+            result.trace.append(current_eval.correlation)
+            continue
+
+        proposal_eval = evaluate(proposal)
+        if not proposal_eval.satisfies(
+            max_weight=max_weight, min_quality=min_quality, budget=budget
+        ):
+            result.trace.append(current_eval.correlation)
+            continue
+        result.feasible_steps += 1
+
+        if current_eval.correlation <= 0:
+            acceptance = 1.0
+        else:
+            acceptance = min(1.0, proposal_eval.correlation / current_eval.correlation)
+        if rng.random() <= acceptance:
+            current, current_eval = proposal, proposal_eval
+            result.accepted_steps += 1
+            if (
+                result.best_evaluation is None
+                or current_eval.correlation > result.best_evaluation.correlation
+            ):
+                result.best_graph = current
+                result.best_evaluation = current_eval
+        result.trace.append(current_eval.correlation)
+
+    return result

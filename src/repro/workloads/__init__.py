@@ -1,0 +1,42 @@
+"""Workload generators and acquisition queries for the evaluation.
+
+The paper evaluates on the TPC-H (8 tables) and TPC-E (29 tables) benchmarks.
+The official data generators and multi-million-row instances are not available
+here, so this package provides laptop-scale synthetic generators that preserve
+what the algorithms actually consume: the schemas, the key/foreign-key join
+paths (length up to 7 for TPC-H-like, up to 8 for TPC-E-like), per-table
+functional dependencies, and injectable inconsistency.
+
+``schema_spec``
+    The declarative table-specification machinery shared by both generators.
+``tpch``
+    The 8-table TPC-H-like workload.
+``tpce``
+    The 29-table TPC-E-like workload.
+``queries``
+    The acquisition queries Q1/Q2/Q3 (short / medium / long join paths) for
+    each workload.
+``galaxy``
+    A generic random "galaxy schema" generator used by property-based tests.
+"""
+
+from repro.workloads.schema_spec import ColumnSpec, TableSpec, WorkloadBuilder, GeneratedWorkload
+from repro.workloads.tpch import tpch_workload, TPCH_TABLE_NAMES
+from repro.workloads.tpce import tpce_workload, TPCE_TABLE_NAMES
+from repro.workloads.queries import AcquisitionQuery, tpch_queries, tpce_queries
+from repro.workloads.galaxy import random_galaxy_workload
+
+__all__ = [
+    "ColumnSpec",
+    "TableSpec",
+    "WorkloadBuilder",
+    "GeneratedWorkload",
+    "tpch_workload",
+    "TPCH_TABLE_NAMES",
+    "tpce_workload",
+    "TPCE_TABLE_NAMES",
+    "AcquisitionQuery",
+    "tpch_queries",
+    "tpce_queries",
+    "random_galaxy_workload",
+]

@@ -1,0 +1,76 @@
+"""A generic random "galaxy schema" workload generator.
+
+Property-based tests and ablation benchmarks need workloads whose shape
+(number of instances, fan-out, join-path length) can be varied freely.  The
+galaxy generator builds a random tree of tables: a root dimension table plus
+children that reference their parent through a foreign key, each with a mix of
+categorical and numerical payload columns (including one derived column per
+table so that every table has at least one FD to discover and to corrupt).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.schema_spec import ColumnSpec, GeneratedWorkload, TableSpec, WorkloadBuilder
+
+
+def random_galaxy_workload(
+    *,
+    num_tables: int = 6,
+    rows_per_table: int = 120,
+    seed: int = 0,
+    dirty_rate: float = 0.0,
+    branching: int = 2,
+) -> GeneratedWorkload:
+    """Generate a random tree-shaped workload of ``num_tables`` tables.
+
+    Table ``t0`` is the root; every other table ``ti`` references a previously
+    generated table, chosen so that each parent has at most ``branching``
+    children (falling back to the most recent table otherwise), which keeps the
+    join graph connected and controls its depth.
+    """
+    if num_tables < 1:
+        raise ValueError("num_tables must be >= 1")
+    rng = random.Random(seed)
+    builder = WorkloadBuilder("galaxy", seed=seed)
+
+    child_count: dict[int, int] = {}
+    specs: list[TableSpec] = []
+    for index in range(num_tables):
+        name = f"t{index}"
+        columns: list[ColumnSpec] = [ColumnSpec(f"{name}_key", kind="key")]
+        if index > 0:
+            candidates = [
+                parent
+                for parent in range(index)
+                if child_count.get(parent, 0) < branching
+            ]
+            parent = rng.choice(candidates) if candidates else index - 1
+            child_count[parent] = child_count.get(parent, 0) + 1
+            columns.append(
+                ColumnSpec(
+                    f"t{parent}_key",
+                    kind="foreign_key",
+                    references=(f"t{parent}", f"t{parent}_key"),
+                    skew=0.3,
+                )
+            )
+        columns.extend(
+            [
+                ColumnSpec(f"{name}_cat", kind="categorical", prefix=f"{name}c", cardinality=6),
+                ColumnSpec(
+                    f"{name}_label",
+                    kind="categorical",
+                    derived_from=f"{name}_cat",
+                    prefix=f"{name}l",
+                    cardinality=4,
+                ),
+                ColumnSpec(f"{name}_value", kind="numerical", low=0.0, high=100.0),
+            ]
+        )
+        specs.append(TableSpec(name, rows=rows_per_table, columns=columns))
+
+    builder.extend(specs)
+    dirty_tables = tuple(spec.name for spec in specs if dirty_rate > 0)
+    return builder.build(dirty_tables=dirty_tables, dirty_rate=dirty_rate, dirty_seed=seed + 3)

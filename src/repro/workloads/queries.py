@@ -1,0 +1,111 @@
+"""Acquisition queries Q1 / Q2 / Q3 for each workload.
+
+The evaluation defines, per dataset, three acquisition queries of short, medium
+and long join-path length (2 / 3 / 5 for TPC-H and 3 / 5 / 8 for TPC-E).  Each
+query fixes the source attributes (assumed to be owned by the shopper, living
+in one source instance) and the target attributes to acquire; the join-path
+length is the number of instances the natural join path between them crosses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.schema_spec import GeneratedWorkload
+
+
+@dataclass(frozen=True)
+class AcquisitionQuery:
+    """One evaluation query: source instance + attributes, target attributes.
+
+    Attributes
+    ----------
+    name:
+        Query label (``"Q1"`` / ``"Q2"`` / ``"Q3"``).
+    source_instance:
+        The instance assumed to be owned by the shopper.
+    source_attributes:
+        ``A_S`` (attributes of the source instance).
+    target_attributes:
+        ``A_T`` (attributes to acquire from the marketplace).
+    expected_path_length:
+        The length of the natural join path connecting sources to targets
+        (the paper's short / medium / long classification).
+    """
+
+    name: str
+    source_instance: str
+    source_attributes: tuple[str, ...]
+    target_attributes: tuple[str, ...]
+    expected_path_length: int
+
+    def involved_attributes(self) -> tuple[str, ...]:
+        return self.source_attributes + self.target_attributes
+
+
+def tpch_queries() -> dict[str, AcquisitionQuery]:
+    """Q1 (length 2), Q2 (length 3), Q3 (length 5) on the TPC-H-like workload.
+
+    Q3 mirrors the acquisition result reported in the paper's Table 6
+    discussion: orders(totalprice) correlated with region(rname) through
+    customer → supplier (via the bridge attribute) → nation → region.
+    """
+    return {
+        "Q1": AcquisitionQuery(
+            name="Q1",
+            source_instance="orders",
+            source_attributes=("totalprice",),
+            target_attributes=("mktsegment",),
+            expected_path_length=2,
+        ),
+        "Q2": AcquisitionQuery(
+            name="Q2",
+            source_instance="orders",
+            source_attributes=("totalprice",),
+            target_attributes=("nname",),
+            expected_path_length=3,
+        ),
+        "Q3": AcquisitionQuery(
+            name="Q3",
+            source_instance="orders",
+            source_attributes=("totalprice",),
+            target_attributes=("rname",),
+            expected_path_length=5,
+        ),
+    }
+
+
+def tpce_queries() -> dict[str, AcquisitionQuery]:
+    """Q1 (length 3), Q2 (length 5), Q3 (length 8) on the TPC-E-like workload."""
+    return {
+        "Q1": AcquisitionQuery(
+            name="Q1",
+            source_instance="trade",
+            source_attributes=("t_price",),
+            target_attributes=("s_issue",),
+            expected_path_length=3,
+        ),
+        "Q2": AcquisitionQuery(
+            name="Q2",
+            source_instance="trade",
+            source_attributes=("t_price",),
+            target_attributes=("in_name",),
+            expected_path_length=5,
+        ),
+        "Q3": AcquisitionQuery(
+            name="Q3",
+            source_instance="settlement",
+            source_attributes=("se_amount",),
+            target_attributes=("ex_name",),
+            expected_path_length=8,
+        ),
+    }
+
+
+def queries_for(workload: GeneratedWorkload) -> dict[str, AcquisitionQuery]:
+    """The query set matching a generated workload (dispatch on workload name)."""
+    if workload.name == "tpch":
+        return tpch_queries()
+    if workload.name == "tpce":
+        return tpce_queries()
+    raise KeyError(f"no predefined queries for workload {workload.name!r}")

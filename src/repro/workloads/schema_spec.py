@@ -1,0 +1,307 @@
+"""Declarative specification and generation of synthetic relational workloads.
+
+A workload is described by a list of :class:`TableSpec` objects.  Each table
+spec declares its columns; a column is either
+
+* a **key** column (unique integer identifiers),
+* a **foreign key** referencing another table's key column (this is what wires
+  up the join paths the evaluation needs),
+* a **categorical** column drawn from a value pool, optionally *derived* from
+  another column through a deterministic mapping (which plants a functional
+  dependency the quality machinery can discover and that dirty-data injection
+  can violate), or
+* a **numerical** column drawn from a configurable distribution.
+
+:class:`WorkloadBuilder` turns the specs into :class:`~repro.relational.table.Table`
+objects, collects the planted FDs, and optionally injects inconsistency into a
+chosen subset of tables (the paper corrupts 6 of 8 TPC-H tables and 20 of 29
+TPC-E tables at fixed rates).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.exceptions import SchemaError
+from repro.quality.dirty import inject_inconsistency
+from repro.quality.fd import FunctionalDependency
+from repro.relational.schema import Attribute, AttributeType, Schema
+from repro.relational.table import Table, Value
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Specification of one column of a synthetic table.
+
+    Exactly one of the following roles applies:
+
+    * ``kind="key"`` — unique integers ``0..rows-1`` (optionally offset);
+    * ``kind="foreign_key"`` — values drawn (skewed by Zipf-like weighting when
+      ``skew > 0``) from the referenced table's key column;
+    * ``kind="categorical"`` — values drawn from ``categories`` (or generated
+      labels ``prefix_0..prefix_{cardinality-1}``); when ``derived_from`` is
+      given, the value is a deterministic function of that column's value,
+      planting the FD ``derived_from -> name``;
+    * ``kind="numerical"`` — floats from a uniform or normal distribution, or
+      derived from another numeric/key column plus noise.
+    """
+
+    name: str
+    kind: str = "categorical"
+    references: tuple[str, str] | None = None  # (table, column) for foreign keys
+    categories: tuple[str, ...] | None = None
+    cardinality: int = 10
+    prefix: str | None = None
+    derived_from: str | None = None
+    distribution: str = "uniform"  # uniform | normal for numerical columns
+    low: float = 0.0
+    high: float = 1000.0
+    mean: float = 0.0
+    std: float = 1.0
+    skew: float = 0.0
+    offset: int = 0
+
+    def attribute(self) -> Attribute:
+        if self.kind in ("key", "foreign_key", "numerical"):
+            return Attribute(self.name, AttributeType.NUMERICAL)
+        return Attribute(self.name, AttributeType.CATEGORICAL)
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Specification of one synthetic table: name, row count, and column specs."""
+
+    name: str
+    rows: int
+    columns: tuple[ColumnSpec, ...]
+
+    def __init__(self, name: str, rows: int, columns: Sequence[ColumnSpec]) -> None:
+        if rows < 0:
+            raise SchemaError(f"table {name!r} cannot have a negative row count")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "columns", tuple(columns))
+
+    @property
+    def schema(self) -> Schema:
+        return Schema([column.attribute() for column in self.columns])
+
+    def planted_fds(self) -> list[FunctionalDependency]:
+        """FDs implied by the spec: ``derived_from -> column`` for deterministic derivations.
+
+        Only *categorical* derived columns plant an FD — numerical derived
+        columns add Gaussian noise, so the dependency is only approximate and
+        must not be treated as ground truth.
+        """
+        fds: list[FunctionalDependency] = []
+        for column in self.columns:
+            if column.derived_from is not None and column.kind == "categorical":
+                fds.append(FunctionalDependency((column.derived_from,), column.name))
+        return fds
+
+
+@dataclass
+class GeneratedWorkload:
+    """The output of a workload builder: tables, planted FDs, and dirty variants."""
+
+    name: str
+    tables: dict[str, Table]
+    fds: dict[str, list[FunctionalDependency]] = field(default_factory=dict)
+    dirty_tables: dict[str, Table] = field(default_factory=dict)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"workload {self.name!r} has no table {name!r}") from None
+
+    def dirty_or_clean(self, name: str) -> Table:
+        """The dirty variant when it exists, else the clean table."""
+        return self.dirty_tables.get(name, self.table(name))
+
+    def all_tables(self, *, prefer_dirty: bool = True) -> list[Table]:
+        if prefer_dirty:
+            return [self.dirty_or_clean(name) for name in self.tables]
+        return list(self.tables.values())
+
+    def all_fds(self) -> list[FunctionalDependency]:
+        collected: list[FunctionalDependency] = []
+        seen: set[tuple] = set()
+        for fds in self.fds.values():
+            for fd in fds:
+                key = (fd.lhs, fd.rhs)
+                if key not in seen:
+                    seen.add(key)
+                    collected.append(fd)
+        return collected
+
+    def subset(self, names: Sequence[str]) -> "GeneratedWorkload":
+        """A workload restricted to ``names`` (used by the #instances sweeps)."""
+        missing = [name for name in names if name not in self.tables]
+        if missing:
+            raise SchemaError(f"workload {self.name!r} has no tables {missing}")
+        return GeneratedWorkload(
+            name=self.name,
+            tables={name: self.tables[name] for name in names},
+            fds={name: list(self.fds.get(name, [])) for name in names},
+            dirty_tables={
+                name: self.dirty_tables[name] for name in names if name in self.dirty_tables
+            },
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Summary used to regenerate Table 5."""
+        sizes = {name: len(table) for name, table in self.tables.items()}
+        widths = {name: len(table.schema) for name, table in self.tables.items()}
+        fd_counts = [len(fds) for fds in self.fds.values()] or [0]
+        smallest = min(sizes, key=sizes.get)
+        largest = max(sizes, key=sizes.get)
+        narrowest = min(widths, key=widths.get)
+        widest = max(widths, key=widths.get)
+        return {
+            "workload": self.name,
+            "num_instances": len(self.tables),
+            "min_instance_size": (smallest, sizes[smallest]),
+            "max_instance_size": (largest, sizes[largest]),
+            "min_num_attributes": (narrowest, widths[narrowest]),
+            "max_num_attributes": (widest, widths[widest]),
+            "avg_fds_per_table": sum(fd_counts) / len(fd_counts),
+        }
+
+
+class WorkloadBuilder:
+    """Generates tables from :class:`TableSpec` objects with a shared RNG."""
+
+    def __init__(self, name: str, seed: int = 0) -> None:
+        self.name = name
+        self._rng = random.Random(seed)
+        self._specs: list[TableSpec] = []
+
+    def add(self, spec: TableSpec) -> "WorkloadBuilder":
+        self._specs.append(spec)
+        return self
+
+    def extend(self, specs: Sequence[TableSpec]) -> "WorkloadBuilder":
+        self._specs.extend(specs)
+        return self
+
+    # --------------------------------------------------------------- columns
+    def _key_values(self, spec: ColumnSpec, rows: int) -> list[Value]:
+        return [spec.offset + i for i in range(rows)]
+
+    def _foreign_key_values(
+        self, spec: ColumnSpec, rows: int, tables: Mapping[str, Table]
+    ) -> list[Value]:
+        if spec.references is None:
+            raise SchemaError(f"foreign-key column {spec.name!r} needs a references=(table, column)")
+        ref_table, ref_column = spec.references
+        if ref_table not in tables:
+            raise SchemaError(
+                f"column {spec.name!r} references table {ref_table!r} which is not generated yet"
+            )
+        pool = [value for value in tables[ref_table].column(ref_column) if value is not None]
+        if not pool:
+            return [None] * rows
+        if spec.skew > 0:
+            # Zipf-like weighting over the pool: early keys are much more frequent.
+            weights = [1.0 / (index + 1) ** spec.skew for index in range(len(pool))]
+            return self._rng.choices(pool, weights=weights, k=rows)
+        return [self._rng.choice(pool) for _ in range(rows)]
+
+    def _categorical_values(
+        self, spec: ColumnSpec, rows: int, existing: Mapping[str, list[Value]]
+    ) -> list[Value]:
+        categories = (
+            list(spec.categories)
+            if spec.categories is not None
+            else [f"{spec.prefix or spec.name}_{index}" for index in range(spec.cardinality)]
+        )
+        if spec.derived_from is not None:
+            if spec.derived_from not in existing:
+                raise SchemaError(
+                    f"column {spec.name!r} derives from {spec.derived_from!r} "
+                    "which must be declared before it"
+                )
+            base = existing[spec.derived_from]
+            return [
+                None if value is None else categories[hash(repr(value)) % len(categories)]
+                for value in base
+            ]
+        if spec.skew > 0:
+            weights = [1.0 / (index + 1) ** spec.skew for index in range(len(categories))]
+            return self._rng.choices(categories, weights=weights, k=rows)
+        return [self._rng.choice(categories) for _ in range(rows)]
+
+    def _numerical_values(
+        self, spec: ColumnSpec, rows: int, existing: Mapping[str, list[Value]]
+    ) -> list[Value]:
+        if spec.derived_from is not None:
+            if spec.derived_from not in existing:
+                raise SchemaError(
+                    f"column {spec.name!r} derives from {spec.derived_from!r} "
+                    "which must be declared before it"
+                )
+            base = existing[spec.derived_from]
+            noise_scale = max(1e-9, spec.std)
+            values: list[Value] = []
+            for value in base:
+                if value is None or not isinstance(value, (int, float)):
+                    numeric = float(abs(hash(repr(value))) % 1000)
+                else:
+                    numeric = float(value)
+                values.append(round(numeric * 2.0 + self._rng.gauss(0.0, noise_scale), 4))
+            return values
+        if spec.distribution == "normal":
+            return [round(self._rng.gauss(spec.mean, spec.std), 4) for _ in range(rows)]
+        return [round(self._rng.uniform(spec.low, spec.high), 4) for _ in range(rows)]
+
+    # ----------------------------------------------------------------- build
+    def _build_table(self, spec: TableSpec, tables: Mapping[str, Table]) -> Table:
+        columns: dict[str, list[Value]] = {}
+        for column in spec.columns:
+            if column.kind == "key":
+                values = self._key_values(column, spec.rows)
+            elif column.kind == "foreign_key":
+                values = self._foreign_key_values(column, spec.rows, tables)
+            elif column.kind == "numerical":
+                values = self._numerical_values(column, spec.rows, columns)
+            elif column.kind == "categorical":
+                values = self._categorical_values(column, spec.rows, columns)
+            else:
+                raise SchemaError(f"unknown column kind {column.kind!r} for {column.name!r}")
+            columns[column.name] = values
+        return Table(spec.name, spec.schema, columns)
+
+    def build(
+        self,
+        *,
+        dirty_tables: Sequence[str] = (),
+        dirty_rate: float = 0.0,
+        dirty_seed: int = 17,
+    ) -> GeneratedWorkload:
+        """Generate all tables (in declaration order) and optionally dirty variants."""
+        tables: dict[str, Table] = {}
+        fds: dict[str, list[FunctionalDependency]] = {}
+        for spec in self._specs:
+            table = self._build_table(spec, tables)
+            tables[spec.name] = table
+            fds[spec.name] = spec.planted_fds()
+
+        dirty: dict[str, Table] = {}
+        if dirty_rate > 0.0:
+            dirty_rng = random.Random(dirty_seed)
+            for name in dirty_tables:
+                if name not in tables:
+                    raise SchemaError(f"cannot dirty unknown table {name!r}")
+                table_fds = fds.get(name, [])
+                if not table_fds:
+                    continue
+                corrupted = tables[name]
+                per_fd_rate = dirty_rate / len(table_fds)
+                for fd in table_fds:
+                    corrupted = inject_inconsistency(corrupted, fd, per_fd_rate, dirty_rng)
+                dirty[name] = corrupted
+
+        return GeneratedWorkload(name=self.name, tables=tables, fds=fds, dirty_tables=dirty)

@@ -1,0 +1,382 @@
+"""TPC-E-like synthetic workload (29 tables).
+
+The paper's second benchmark is TPC-E, whose relevant property for the
+evaluation is its size and connectivity: 29 instances, between 3 and 28
+attributes each, and join paths of length up to 8.  This generator produces a
+29-table workload with the same high-level structure — a chain of "market"
+entities (exchange → sector → industry → company → security → trades …) plus a
+chain of "customer" entities (customer → account → orders …) and several
+broker/settlement side tables — so that the I-layer of the join graph has the
+connectivity the experiments exercise.  Table names are kept short and generic;
+the row counts are laptop-scale and controlled by a ``scale`` knob.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.schema_spec import ColumnSpec, GeneratedWorkload, TableSpec, WorkloadBuilder
+
+TPCE_TABLE_NAMES: tuple[str, ...] = (
+    "exchange",
+    "sector",
+    "industry",
+    "company",
+    "company_competitor",
+    "financial",
+    "security",
+    "daily_market",
+    "last_trade",
+    "news_item",
+    "news_xref",
+    "address",
+    "zip_code",
+    "status_type",
+    "taxrate",
+    "customer",
+    "customer_account",
+    "customer_taxrate",
+    "account_permission",
+    "broker",
+    "cash_transaction",
+    "charge",
+    "commission_rate",
+    "holding",
+    "holding_history",
+    "holding_summary",
+    "settlement",
+    "trade",
+    "watch_item",
+)
+
+#: 20 of the 29 tables get inconsistency injected (mirrors the paper's setup).
+TPCE_DIRTY_TABLES: tuple[str, ...] = (
+    "industry",
+    "company",
+    "company_competitor",
+    "financial",
+    "security",
+    "daily_market",
+    "last_trade",
+    "news_item",
+    "news_xref",
+    "address",
+    "customer",
+    "customer_account",
+    "account_permission",
+    "broker",
+    "cash_transaction",
+    "holding",
+    "holding_history",
+    "holding_summary",
+    "settlement",
+    "trade",
+)
+
+
+def _chain_specs(scale: float) -> list[TableSpec]:
+    """The market-side chain: exchange → sector → industry → company → security → …"""
+    company_rows = max(20, int(120 * scale))
+    security_rows = max(30, int(200 * scale))
+    trade_rows = max(80, int(700 * scale))
+    customer_rows = max(30, int(250 * scale))
+    account_rows = max(40, int(300 * scale))
+    return [
+        TableSpec(
+            "exchange",
+            rows=4,
+            columns=(
+                ColumnSpec("exchange_id", kind="key"),
+                ColumnSpec("ex_name", kind="categorical", derived_from="exchange_id", prefix="ex", cardinality=4),
+                ColumnSpec("ex_open", kind="numerical", low=800.0, high=1000.0),
+            ),
+        ),
+        TableSpec(
+            "sector",
+            rows=12,
+            columns=(
+                ColumnSpec("sector_id", kind="key"),
+                ColumnSpec("sc_name", kind="categorical", derived_from="sector_id", prefix="sector", cardinality=12),
+                ColumnSpec("exchange_id", kind="foreign_key", references=("exchange", "exchange_id")),
+            ),
+        ),
+        TableSpec(
+            "industry",
+            rows=30,
+            columns=(
+                ColumnSpec("industry_id", kind="key"),
+                ColumnSpec("in_name", kind="categorical", derived_from="industry_id", prefix="ind", cardinality=30),
+                ColumnSpec("sector_id", kind="foreign_key", references=("sector", "sector_id")),
+            ),
+        ),
+        TableSpec(
+            "company",
+            rows=company_rows,
+            columns=(
+                ColumnSpec("company_id", kind="key"),
+                ColumnSpec("co_name", kind="categorical", derived_from="company_id", prefix="co", cardinality=max(20, company_rows)),
+                ColumnSpec("industry_id", kind="foreign_key", references=("industry", "industry_id")),
+                ColumnSpec("co_rating", kind="categorical", prefix="rating", cardinality=6),
+                ColumnSpec("co_founded", kind="numerical", low=1900.0, high=2018.0),
+            ),
+        ),
+        TableSpec(
+            "company_competitor",
+            rows=max(20, int(100 * scale)),
+            columns=(
+                ColumnSpec("company_id", kind="foreign_key", references=("company", "company_id")),
+                ColumnSpec("competitor_id", kind="foreign_key", references=("company", "company_id")),
+                ColumnSpec("industry_id", kind="foreign_key", references=("industry", "industry_id")),
+            ),
+        ),
+        TableSpec(
+            "financial",
+            rows=max(30, int(150 * scale)),
+            columns=(
+                ColumnSpec("company_id", kind="foreign_key", references=("company", "company_id")),
+                ColumnSpec("fi_year", kind="numerical", low=2010.0, high=2018.0),
+                ColumnSpec("fi_revenue", kind="numerical", derived_from="company_id", std=100.0),
+                ColumnSpec("fi_assets", kind="numerical", low=1000.0, high=100000.0),
+            ),
+        ),
+        TableSpec(
+            "security",
+            rows=security_rows,
+            columns=(
+                ColumnSpec("security_id", kind="key"),
+                ColumnSpec("s_symbol", kind="categorical", derived_from="security_id", prefix="sym", cardinality=max(30, security_rows)),
+                ColumnSpec("company_id", kind="foreign_key", references=("company", "company_id")),
+                ColumnSpec("s_issue", kind="categorical", prefix="issue", cardinality=4),
+                ColumnSpec("s_numout", kind="numerical", low=1000.0, high=100000.0),
+            ),
+        ),
+        TableSpec(
+            "daily_market",
+            rows=max(60, int(500 * scale)),
+            columns=(
+                ColumnSpec("security_id", kind="foreign_key", references=("security", "security_id"), skew=0.4),
+                ColumnSpec("dm_date", kind="numerical", low=1.0, high=365.0),
+                ColumnSpec("dm_close", kind="numerical", derived_from="security_id", std=5.0),
+                ColumnSpec("dm_volume", kind="numerical", low=100.0, high=100000.0),
+            ),
+        ),
+        TableSpec(
+            "last_trade",
+            rows=security_rows,
+            columns=(
+                ColumnSpec("security_id", kind="foreign_key", references=("security", "security_id")),
+                ColumnSpec("lt_price", kind="numerical", derived_from="security_id", std=2.0),
+                ColumnSpec("lt_volume", kind="numerical", low=0.0, high=50000.0),
+            ),
+        ),
+        TableSpec(
+            "news_item",
+            rows=max(20, int(120 * scale)),
+            columns=(
+                ColumnSpec("news_id", kind="key"),
+                ColumnSpec("ni_headline", kind="categorical", derived_from="news_id", prefix="news", cardinality=max(20, int(120 * scale))),
+                ColumnSpec("ni_sentiment", kind="categorical", prefix="sent", cardinality=3),
+            ),
+        ),
+        TableSpec(
+            "news_xref",
+            rows=max(20, int(150 * scale)),
+            columns=(
+                ColumnSpec("news_id", kind="foreign_key", references=("news_item", "news_id")),
+                ColumnSpec("company_id", kind="foreign_key", references=("company", "company_id")),
+            ),
+        ),
+        TableSpec(
+            "zip_code",
+            rows=50,
+            columns=(
+                ColumnSpec("zip", kind="key", offset=10000),
+                ColumnSpec("zc_town", kind="categorical", derived_from="zip", prefix="town", cardinality=40),
+                ColumnSpec("zc_division", kind="categorical", derived_from="zc_town", prefix="div", cardinality=10),
+            ),
+        ),
+        TableSpec(
+            "address",
+            rows=max(40, int(250 * scale)),
+            columns=(
+                ColumnSpec("address_id", kind="key"),
+                ColumnSpec("zip", kind="foreign_key", references=("zip_code", "zip")),
+                ColumnSpec("ad_line", kind="categorical", prefix="line", cardinality=60),
+            ),
+        ),
+        TableSpec(
+            "status_type",
+            rows=5,
+            columns=(
+                ColumnSpec("status_id", kind="key"),
+                ColumnSpec("st_name", kind="categorical", derived_from="status_id", prefix="status", cardinality=5),
+                ColumnSpec("st_flag", kind="categorical", categories=("active", "inactive")),
+            ),
+        ),
+        TableSpec(
+            "taxrate",
+            rows=20,
+            columns=(
+                ColumnSpec("taxrate_id", kind="key"),
+                ColumnSpec("tx_name", kind="categorical", derived_from="taxrate_id", prefix="tax", cardinality=20),
+                ColumnSpec("tx_rate", kind="numerical", low=0.0, high=0.5),
+            ),
+        ),
+        TableSpec(
+            "customer",
+            rows=customer_rows,
+            columns=(
+                ColumnSpec("customer_id", kind="key"),
+                ColumnSpec("c_lastname", kind="categorical", derived_from="customer_id", prefix="cust", cardinality=max(30, customer_rows)),
+                ColumnSpec("address_id", kind="foreign_key", references=("address", "address_id")),
+                ColumnSpec("c_tier", kind="categorical", categories=("tier1", "tier2", "tier3")),
+                ColumnSpec("c_networth", kind="numerical", derived_from="customer_id", std=500.0),
+                ColumnSpec("status_id", kind="foreign_key", references=("status_type", "status_id")),
+            ),
+        ),
+        TableSpec(
+            "customer_taxrate",
+            rows=customer_rows,
+            columns=(
+                ColumnSpec("customer_id", kind="foreign_key", references=("customer", "customer_id")),
+                ColumnSpec("taxrate_id", kind="foreign_key", references=("taxrate", "taxrate_id")),
+            ),
+        ),
+        TableSpec(
+            "broker",
+            rows=max(10, int(40 * scale)),
+            columns=(
+                ColumnSpec("broker_id", kind="key"),
+                ColumnSpec("b_name", kind="categorical", derived_from="broker_id", prefix="broker", cardinality=max(10, int(40 * scale))),
+                ColumnSpec("b_numtrades", kind="numerical", low=0.0, high=10000.0),
+                ColumnSpec("status_id", kind="foreign_key", references=("status_type", "status_id")),
+            ),
+        ),
+        TableSpec(
+            "customer_account",
+            rows=account_rows,
+            columns=(
+                ColumnSpec("account_id", kind="key"),
+                ColumnSpec("customer_id", kind="foreign_key", references=("customer", "customer_id"), skew=0.4),
+                ColumnSpec("broker_id", kind="foreign_key", references=("broker", "broker_id")),
+                ColumnSpec("ca_balance", kind="numerical", derived_from="customer_id", std=200.0),
+                ColumnSpec("ca_taxstatus", kind="categorical", categories=("taxable", "deferred")),
+            ),
+        ),
+        TableSpec(
+            "account_permission",
+            rows=account_rows,
+            columns=(
+                ColumnSpec("account_id", kind="foreign_key", references=("customer_account", "account_id")),
+                ColumnSpec("ap_level", kind="categorical", categories=("read", "trade", "admin")),
+            ),
+        ),
+        TableSpec(
+            "charge",
+            rows=15,
+            columns=(
+                ColumnSpec("charge_id", kind="key"),
+                ColumnSpec("ch_type", kind="categorical", derived_from="charge_id", prefix="chtype", cardinality=15),
+                ColumnSpec("ch_amount", kind="numerical", low=0.0, high=50.0),
+            ),
+        ),
+        TableSpec(
+            "commission_rate",
+            rows=30,
+            columns=(
+                ColumnSpec("commission_id", kind="key"),
+                ColumnSpec("cr_tier", kind="categorical", categories=("tier1", "tier2", "tier3")),
+                ColumnSpec("cr_rate", kind="numerical", low=0.0, high=0.1),
+                ColumnSpec("exchange_id", kind="foreign_key", references=("exchange", "exchange_id")),
+            ),
+        ),
+        TableSpec(
+            "trade",
+            rows=trade_rows,
+            columns=(
+                ColumnSpec("trade_id", kind="key"),
+                ColumnSpec("account_id", kind="foreign_key", references=("customer_account", "account_id"), skew=0.3),
+                ColumnSpec("security_id", kind="foreign_key", references=("security", "security_id"), skew=0.3),
+                ColumnSpec("charge_id", kind="foreign_key", references=("charge", "charge_id")),
+                ColumnSpec("t_qty", kind="numerical", low=1.0, high=1000.0),
+                ColumnSpec("t_price", kind="numerical", derived_from="security_id", std=3.0),
+                ColumnSpec("t_type", kind="categorical", categories=("buy", "sell")),
+                ColumnSpec("status_id", kind="foreign_key", references=("status_type", "status_id")),
+            ),
+        ),
+        TableSpec(
+            "settlement",
+            rows=trade_rows,
+            columns=(
+                ColumnSpec("trade_id", kind="foreign_key", references=("trade", "trade_id")),
+                ColumnSpec("se_amount", kind="numerical", derived_from="trade_id", std=10.0),
+                ColumnSpec("se_cashtype", kind="categorical", categories=("margin", "cash")),
+            ),
+        ),
+        TableSpec(
+            "cash_transaction",
+            rows=trade_rows,
+            columns=(
+                ColumnSpec("trade_id", kind="foreign_key", references=("trade", "trade_id")),
+                ColumnSpec("ct_amount", kind="numerical", derived_from="trade_id", std=20.0),
+                ColumnSpec("ct_name", kind="categorical", prefix="ct", cardinality=10),
+            ),
+        ),
+        TableSpec(
+            "holding",
+            rows=max(50, int(350 * scale)),
+            columns=(
+                ColumnSpec("holding_id", kind="key"),
+                ColumnSpec("account_id", kind="foreign_key", references=("customer_account", "account_id")),
+                ColumnSpec("security_id", kind="foreign_key", references=("security", "security_id")),
+                ColumnSpec("h_qty", kind="numerical", low=1.0, high=5000.0),
+                ColumnSpec("h_price", kind="numerical", derived_from="security_id", std=4.0),
+            ),
+        ),
+        TableSpec(
+            "holding_history",
+            rows=max(60, int(400 * scale)),
+            columns=(
+                ColumnSpec("holding_id", kind="foreign_key", references=("holding", "holding_id")),
+                ColumnSpec("trade_id", kind="foreign_key", references=("trade", "trade_id")),
+                ColumnSpec("hh_qty", kind="numerical", low=1.0, high=5000.0),
+            ),
+        ),
+        TableSpec(
+            "holding_summary",
+            rows=account_rows,
+            columns=(
+                ColumnSpec("account_id", kind="foreign_key", references=("customer_account", "account_id")),
+                ColumnSpec("security_id", kind="foreign_key", references=("security", "security_id")),
+                ColumnSpec("hs_qty", kind="numerical", low=1.0, high=10000.0),
+            ),
+        ),
+        TableSpec(
+            "watch_item",
+            rows=max(60, int(500 * scale)),
+            columns=(
+                ColumnSpec("customer_id", kind="foreign_key", references=("customer", "customer_id")),
+                ColumnSpec("security_id", kind="foreign_key", references=("security", "security_id")),
+                ColumnSpec("wi_active", kind="categorical", categories=("yes", "no")),
+            ),
+        ),
+    ]
+
+
+def tpce_workload(
+    *,
+    scale: float = 0.15,
+    seed: int = 1,
+    dirty_rate: float = 0.2,
+) -> GeneratedWorkload:
+    """Generate the 29-table TPC-E-like workload.
+
+    ``dirty_rate`` controls the inconsistency injected into the 20 corruptible
+    tables (0 disables dirty variants); ``scale`` scales row counts.
+    """
+    builder = WorkloadBuilder("tpce", seed=seed)
+    builder.extend(_chain_specs(scale))
+    workload = builder.build(
+        dirty_tables=TPCE_DIRTY_TABLES if dirty_rate > 0 else (),
+        dirty_rate=dirty_rate,
+        dirty_seed=seed + 29,
+    )
+    return workload

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace
+from repro.pricing.models import EntropyPricingModel
+from repro.quality.fd import FunctionalDependency
+from repro.relational.schema import Attribute, AttributeType, Schema
+from repro.relational.table import Table
+from repro.workloads.tpch import tpch_workload
+
+
+@pytest.fixture
+def zip_table() -> Table:
+    """The paper's D1 example: a zipcode table with one FD-violating row."""
+    schema = Schema(
+        [
+            Attribute("zipcode", AttributeType.CATEGORICAL),
+            Attribute("state", AttributeType.CATEGORICAL),
+        ]
+    )
+    rows = [
+        ("07003", "NJ"),
+        ("07304", "NJ"),
+        ("10001", "NY"),
+        ("10001", "NJ"),  # violates zipcode -> state
+    ]
+    return Table.from_rows("d1_zip", schema, rows)
+
+
+@pytest.fixture
+def disease_table() -> Table:
+    """The paper's D2 example: disease statistics by state."""
+    schema = Schema(
+        [
+            Attribute("state", AttributeType.CATEGORICAL),
+            Attribute("disease", AttributeType.CATEGORICAL),
+            Attribute("cases", AttributeType.NUMERICAL),
+        ]
+    )
+    rows = [
+        ("MA", "Flu", 300),
+        ("NJ", "Flu", 400),
+        ("FL", "Lyme", 130),
+        ("CA", "Lyme", 40),
+        ("NJ", "Lyme", 200),
+    ]
+    return Table.from_rows("d2_disease", schema, rows)
+
+
+@pytest.fixture
+def example_d() -> Table:
+    """The paper's Table 2 example instance (FD A -> B with two violations)."""
+    schema = Schema(["A", "B"])
+    rows = [("a1", "b1"), ("a1", "b1"), ("a1", "b2"), ("a1", "b3"), ("a2", "b2")]
+    return Table.from_rows("example_d", schema, rows)
+
+
+@pytest.fixture
+def fd_a_b() -> FunctionalDependency:
+    return FunctionalDependency(("A",), "B")
+
+
+@pytest.fixture(scope="session")
+def small_tpch():
+    """A tiny TPC-H-like workload shared across tests (session-scoped for speed)."""
+    return tpch_workload(scale=0.05, seed=0, dirty_rate=0.3)
+
+
+@pytest.fixture(scope="session")
+def tpch_marketplace(small_tpch) -> Marketplace:
+    """A marketplace hosting the dirty variants of the small TPC-H workload."""
+    pricing = EntropyPricingModel()
+    market = Marketplace(default_pricing=pricing)
+    for name in small_tpch.tables:
+        market.host(
+            MarketplaceDataset(table=small_tpch.dirty_or_clean(name), pricing=pricing)
+        )
+    return market

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+BASE_ARGS = ["--scale", "0.05", "--sampling-rate", "0.8", "--mcmc-iterations", "15"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_catalog_defaults(self):
+        args = build_parser().parse_args(["catalog"])
+        assert args.workload == "tpch"
+        assert args.func.__name__ == "cmd_catalog"
+
+    def test_acquire_options(self):
+        args = build_parser().parse_args(
+            ["acquire", "--query", "Q1", "--budget", "55", "--top-k", "2"]
+        )
+        assert args.query == "Q1"
+        assert args.budget == 55.0
+        assert args.top_k == 2
+
+
+class TestCatalogCommand:
+    def test_text_output(self, capsys):
+        assert main(["catalog", *BASE_ARGS]) == 0
+        output = capsys.readouterr().out
+        assert "lineitem" in output
+        assert "orders" in output
+
+    def test_json_output(self, capsys):
+        assert main(["catalog", "--json", *BASE_ARGS]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 8
+
+
+class TestAcquireCommand:
+    def test_predefined_query_text(self, capsys):
+        code = main(["acquire", "--query", "Q1", "--budget", "1000", *BASE_ARGS])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SELECT" in output
+        assert "estimated correlation" in output
+
+    def test_explicit_attributes_json(self, capsys):
+        code = main(
+            [
+                "acquire",
+                "--source", "totalprice",
+                "--target", "mktsegment",
+                "--budget", "1000",
+                "--json",
+                *BASE_ARGS,
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"]
+        assert payload["estimated_price"] <= 1000
+
+    def test_top_k_output(self, capsys):
+        code = main(
+            ["acquire", "--query", "Q1", "--budget", "1000", "--top-k", "2", *BASE_ARGS]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        assert payload[0]["rank"] == 1
+
+    def test_missing_target_is_an_error(self, capsys):
+        assert main(["acquire", "--budget", "10", *BASE_ARGS]) == 2
+
+    def test_infeasible_request_returns_error_code(self, capsys):
+        code = main(
+            ["acquire", "--target", "does_not_exist", "--budget", "10", *BASE_ARGS]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExportGraphCommand:
+    def test_describe_only(self, capsys):
+        assert main(["export-graph", *BASE_ARGS]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_instances"] == 8
+
+    def test_write_json_and_dot(self, tmp_path, capsys):
+        json_path = tmp_path / "graph.json"
+        dot_path = tmp_path / "graph.dot"
+        code = main(
+            [
+                "export-graph",
+                "--json-out", str(json_path),
+                "--dot-out", str(dot_path),
+                *BASE_ARGS,
+            ]
+        )
+        assert code == 0
+        assert json_path.exists()
+        assert dot_path.read_text().startswith("graph")

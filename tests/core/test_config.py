@@ -1,0 +1,45 @@
+"""Tests for DanceConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DanceConfig
+from repro.exceptions import SamplingError
+from repro.sampling.resampling import ResamplingPolicy
+from repro.search.mcmc import MCMCConfig
+
+
+class TestDanceConfig:
+    def test_defaults_are_valid(self):
+        config = DanceConfig()
+        assert 0.0 < config.sampling_rate <= 1.0
+        assert config.num_landmarks >= 1
+        assert isinstance(config.resampling, ResamplingPolicy)
+        assert isinstance(config.mcmc, MCMCConfig)
+
+    def test_invalid_sampling_rate(self):
+        with pytest.raises(SamplingError):
+            DanceConfig(sampling_rate=0.0)
+        with pytest.raises(SamplingError):
+            DanceConfig(sampling_rate=1.2)
+
+    def test_invalid_landmarks(self):
+        with pytest.raises(SamplingError):
+            DanceConfig(num_landmarks=0)
+
+    def test_invalid_refinement_settings(self):
+        with pytest.raises(SamplingError):
+            DanceConfig(max_refinement_rounds=-1)
+        with pytest.raises(SamplingError):
+            DanceConfig(refinement_rate_multiplier=0.5)
+
+    def test_refined_doubles_sampling_rate(self):
+        config = DanceConfig(sampling_rate=0.3, refinement_rate_multiplier=2.0)
+        refined = config.refined()
+        assert refined.sampling_rate == pytest.approx(0.6)
+        assert refined.mcmc is config.mcmc
+
+    def test_refined_caps_at_one(self):
+        config = DanceConfig(sampling_rate=0.8, refinement_rate_multiplier=2.0)
+        assert config.refined().sampling_rate == 1.0

@@ -1,0 +1,134 @@
+"""Tests for the DANCE middleware facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DanceConfig
+from repro.core.dance import DANCE, build_dance
+from repro.exceptions import InfeasibleAcquisitionError
+from repro.marketplace.market import Marketplace
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.relational.table import Table
+from repro.search.mcmc import MCMCConfig
+
+
+@pytest.fixture
+def chain_marketplace() -> Marketplace:
+    market = Marketplace()
+    market.host(
+        Table.from_rows(
+            "orders",
+            ["custkey", "totalprice"],
+            [(i % 6, float(i % 6) * 100 + i % 2) for i in range(60)],
+        )
+    )
+    market.host(
+        Table.from_rows("customers", ["custkey", "nationkey"], [(i, i % 3) for i in range(6)])
+    )
+    market.host(
+        Table.from_rows("nations", ["nationkey", "nname"], [(i, f"n{i}") for i in range(3)])
+    )
+    return market
+
+
+@pytest.fixture
+def config() -> DanceConfig:
+    return DanceConfig(sampling_rate=0.8, mcmc=MCMCConfig(iterations=30, seed=0))
+
+
+class TestOfflinePhase:
+    def test_build_offline_buys_samples_and_builds_graph(self, chain_marketplace, config):
+        dance = DANCE(chain_marketplace, config)
+        graph = dance.build_offline()
+        assert len(graph) == 3
+        assert dance.sample_cost > 0.0
+        assert chain_marketplace.sample_revenue == pytest.approx(dance.sample_cost)
+
+    def test_join_graph_before_offline_raises(self, chain_marketplace, config):
+        with pytest.raises(InfeasibleAcquisitionError):
+            DANCE(chain_marketplace, config).join_graph
+
+    def test_fds_collected_from_samples(self, chain_marketplace, config):
+        dance = DANCE(chain_marketplace, config)
+        dance.build_offline()
+        assert any(fd.rhs == "nname" for fd in dance.fds)
+
+    def test_known_fds_override_discovery(self, chain_marketplace, config):
+        from repro.quality.fd import FunctionalDependency
+
+        known = {"nations": [FunctionalDependency("nationkey", "nname")]}
+        dance = DANCE(chain_marketplace, config, known_fds=known)
+        dance.build_offline()
+        assert FunctionalDependency("nationkey", "nname") in dance.fds
+
+    def test_source_tables_become_source_instances(self, chain_marketplace, config):
+        dance = DANCE(chain_marketplace, config)
+        local = Table.from_rows("local", ["custkey", "age"], [(i, 20 + i) for i in range(6)])
+        dance.register_source_tables([local])
+        graph = dance.build_offline()
+        assert "local" in graph.source_instances
+        assert graph.price_of("local", ["custkey"]) == 0.0
+
+
+class TestOnlinePhase:
+    def test_acquire_returns_queries_and_estimates(self, chain_marketplace, config):
+        dance = DANCE(chain_marketplace, config)
+        request = AcquisitionRequest(["totalprice"], ["nname"], budget=1e6)
+        result = dance.acquire(request)
+        assert result.estimated_correlation > 0.0
+        assert result.purchased_instances
+        assert all(sql.startswith("SELECT") for sql in result.sql())
+        assert result.igraph_size >= 2
+
+    def test_acquire_without_offline_builds_automatically(self, chain_marketplace, config):
+        dance = DANCE(chain_marketplace, config)
+        request = AcquisitionRequest(["totalprice"], ["nname"], budget=1e6)
+        assert dance.acquire(request).estimated_correlation >= 0.0
+
+    def test_impossible_budget_raises_after_refinement(self, chain_marketplace, config):
+        dance = DANCE(chain_marketplace, config)
+        request = AcquisitionRequest(["totalprice"], ["nname"], budget=0.0)
+        with pytest.raises(InfeasibleAcquisitionError):
+            dance.acquire(request)
+
+    def test_unknown_target_attribute_raises(self, chain_marketplace, config):
+        dance = DANCE(chain_marketplace, config)
+        request = AcquisitionRequest(["totalprice"], ["missing"], budget=1e6)
+        with pytest.raises(InfeasibleAcquisitionError):
+            dance.acquire(request)
+
+    def test_purchase_loop_with_shopper(self, chain_marketplace, config):
+        from repro.marketplace.shopper import DataShopper
+        from repro.pricing.budget import Budget
+
+        dance = DANCE(chain_marketplace, config)
+        request = AcquisitionRequest(["totalprice"], ["nname"], budget=1e6)
+        result = dance.acquire(request)
+
+        shopper = DataShopper(name="adam", budget=Budget(total=1e6))
+        receipts = shopper.purchase(chain_marketplace, result.queries)
+        assert len(receipts) == len(result.queries)
+        assert shopper.total_spent() == pytest.approx(
+            sum(receipt.price for receipt in receipts)
+        )
+
+    def test_describe(self, chain_marketplace, config):
+        dance = DANCE(chain_marketplace, config)
+        dance.build_offline()
+        info = dance.describe()
+        assert info["num_fds"] >= 0
+        assert info["join_graph"]["num_instances"] == 3
+
+
+class TestBuildDance:
+    def test_convenience_constructor(self, chain_marketplace):
+        local = Table.from_rows("local", ["custkey", "age"], [(i, 30) for i in range(6)])
+        dance = build_dance(
+            chain_marketplace,
+            config=DanceConfig(sampling_rate=0.9),
+            source_tables=[local],
+            mcmc_iterations=20,
+        )
+        assert "local" in dance.join_graph.source_instances
+        assert dance.config.mcmc.iterations == 20

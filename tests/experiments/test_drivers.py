@@ -1,0 +1,121 @@
+"""Smoke tests for the experiment drivers at tiny scale.
+
+The full-scale parameter sweeps live in ``benchmarks/``; these tests only check
+that every driver runs end-to-end and produces rows with the expected columns
+and sane values, so regressions in the harness are caught by the unit suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.common import (
+    correlation_difference,
+    load_workload,
+    prepare_setup,
+    summarize_rows,
+    timed,
+)
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5_budget, run_fig5_instances
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+
+
+class TestCommon:
+    def test_load_workload_dispatch(self):
+        assert load_workload("tpch", scale=0.05).name == "tpch"
+        assert load_workload("tpce", scale=0.05).name == "tpce"
+        with pytest.raises(KeyError):
+            load_workload("unknown")
+
+    def test_correlation_difference(self):
+        assert correlation_difference(10.0, 8.0) == pytest.approx(0.2)
+        assert correlation_difference(0.0, 5.0) == 0.0
+        assert correlation_difference(5.0, 6.0) == 0.0  # clamped at 0
+
+    def test_timed(self):
+        value, elapsed = timed(lambda: 42)
+        assert value == 42
+        assert elapsed >= 0.0
+
+    def test_summarize_rows(self):
+        text = summarize_rows([{"a": 1.5, "b": "x"}], ["a", "b"])
+        assert "1.5000" in text and "x" in text
+
+    def test_prepare_setup_restricts_instances(self):
+        setup = prepare_setup("tpch", "Q1", scale=0.05, num_instances=5, mcmc_iterations=10)
+        assert len(setup.join_graph) <= 5
+        assert setup.query.source_instance in setup.join_graph
+
+    def test_budget_for_ratio_positive(self):
+        setup = prepare_setup("tpch", "Q1", scale=0.05, mcmc_iterations=10)
+        assert setup.budget_for_ratio(0.5) > 0.0
+
+
+class TestDrivers:
+    def test_table5(self):
+        rows = run_table5(
+            workloads={"tpch": load_workload("tpch", scale=0.05)}, fd_max_lhs_size=1
+        )
+        assert len(rows) == 1
+        assert rows[0]["num_instances"] == 8
+        assert rows[0]["avg_fds_per_table"] > 0
+
+    def test_fig4_tiny(self):
+        rows = run_fig4(
+            query_names=("Q1",),
+            instance_counts=(5,),
+            scale=0.05,
+            mcmc_iterations=10,
+            include_gp=False,
+        )
+        assert len(rows) == 1
+        assert rows[0]["heuristic_seconds"] > 0.0
+        assert rows[0]["lp_seconds"] > 0.0
+
+    def test_fig5_instances_tiny(self):
+        rows = run_fig5_instances(
+            query_names=("Q1",), instance_counts=(10,), scale=0.05, mcmc_iterations=10
+        )
+        assert len(rows) == 1
+        assert rows[0]["igraph_size"] >= 1 or not rows[0]["feasible"]
+
+    def test_fig5_budget_tiny(self):
+        rows = run_fig5_budget(
+            query_names=("Q1",), budget_ratios=(0.9,), scale=0.05, mcmc_iterations=10
+        )
+        assert len(rows) == 1
+        assert rows[0]["affordable"] in (True, False)
+
+    def test_fig6_tiny(self):
+        rows = run_fig6(
+            query_names=("Q1",), sampling_rates=(0.5,), scale=0.05, mcmc_iterations=10
+        )
+        assert len(rows) == 1
+        assert 0.0 <= rows[0]["cd_vs_gp"] <= 1.0
+
+    def test_fig7_tiny(self):
+        rows = run_fig7(
+            query_names=("Q1",), budget_ratios=(0.9,), scale=0.05, mcmc_iterations=10
+        )
+        assert len(rows) == 1
+        assert rows[0]["gp_correlation"] >= 0.0
+
+    def test_fig8_tiny(self):
+        rows = run_fig8(
+            query_names=("Q1",), resampling_rates=(0.5,), scale=0.05, mcmc_iterations=10
+        )
+        assert len(rows) == 1
+        assert not math.isnan(rows[0]["difference"])
+
+    def test_table6_tiny(self):
+        rows = run_table6(query_names=("Q1",), scale=0.05, mcmc_iterations=10)
+        assert len(rows) == 2
+        approaches = {row["approach"] for row in rows}
+        assert approaches == {"DANCE", "direct"}

@@ -1,0 +1,87 @@
+"""Tests for join-graph / target-graph export (JSON and DOT)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.graph.export import (
+    join_graph_to_dict,
+    join_graph_to_dot,
+    target_graph_to_dict,
+    target_graph_to_dot,
+    write_dot,
+    write_join_graph_json,
+)
+from repro.graph.join_graph import JoinGraph
+from repro.graph.target import TargetGraph
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def join_graph() -> JoinGraph:
+    orders = Table.from_rows("orders", ["custkey", "amount"], [(i % 4, float(i)) for i in range(20)])
+    customers = Table.from_rows("customers", ["custkey", "segment"], [(i, f"s{i % 2}") for i in range(4)])
+    return JoinGraph([orders, customers], source_instances=["orders"])
+
+
+@pytest.fixture
+def target_graph() -> TargetGraph:
+    return TargetGraph(
+        nodes=["orders", "customers"],
+        edges=[frozenset({"custkey"})],
+        projections={"orders": {"custkey", "amount"}, "customers": {"custkey", "segment"}},
+        source_instances={"orders"},
+    )
+
+
+class TestDictExport:
+    def test_join_graph_dict_round_trips_through_json(self, join_graph):
+        payload = json.loads(json.dumps(join_graph_to_dict(join_graph)))
+        assert {node["name"] for node in payload["nodes"]} == {"orders", "customers"}
+        assert payload["edges"][0]["weight"] >= 0.0
+        assert "custkey" in payload["edges"][0]["join_attribute_weights"]
+
+    def test_source_flag_exported(self, join_graph):
+        payload = join_graph_to_dict(join_graph)
+        flags = {node["name"]: node["is_source"] for node in payload["nodes"]}
+        assert flags["orders"] is True
+        assert flags["customers"] is False
+
+    def test_target_graph_dict(self, target_graph):
+        payload = target_graph_to_dict(target_graph)
+        assert payload["nodes"] == ["orders", "customers"]
+        assert payload["edges"][0]["join_attributes"] == ["custkey"]
+        assert payload["projections"]["customers"] == ["custkey", "segment"]
+
+
+class TestDotExport:
+    def test_join_graph_dot_contains_nodes_and_edges(self, join_graph):
+        dot = join_graph_to_dot(join_graph)
+        assert dot.startswith("graph")
+        assert '"orders"' in dot and '"customers"' in dot
+        assert "--" in dot
+        assert "custkey" in dot
+
+    def test_source_nodes_highlighted(self, join_graph):
+        dot = join_graph_to_dot(join_graph)
+        assert "lightblue" in dot
+
+    def test_target_graph_dot_is_directed(self, target_graph):
+        dot = target_graph_to_dot(target_graph)
+        assert dot.startswith("digraph")
+        assert "->" in dot
+        assert "amount" in dot
+
+
+class TestFileExport:
+    def test_write_join_graph_json(self, join_graph, tmp_path):
+        path = write_join_graph_json(join_graph, tmp_path / "nested" / "graph.json")
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        assert len(loaded["nodes"]) == 2
+
+    def test_write_dot(self, target_graph, tmp_path):
+        path = write_dot(target_graph_to_dot(target_graph), tmp_path / "graph.dot")
+        assert path.read_text().startswith("digraph")

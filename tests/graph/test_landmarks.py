@@ -1,0 +1,85 @@
+"""Tests for the landmark-based approximate shortest-path index."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import SearchError
+from repro.graph.landmarks import LandmarkIndex
+
+
+@pytest.fixture
+def weighted_graph() -> nx.Graph:
+    graph = nx.Graph()
+    edges = [
+        ("a", "b", 0.1),
+        ("b", "c", 0.2),
+        ("c", "d", 0.1),
+        ("a", "d", 1.0),
+        ("d", "e", 0.3),
+        ("b", "e", 0.9),
+    ]
+    for left, right, weight in edges:
+        graph.add_edge(left, right, weight=weight)
+    graph.add_node("island")
+    return graph
+
+
+class TestConstruction:
+    def test_landmark_count_capped_by_graph_size(self, weighted_graph):
+        index = LandmarkIndex(weighted_graph, num_landmarks=50, rng=0)
+        assert len(index.landmarks) == weighted_graph.number_of_nodes()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SearchError):
+            LandmarkIndex(nx.Graph())
+
+    def test_invalid_landmark_count(self, weighted_graph):
+        with pytest.raises(SearchError):
+            LandmarkIndex(weighted_graph, num_landmarks=0)
+
+    def test_deterministic_with_seed(self, weighted_graph):
+        first = LandmarkIndex(weighted_graph, num_landmarks=3, rng=7)
+        second = LandmarkIndex(weighted_graph, num_landmarks=3, rng=7)
+        assert first.landmarks == second.landmarks
+
+
+class TestQueries:
+    def test_estimate_is_upper_bound(self, weighted_graph):
+        index = LandmarkIndex(weighted_graph, num_landmarks=6, rng=0)
+        exact = nx.dijkstra_path_length(weighted_graph, "a", "e")
+        assert index.estimate_distance("a", "e") >= exact - 1e-12
+
+    def test_estimate_exact_when_all_nodes_are_landmarks(self, weighted_graph):
+        index = LandmarkIndex(weighted_graph, num_landmarks=7, rng=1)
+        exact = nx.dijkstra_path_length(weighted_graph, "a", "c")
+        assert index.estimate_distance("a", "c") == pytest.approx(exact)
+
+    def test_approximate_path_connects_endpoints(self, weighted_graph):
+        index = LandmarkIndex(weighted_graph, num_landmarks=4, rng=2)
+        path = index.approximate_path("a", "e")
+        assert path[0] == "a"
+        assert path[-1] == "e"
+        # every consecutive pair is an actual edge
+        for left, right in zip(path, path[1:]):
+            assert weighted_graph.has_edge(left, right)
+
+    def test_approximate_path_has_no_repeated_vertices(self, weighted_graph):
+        index = LandmarkIndex(weighted_graph, num_landmarks=4, rng=3)
+        path = index.approximate_path("a", "e")
+        assert len(path) == len(set(path))
+
+    def test_same_source_and_destination(self, weighted_graph):
+        index = LandmarkIndex(weighted_graph, num_landmarks=2, rng=0)
+        assert index.approximate_path("a", "a") == ["a"]
+
+    def test_disconnected_vertex_unreachable(self, weighted_graph):
+        index = LandmarkIndex(weighted_graph, num_landmarks=6, rng=0)
+        assert index.estimate_distance("a", "island") == float("inf")
+        assert index.approximate_path("a", "island") == []
+
+    def test_path_weight(self, weighted_graph):
+        index = LandmarkIndex(weighted_graph, num_landmarks=3, rng=0)
+        assert index.path_weight(["a", "b", "c"]) == pytest.approx(0.3)
+        assert index.path_weight(["a", "e"]) == float("inf")

@@ -1,0 +1,94 @@
+"""Tests for the attribute-set lattice (Definition 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphConstructionError
+from repro.graph.lattice import AttributeSetLattice
+from repro.pricing.models import FlatAttributePricingModel
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def lattice() -> AttributeSetLattice:
+    return AttributeSetLattice("d", ["A", "B", "C", "D"], min_size=2)
+
+
+class TestCounts:
+    def test_vertex_count_formula(self, lattice):
+        # 2^4 - 4 - 1 = 11 vertices of size >= 2
+        assert lattice.num_vertices() == 11
+
+    def test_height(self, lattice):
+        assert lattice.height == 3
+
+    def test_single_attribute_vertices_allowed_when_min_size_one(self):
+        lattice = AttributeSetLattice("d", ["A", "B"], min_size=1)
+        assert lattice.num_vertices() == 3
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            AttributeSetLattice("d", [])
+
+    def test_invalid_min_size_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            AttributeSetLattice("d", ["A"], min_size=0)
+
+
+class TestMembershipAndStructure:
+    def test_contains(self, lattice):
+        assert {"A", "B"} in lattice
+        assert {"A"} not in lattice  # below min_size
+        assert {"A", "Z"} not in lattice
+
+    def test_iter_vertices_by_level(self, lattice):
+        vertices = list(lattice.iter_vertices(max_size=2))
+        assert len(vertices) == 6
+        assert all(len(v) == 2 for v in vertices)
+
+    def test_children(self, lattice):
+        children = lattice.children({"A", "B"})
+        assert frozenset({"A", "B", "C"}) in children
+        assert frozenset({"A", "B", "D"}) in children
+        assert len(children) == 2
+
+    def test_parents(self, lattice):
+        parents = lattice.parents({"A", "B", "C"})
+        assert frozenset({"A", "B"}) in parents
+        assert len(parents) == 3
+
+    def test_parents_of_minimal_vertex_is_empty(self, lattice):
+        assert lattice.parents({"A", "B"}) == []
+
+    def test_is_ancestor(self, lattice):
+        assert lattice.is_ancestor({"A", "B"}, {"A", "B", "C"})
+        assert not lattice.is_ancestor({"A", "B"}, {"C", "D"})
+
+    def test_level_of(self, lattice):
+        assert lattice.level_of({"A", "B"}) == 1
+        assert lattice.level_of({"A", "B", "C", "D"}) == 3
+
+    def test_level_of_non_vertex_raises(self, lattice):
+        with pytest.raises(GraphConstructionError):
+            lattice.level_of({"A"})
+
+    def test_vertices_containing(self, lattice):
+        containing = lattice.vertices_containing({"A", "B"})
+        assert all({"A", "B"} <= set(v) for v in containing)
+        assert len(containing) == 4
+
+    def test_vertices_containing_unknown_attribute(self, lattice):
+        assert lattice.vertices_containing({"Z"}) == []
+
+
+class TestPricing:
+    def test_price_of_vertex(self):
+        lattice = AttributeSetLattice("d", ["A", "B"], min_size=1)
+        table = Table.from_rows("d", ["A", "B"], [(1, 2)])
+        assert lattice.price_of({"A", "B"}, table, FlatAttributePricingModel(1.5)) == 3.0
+
+    def test_price_of_non_vertex_raises(self, lattice):
+        table = Table.from_rows("d", ["A", "B", "C", "D"], [(1, 2, 3, 4)])
+        with pytest.raises(GraphConstructionError):
+            lattice.price_of({"A"}, table, FlatAttributePricingModel())

@@ -1,0 +1,181 @@
+"""Tests for target graphs (Definition 4.4): structure, evaluation, constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphConstructionError, SearchError
+from repro.graph.target import TargetGraph, TargetGraphEvaluation, enumerate_covering_sets
+from repro.pricing.models import FlatAttributePricingModel
+from repro.quality.fd import FunctionalDependency
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def tables() -> dict[str, Table]:
+    orders = Table.from_rows(
+        "orders", ["custkey", "totalprice"], [(i % 5, float(i % 5) * 100 + i % 2) for i in range(40)]
+    )
+    customers = Table.from_rows(
+        "customers",
+        ["custkey", "nationkey", "segment"],
+        [(i, i % 3, f"s{i % 3}") for i in range(5)],
+    )
+    nations = Table.from_rows("nations", ["nationkey", "nname"], [(i, f"n{i}") for i in range(3)])
+    return {"orders": orders, "customers": customers, "nations": nations}
+
+
+@pytest.fixture
+def path_graph() -> TargetGraph:
+    return TargetGraph(
+        nodes=["orders", "customers", "nations"],
+        edges=[frozenset({"custkey"}), frozenset({"nationkey"})],
+        projections={
+            "orders": {"custkey", "totalprice"},
+            "customers": {"custkey", "nationkey"},
+            "nations": {"nationkey", "nname"},
+        },
+        source_instances={"orders"},
+    )
+
+
+class TestConstruction:
+    def test_default_parents_form_a_path(self, path_graph):
+        assert path_graph.parents == [0, 1]
+        assert path_graph.length == 3
+
+    def test_default_projections_cover_join_attributes(self):
+        graph = TargetGraph(
+            nodes=["a", "b"],
+            edges=[frozenset({"k"})],
+        )
+        assert graph.projections["a"] == frozenset({"k"})
+        assert graph.projections["b"] == frozenset({"k"})
+
+    def test_tree_shaped_parents(self):
+        graph = TargetGraph(
+            nodes=["hub", "left", "right"],
+            edges=[frozenset({"x"}), frozenset({"y"})],
+            parents=[0, 0],
+        )
+        pairs = graph.edge_pairs()
+        assert pairs[0][:2] == ("hub", "left")
+        assert pairs[1][:2] == ("hub", "right")
+
+    def test_projection_missing_join_attribute_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            TargetGraph(
+                nodes=["a", "b"],
+                edges=[frozenset({"k"})],
+                projections={"a": {"other"}, "b": {"k"}},
+            )
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            TargetGraph(nodes=["a", "b"], edges=[])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            TargetGraph(nodes=["a", "a"], edges=[frozenset({"k"})])
+
+    def test_invalid_parent_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            TargetGraph(nodes=["a", "b"], edges=[frozenset({"k"})], parents=[5])
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            TargetGraph(nodes=[], edges=[])
+
+    def test_purchased_instances_exclude_sources(self, path_graph):
+        assert path_graph.purchased_instances() == ["customers", "nations"]
+
+
+class TestMutation:
+    def test_replace_edge_rederives_projections(self, path_graph):
+        replaced = path_graph.replace_edge(0, {"custkey"})
+        assert replaced.edges[0] == frozenset({"custkey"})
+        # non-join extras (totalprice, nname) survive the re-derivation
+        assert "totalprice" in replaced.projections["orders"]
+        assert "nname" in replaced.projections["nations"]
+
+    def test_replace_edge_out_of_range(self, path_graph):
+        with pytest.raises(SearchError):
+            path_graph.replace_edge(5, {"custkey"})
+
+    def test_with_projection(self, path_graph):
+        updated = path_graph.with_projection("customers", {"custkey", "nationkey", "segment"})
+        assert "segment" in updated.projections["customers"]
+
+    def test_with_projection_unknown_instance(self, path_graph):
+        with pytest.raises(SearchError):
+            path_graph.with_projection("nope", {"x"})
+
+
+class TestEvaluation:
+    def test_joined_table_schema(self, path_graph, tables):
+        joined = path_graph.joined_table(tables)
+        assert {"totalprice", "nname"} <= set(joined.schema.names)
+        assert len(joined) == 40
+
+    def test_missing_table_raises(self, path_graph):
+        with pytest.raises(SearchError):
+            path_graph.joined_table({"orders": Table.empty("orders", ["custkey", "totalprice"])})
+
+    def test_price_excludes_source_instances(self, path_graph, tables):
+        pricing = FlatAttributePricingModel(1.0)
+        # customers buys 2 attrs, nations buys 2 attrs; orders is owned
+        assert path_graph.price(tables, pricing) == 4.0
+
+    def test_weight_sums_edge_ji(self, path_graph, tables):
+        weight = path_graph.weight(tables)
+        assert 0.0 <= weight <= 2.0
+
+    def test_evaluate_returns_all_metrics(self, path_graph, tables):
+        fds = [FunctionalDependency("nationkey", "nname")]
+        evaluation = path_graph.evaluate(
+            tables, ["totalprice"], ["nname"], fds, FlatAttributePricingModel(1.0)
+        )
+        assert isinstance(evaluation, TargetGraphEvaluation)
+        assert evaluation.correlation > 0.0
+        assert evaluation.quality == 1.0
+        assert evaluation.price == 4.0
+        assert evaluation.join_rows == 40
+
+    def test_satisfies_constraints(self):
+        evaluation = TargetGraphEvaluation(correlation=2.0, quality=0.8, weight=1.0, price=10.0)
+        assert evaluation.satisfies(max_weight=1.5, min_quality=0.5, budget=10.0)
+        assert not evaluation.satisfies(max_weight=0.5)
+        assert not evaluation.satisfies(min_quality=0.9)
+        assert not evaluation.satisfies(budget=9.0)
+
+    def test_intermediate_hook_applied(self, path_graph, tables):
+        calls = []
+
+        def hook(table):
+            calls.append(len(table))
+            return table
+
+        path_graph.joined_table(tables, intermediate_hook=hook)
+        assert len(calls) == 2
+
+
+class TestEnumerateCoveringSets:
+    def test_example_4_1_style_enumeration(self):
+        covering = enumerate_covering_sets(
+            {"A": ["v1", "v4"], "B": ["v1", "v5"], "C": ["v5", "v6"]}
+        )
+        assert frozenset({"v1", "v5"}) in covering
+        assert all(isinstance(s, frozenset) for s in covering)
+        # all sets must cover each attribute through at least one chosen instance
+        assert len(covering) == len(set(covering))
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(SearchError):
+            enumerate_covering_sets({"A": []})
+
+    def test_max_sets_cap(self):
+        covering = enumerate_covering_sets(
+            {"A": [f"a{i}" for i in range(20)], "B": [f"b{i}" for i in range(20)]},
+            max_sets=10,
+        )
+        assert len(covering) == 10

@@ -1,0 +1,56 @@
+"""Tests for the classical correlation comparators (Pearson, Cramér's V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infotheory.comparators import cramers_v, pearson_correlation
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3, 4], [2, 4, 6, 8]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_none_pairs_dropped(self):
+        assert pearson_correlation([1, None, 3, 4], [2, 5, 6, 8]) == pytest.approx(
+            pearson_correlation([1, 3, 4], [2, 6, 8])
+        )
+
+    def test_non_numeric_pairs_dropped(self):
+        assert pearson_correlation(["a", 1, 2], ["b", 2, 4]) == pytest.approx(1.0)
+
+    def test_too_few_points_is_zero(self):
+        assert pearson_correlation([1], [2]) == 0.0
+
+
+class TestCramersV:
+    def test_perfect_association(self):
+        x = ["a", "a", "b", "b"]
+        y = ["p", "p", "q", "q"]
+        assert cramers_v(x, y) == pytest.approx(1.0)
+
+    def test_independence_is_near_zero(self):
+        x = ["a", "a", "b", "b"] * 5
+        y = ["p", "q", "p", "q"] * 5
+        assert cramers_v(x, y) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_level_is_zero(self):
+        assert cramers_v(["a", "a"], ["p", "q"]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert cramers_v([], []) == 0.0
+
+    def test_bounds(self):
+        x = ["a", "b", "c", "a", "b"]
+        y = ["p", "p", "q", "q", "p"]
+        assert 0.0 <= cramers_v(x, y) <= 1.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            cramers_v(["a"], ["p", "q"])

@@ -1,0 +1,95 @@
+"""Tests for the mixed-type correlation measure CORR(X, Y) (Definition 2.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infotheory.correlation import (
+    attribute_set_correlation,
+    correlation,
+    symmetric_correlation,
+)
+from repro.relational.schema import Attribute, AttributeType, Schema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def health_table() -> Table:
+    """Age group (categorical), disease (categorical), cases (numerical)."""
+    schema = Schema(
+        [
+            Attribute("age_group"),
+            Attribute("disease"),
+            Attribute("cases", AttributeType.NUMERICAL),
+        ]
+    )
+    rows = [
+        ("young", "flu", 10.0),
+        ("young", "flu", 12.0),
+        ("young", "cold", 11.0),
+        ("old", "lyme", 50.0),
+        ("old", "lyme", 52.0),
+        ("old", "arthritis", 49.0),
+    ]
+    return Table.from_rows("health", schema, rows)
+
+
+class TestCorrelationFunction:
+    def test_categorical_determined_equals_entropy(self):
+        x = ["a", "b", "a", "b"]
+        y = [1, 2, 1, 2]
+        assert correlation(x, y) == pytest.approx(1.0)
+
+    def test_categorical_independent_is_zero(self):
+        x = ["a", "a", "b", "b"]
+        y = ["p", "q", "p", "q"]
+        assert correlation(x, y) == pytest.approx(0.0)
+
+    def test_numerical_uses_cumulative_entropy(self):
+        x = [1.0, 1.0, 9.0, 9.0]
+        y = ["lo", "lo", "hi", "hi"]
+        value = correlation(x, y, x_type=AttributeType.NUMERICAL)
+        assert value > 0.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            correlation(["a"], ["a", "b"])
+
+
+class TestAttributeSetCorrelation:
+    def test_correlated_attributes_score_higher_than_uncorrelated(self, health_table):
+        corr_disease = attribute_set_correlation(health_table, ["age_group"], ["disease"])
+        # shuffle-like uninformative target: cases rounded to a constant
+        constant = health_table.append_column("const", ["k"] * len(health_table))
+        corr_const = attribute_set_correlation(constant, ["age_group"], ["const"])
+        assert corr_disease > corr_const
+
+    def test_numerical_source_attribute(self, health_table):
+        value = attribute_set_correlation(health_table, ["cases"], ["age_group"])
+        assert value > 0.0
+
+    def test_missing_attributes_give_zero(self, health_table):
+        assert attribute_set_correlation(health_table, ["nope"], ["disease"]) == 0.0
+        assert attribute_set_correlation(health_table, ["age_group"], ["nope"]) == 0.0
+
+    def test_empty_table_gives_zero(self):
+        table = Table.empty("t", ["a", "b"])
+        assert attribute_set_correlation(table, ["a"], ["b"]) == 0.0
+
+    def test_multiple_source_attributes_sum(self, health_table):
+        both = attribute_set_correlation(health_table, ["age_group", "cases"], ["disease"])
+        age_only = attribute_set_correlation(health_table, ["age_group"], ["disease"])
+        cases_only = attribute_set_correlation(health_table, ["cases"], ["disease"])
+        assert both == pytest.approx(age_only + cases_only)
+
+    def test_multi_attribute_target_is_at_least_single(self, health_table):
+        single = attribute_set_correlation(health_table, ["age_group"], ["disease"])
+        joint = attribute_set_correlation(health_table, ["age_group"], ["disease", "cases"])
+        assert joint >= single - 1e-9
+
+    def test_symmetric_correlation_is_average(self, health_table):
+        forward = attribute_set_correlation(health_table, ["age_group"], ["disease"])
+        backward = attribute_set_correlation(health_table, ["disease"], ["age_group"])
+        assert symmetric_correlation(health_table, ["age_group"], ["disease"]) == pytest.approx(
+            (forward + backward) / 2
+        )

@@ -1,0 +1,82 @@
+"""Tests for cumulative entropy (numerical-attribute correlation support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infotheory.cumulative import (
+    conditional_cumulative_entropy,
+    cumulative_entropy,
+    cumulative_mutual_information,
+)
+
+
+class TestCumulativeEntropy:
+    def test_constant_sample_is_zero(self):
+        assert cumulative_entropy([5.0, 5.0, 5.0]) == 0.0
+
+    def test_empty_and_singleton_are_zero(self):
+        assert cumulative_entropy([]) == 0.0
+        assert cumulative_entropy([3.0]) == 0.0
+
+    def test_positive_for_spread_sample(self):
+        assert cumulative_entropy([0.0, 1.0, 2.0, 3.0]) > 0.0
+
+    def test_scaling_property(self):
+        # Cumulative entropy scales linearly with the data scale.
+        base = cumulative_entropy([0.0, 1.0, 2.0, 3.0])
+        scaled = cumulative_entropy([0.0, 2.0, 4.0, 6.0])
+        assert scaled == pytest.approx(2.0 * base)
+
+    def test_translation_invariance(self):
+        base = cumulative_entropy([0.0, 1.0, 2.0])
+        shifted = cumulative_entropy([10.0, 11.0, 12.0])
+        assert shifted == pytest.approx(base)
+
+    def test_none_values_dropped(self):
+        assert cumulative_entropy([None, 1.0, 2.0]) == pytest.approx(
+            cumulative_entropy([1.0, 2.0])
+        )
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ValueError):
+            cumulative_entropy(["a", "b"])
+
+    def test_integers_accepted(self):
+        assert cumulative_entropy([1, 2, 3]) > 0.0
+
+
+class TestConditionalCumulativeEntropy:
+    def test_perfect_grouping_reduces_to_zero(self):
+        x = [1.0, 1.0, 5.0, 5.0]
+        y = ["a", "a", "b", "b"]
+        assert conditional_cumulative_entropy(x, y) == pytest.approx(0.0)
+
+    def test_uninformative_grouping_keeps_entropy(self):
+        x = [1.0, 5.0, 1.0, 5.0]
+        y = ["a", "a", "b", "b"]
+        conditional = conditional_cumulative_entropy(x, y)
+        assert conditional > 0.0
+
+    def test_conditioning_never_increases_much(self):
+        x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        y = ["a", "b", "a", "b", "a", "b"]
+        assert conditional_cumulative_entropy(x, y) <= cumulative_entropy(x) + 1e-9
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            conditional_cumulative_entropy([1.0], ["a", "b"])
+
+    def test_empty_sequences(self):
+        assert conditional_cumulative_entropy([], []) == 0.0
+
+
+class TestCumulativeMutualInformation:
+    def test_informative_grouping_has_positive_cmi(self):
+        x = [1.0, 1.1, 5.0, 5.1]
+        y = ["lo", "lo", "hi", "hi"]
+        assert cumulative_mutual_information(x, y) > 0.0
+
+    def test_self_grouping_recovers_full_entropy(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert cumulative_mutual_information(x, x) == pytest.approx(cumulative_entropy(x))

@@ -1,0 +1,120 @@
+"""Tests for Shannon entropy, conditional entropy and mutual information."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.infotheory.entropy import (
+    conditional_entropy,
+    entropy_of_counts,
+    entropy_of_distribution,
+    joint_entropy,
+    mutual_information,
+    normalized_mutual_information,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_uniform_two_symbols_is_one_bit(self):
+        assert shannon_entropy(["a", "b"]) == pytest.approx(1.0)
+
+    def test_constant_is_zero(self):
+        assert shannon_entropy(["a"] * 10) == 0.0
+
+    def test_empty_is_zero(self):
+        assert shannon_entropy([]) == 0.0
+
+    def test_uniform_four_symbols_is_two_bits(self):
+        assert shannon_entropy(["a", "b", "c", "d"]) == pytest.approx(2.0)
+
+    def test_skewed_distribution(self):
+        # p = (0.75, 0.25): H = 0.75*log2(4/3) + 0.25*2
+        expected = 0.75 * math.log2(4 / 3) + 0.25 * 2
+        assert shannon_entropy(["a", "a", "a", "b"]) == pytest.approx(expected)
+
+    def test_none_is_a_regular_symbol(self):
+        assert shannon_entropy([None, "a"]) == pytest.approx(1.0)
+
+
+class TestEntropyOfCounts:
+    def test_matches_value_based(self):
+        assert entropy_of_counts([2, 2]) == pytest.approx(shannon_entropy(["a", "a", "b", "b"]))
+
+    def test_zero_counts_ignored(self):
+        assert entropy_of_counts([4, 0]) == 0.0
+
+    def test_empty(self):
+        assert entropy_of_counts([]) == 0.0
+
+
+class TestJointConditionalMutual:
+    def test_joint_entropy_of_identical_sequences(self):
+        x = ["a", "b", "a", "b"]
+        assert joint_entropy(x, x) == pytest.approx(shannon_entropy(x))
+
+    def test_joint_entropy_of_independent_uniform(self):
+        x = ["a", "a", "b", "b"]
+        y = ["p", "q", "p", "q"]
+        assert joint_entropy(x, y) == pytest.approx(2.0)
+
+    def test_conditional_entropy_fully_determined(self):
+        x = ["a", "b", "a", "b"]
+        y = [1, 2, 1, 2]
+        assert conditional_entropy(x, y) == pytest.approx(0.0)
+
+    def test_conditional_entropy_independent(self):
+        x = ["a", "a", "b", "b"]
+        y = ["p", "q", "p", "q"]
+        assert conditional_entropy(x, y) == pytest.approx(1.0)
+
+    def test_mutual_information_identical(self):
+        x = ["a", "b", "a", "b"]
+        assert mutual_information(x, x) == pytest.approx(1.0)
+
+    def test_mutual_information_independent_is_zero(self):
+        x = ["a", "a", "b", "b"]
+        y = ["p", "q", "p", "q"]
+        assert mutual_information(x, y) == pytest.approx(0.0)
+
+    def test_mutual_information_never_negative(self):
+        x = ["a", "b", "c", "a"]
+        y = ["p", "p", "q", "q"]
+        assert mutual_information(x, y) >= 0.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            conditional_entropy(["a"], ["a", "b"])
+        with pytest.raises(ValueError):
+            mutual_information(["a"], ["a", "b"])
+        with pytest.raises(ValueError):
+            joint_entropy(["a"], ["a", "b"])
+
+    def test_normalized_mutual_information_bounds(self):
+        x = ["a", "b", "a", "b"]
+        y = ["p", "q", "p", "q"]
+        value = normalized_mutual_information(x, y)
+        assert 0.0 <= value <= 1.0
+        assert normalized_mutual_information(x, x) == pytest.approx(1.0)
+
+    def test_normalized_mi_zero_joint_entropy(self):
+        assert normalized_mutual_information(["a", "a"], ["b", "b"]) == 0.0
+
+
+class TestEntropyOfDistribution:
+    def test_explicit_distribution(self):
+        assert entropy_of_distribution([0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_mapping_form(self):
+        assert entropy_of_distribution({"a": 0.25, "b": 0.75}) == pytest.approx(
+            shannon_entropy(["a", "b", "b", "b"])
+        )
+
+    def test_unnormalised_counts_are_normalised(self):
+        assert entropy_of_distribution([1, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_empty_or_zero(self):
+        assert entropy_of_distribution([]) == 0.0
+        assert entropy_of_distribution([0.0, 0.0]) == 0.0

@@ -1,0 +1,45 @@
+"""Tests for MarketplaceDataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.pricing.models import FlatAttributePricingModel
+from repro.quality.fd import FunctionalDependency
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def dataset() -> MarketplaceDataset:
+    rows = [(i, f"cat{i % 3}", f"lbl{i % 3}") for i in range(30)]
+    table = Table.from_rows("catalog", ["id", "category", "label"], rows)
+    return MarketplaceDataset(table=table, pricing=FlatAttributePricingModel(2.0))
+
+
+class TestDataset:
+    def test_basic_properties(self, dataset):
+        assert dataset.name == "catalog"
+        assert dataset.num_rows == 30
+        assert "category" in dataset.schema
+
+    def test_price_of_projection(self, dataset):
+        assert dataset.price_of(["id", "label"]) == 4.0
+
+    def test_catalog_entry_exposes_schema_only_metadata(self, dataset):
+        entry = dataset.catalog_entry()
+        assert entry["name"] == "catalog"
+        assert entry["attributes"] == ["id", "category", "label"]
+        assert entry["num_rows"] == 30
+        assert entry["full_price"] == 6.0
+
+    def test_fds_discovered_lazily_and_cached(self, dataset):
+        fds = dataset.discovered_fds(max_violation=0.0, max_lhs_size=1)
+        assert FunctionalDependency("category", "label") in fds
+        assert dataset.discovered_fds() is dataset.fds
+
+    def test_explicit_fds_bypass_discovery(self):
+        table = Table.from_rows("t", ["a", "b"], [(1, 2)])
+        fds = [FunctionalDependency("a", "b")]
+        dataset = MarketplaceDataset(table=table, fds=fds)
+        assert dataset.discovered_fds() == fds

@@ -1,0 +1,118 @@
+"""Tests for the Marketplace: catalog, sample sales, billed queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MarketplaceError
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace, ProjectionQuery
+from repro.pricing.models import FlatAttributePricingModel
+from repro.relational.table import Table
+from repro.sampling.correlated import CorrelatedSampler
+
+
+@pytest.fixture
+def market() -> Marketplace:
+    pricing = FlatAttributePricingModel(1.0)
+    market = Marketplace(default_pricing=pricing, sample_row_price=0.01)
+    orders = Table.from_rows(
+        "orders", ["custkey", "amount"], [(i % 10, float(i)) for i in range(100)]
+    )
+    customers = Table.from_rows(
+        "customers", ["custkey", "segment"], [(i, f"seg{i % 3}") for i in range(10)]
+    )
+    market.host(MarketplaceDataset(table=orders, pricing=pricing))
+    market.host(customers)  # bare table, wrapped with default pricing
+    return market
+
+
+class TestHosting:
+    def test_dataset_names(self, market):
+        assert set(market.dataset_names) == {"orders", "customers"}
+        assert len(market) == 2
+        assert "orders" in market
+
+    def test_duplicate_hosting_rejected(self, market):
+        with pytest.raises(MarketplaceError):
+            market.host(Table.from_rows("orders", ["x"], [(1,)]))
+
+    def test_remove(self, market):
+        market.remove("orders")
+        assert "orders" not in market
+        with pytest.raises(MarketplaceError):
+            market.remove("orders")
+
+    def test_unknown_dataset_raises(self, market):
+        with pytest.raises(MarketplaceError):
+            market.dataset("nope")
+
+    def test_catalog_lists_every_dataset(self, market):
+        catalog = market.catalog()
+        assert {entry["name"] for entry in catalog} == {"orders", "customers"}
+
+
+class TestProjectionQuery:
+    def test_sql_text(self):
+        query = ProjectionQuery("orders", ["custkey", "amount"])
+        assert query.to_sql() == "SELECT custkey, amount FROM orders;"
+        assert str(query) == query.to_sql()
+
+    def test_empty_attributes_select_star(self):
+        assert ProjectionQuery("orders", []).to_sql() == "SELECT * FROM orders;"
+
+    def test_frozen_and_hashable(self):
+        a = ProjectionQuery("orders", ["x"])
+        b = ProjectionQuery("orders", ("x",))
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestSamples:
+    def test_sell_sample_bills_per_row(self, market):
+        sampler = CorrelatedSampler(rate=0.5, seed=0)
+        sample, price = market.sell_sample("orders", sampler, ["custkey"])
+        assert price == pytest.approx(0.01 * len(sample))
+        assert market.sample_revenue == pytest.approx(price)
+
+    def test_sell_samples_all_datasets(self, market):
+        sampler = CorrelatedSampler(rate=1.0)
+        samples, total = market.sell_samples(sampler)
+        assert set(samples) == {"orders", "customers"}
+        assert total == pytest.approx(0.01 * (100 + 10))
+
+    def test_sell_samples_subset(self, market):
+        sampler = CorrelatedSampler(rate=1.0)
+        samples, _ = market.sell_samples(sampler, names=["customers"])
+        assert set(samples) == {"customers"}
+
+
+class TestQueries:
+    def test_price_and_execute(self, market):
+        query = ProjectionQuery("customers", ["custkey", "segment"])
+        assert market.price_query(query) == 2.0
+        receipt = market.execute(query)
+        assert receipt.price == 2.0
+        assert receipt.result.attribute_names == ("custkey", "segment")
+        assert market.query_revenue == 2.0
+
+    def test_execute_all_and_total_revenue(self, market):
+        queries = [
+            ProjectionQuery("customers", ["segment"]),
+            ProjectionQuery("orders", ["amount"]),
+        ]
+        receipts = market.execute_all(queries)
+        assert len(receipts) == 2
+        assert market.total_revenue() == pytest.approx(market.query_revenue)
+
+    def test_unknown_attribute_rejected(self, market):
+        with pytest.raises(MarketplaceError):
+            market.execute(ProjectionQuery("orders", ["missing"]))
+
+    def test_price_queries_sums(self, market):
+        queries = [ProjectionQuery("orders", ["amount"]), ProjectionQuery("customers", ["segment"])]
+        assert market.price_queries(queries) == pytest.approx(2.0)
+
+    def test_describe(self, market):
+        info = market.describe()
+        assert info["num_datasets"] == 2

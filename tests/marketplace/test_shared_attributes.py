@@ -1,0 +1,52 @@
+"""Tests for the marketplace's shared-attribute (candidate join key) map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.marketplace.market import Marketplace
+from repro.relational.table import Table
+from repro.relational.joins import inner_join
+from repro.sampling.correlated import CorrelatedSampler
+
+
+@pytest.fixture
+def market() -> Marketplace:
+    market = Marketplace(sample_row_price=0.0)
+    market.host(Table.from_rows("orders", ["custkey", "amount"], [(i % 20, float(i)) for i in range(200)]))
+    market.host(Table.from_rows("customers", ["custkey", "segment"], [(i, f"s{i % 3}") for i in range(20)]))
+    market.host(Table.from_rows("standalone", ["payload"], [(i,) for i in range(10)]))
+    return market
+
+
+class TestSharedAttributeMap:
+    def test_shared_attributes_detected(self, market):
+        mapping = market.shared_attribute_map()
+        assert mapping["orders"] == ("custkey",)
+        assert mapping["customers"] == ("custkey",)
+
+    def test_isolated_dataset_falls_back_to_all_attributes(self, market):
+        mapping = market.shared_attribute_map()
+        assert mapping["standalone"] == ("payload",)
+
+    def test_samples_keyed_on_shared_attributes_stay_joinable(self, market):
+        """Sampling on the shared-attribute map preserves the correlated-join property."""
+        sampler = CorrelatedSampler(rate=0.4, seed=1)
+        samples, _ = market.sell_samples(
+            sampler, join_attributes_by_dataset=market.shared_attribute_map()
+        )
+        joined = inner_join(samples["orders"], samples["customers"])
+        # every sampled order finds its (sampled) customer
+        assert len(joined) == len(samples["orders"])
+
+    def test_samples_without_map_lose_joinability(self, market):
+        """Keying each dataset on all its attributes behaves like independent sampling."""
+        sampler = CorrelatedSampler(rate=0.4, seed=1)
+        samples, _ = market.sell_samples(sampler)
+        joined = inner_join(samples["orders"], samples["customers"])
+        correlated, _ = market.sell_samples(
+            CorrelatedSampler(rate=0.4, seed=1),
+            join_attributes_by_dataset=market.shared_attribute_map(),
+        )
+        correlated_join = inner_join(correlated["orders"], correlated["customers"])
+        assert len(joined) <= len(correlated_join)

@@ -1,0 +1,66 @@
+"""Tests for arbitrage-freeness checks (monotonicity and subadditivity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pricing.arbitrage import is_monotone, is_subadditive, verify_arbitrage_free
+from repro.pricing.models import EntropyPricingModel, FlatAttributePricingModel, PricingModel
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def small_table() -> Table:
+    rows = [(i % 4, f"c{i % 2}", f"d{i % 3}") for i in range(24)]
+    return Table.from_rows("small", ["a", "b", "c"], rows)
+
+
+class _SupersetDiscountModel(PricingModel):
+    """A deliberately broken model: buying everything is cheaper than one attribute."""
+
+    def price(self, table, attributes):
+        attributes = self._validate(table, attributes)
+        if len(attributes) == len(table.schema):
+            return 0.5
+        return float(len(attributes))
+
+
+class _SuperAdditiveModel(PricingModel):
+    """A deliberately broken model: the union costs more than the parts combined."""
+
+    def price(self, table, attributes):
+        attributes = self._validate(table, attributes)
+        return float(len(attributes)) ** 3
+
+
+class TestStructuralChecks:
+    def test_entropy_model_is_monotone(self, small_table):
+        assert is_monotone(EntropyPricingModel(), small_table)
+
+    def test_entropy_model_is_subadditive(self, small_table):
+        assert is_subadditive(EntropyPricingModel(), small_table)
+
+    def test_flat_model_is_arbitrage_free(self, small_table):
+        model = FlatAttributePricingModel()
+        assert is_monotone(model, small_table)
+        assert is_subadditive(model, small_table)
+
+    def test_superset_discount_model_is_not_monotone(self, small_table):
+        assert not is_monotone(_SupersetDiscountModel(), small_table)
+
+    def test_superadditive_model_is_not_subadditive(self, small_table):
+        assert not is_subadditive(_SuperAdditiveModel(), small_table)
+
+    def test_max_subset_size_limits_work(self, small_table):
+        assert is_monotone(EntropyPricingModel(), small_table, max_subset_size=2)
+
+
+class TestVerifyArbitrageFree:
+    def test_per_table_report(self, small_table):
+        other = Table.from_rows("other", ["x", "y"], [(1, "a"), (2, "b")])
+        report = verify_arbitrage_free(EntropyPricingModel(), [small_table, other])
+        assert report == {"small": True, "other": True}
+
+    def test_broken_model_flagged(self, small_table):
+        report = verify_arbitrage_free(_SupersetDiscountModel(), [small_table])
+        assert report["small"] is False

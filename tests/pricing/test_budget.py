@@ -1,0 +1,81 @@
+"""Tests for budget bookkeeping and budget ratios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BudgetExceededError, PricingError
+from repro.pricing.budget import Budget, budget_from_ratio, price_bounds
+
+
+class TestPriceBounds:
+    def test_bounds(self):
+        assert price_bounds([3.0, 1.0, 2.0]) == (1.0, 3.0)
+
+    def test_single_option(self):
+        assert price_bounds([5.0]) == (5.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PricingError):
+            price_bounds([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(PricingError):
+            price_bounds([1.0, -2.0])
+
+
+class TestBudgetFromRatio:
+    def test_ratio_times_upper_bound(self):
+        budget = budget_from_ratio([10.0, 20.0], 0.5)
+        assert budget.total == pytest.approx(10.0)
+
+    def test_ratio_one_affords_everything(self):
+        budget = budget_from_ratio([10.0, 20.0], 1.0)
+        assert budget.can_afford(20.0)
+
+    def test_small_ratio_may_be_below_lower_bound(self):
+        budget = budget_from_ratio([10.0, 20.0], 0.1)
+        assert budget.total < 10.0  # below LB: the N/A case of Figure 5(c)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(PricingError):
+            budget_from_ratio([10.0], 0.0)
+        with pytest.raises(PricingError):
+            budget_from_ratio([10.0], 1.5)
+
+
+class TestBudget:
+    def test_charge_and_remaining(self):
+        budget = Budget(total=10.0)
+        budget.charge(4.0)
+        assert budget.spent == 4.0
+        assert budget.remaining == pytest.approx(6.0)
+
+    def test_overspend_raises(self):
+        budget = Budget(total=5.0)
+        with pytest.raises(BudgetExceededError):
+            budget.charge(6.0)
+
+    def test_can_afford_tolerance(self):
+        budget = Budget(total=5.0)
+        assert budget.can_afford(5.0)
+        assert not budget.can_afford(5.01)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(PricingError):
+            Budget(total=5.0).charge(-1.0)
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(PricingError):
+            Budget(total=-1.0)
+
+    def test_copy_is_independent(self):
+        budget = Budget(total=10.0, spent=2.0)
+        clone = budget.copy()
+        clone.charge(3.0)
+        assert budget.spent == 2.0
+        assert clone.spent == 5.0
+
+    def test_remaining_never_negative(self):
+        budget = Budget(total=1.0, spent=2.0)
+        assert budget.remaining == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the pricing models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PricingError
+from repro.pricing.models import (
+    EntropyPricingModel,
+    FlatAttributePricingModel,
+    PerCellPricingModel,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def catalog_table() -> Table:
+    rows = [(i, f"name{i}", f"cat{i % 3}", float(i % 10)) for i in range(60)]
+    return Table.from_rows("catalog", ["id", "name", "category", "score"], rows)
+
+
+class TestEntropyPricing:
+    def test_price_positive(self, catalog_table):
+        model = EntropyPricingModel()
+        assert model.price(catalog_table, ["category"]) > 0.0
+
+    def test_informative_attributes_cost_more(self, catalog_table):
+        model = EntropyPricingModel(base_price=0.0)
+        # id has maximal entropy (unique), category only ~log2(3) bits
+        assert model.price(catalog_table, ["id"]) > model.price(catalog_table, ["category"])
+
+    def test_supersets_cost_at_least_as_much(self, catalog_table):
+        model = EntropyPricingModel()
+        smaller = model.price(catalog_table, ["category"])
+        larger = model.price(catalog_table, ["category", "score"])
+        assert larger >= smaller
+
+    def test_price_full_prices_whole_schema(self, catalog_table):
+        model = EntropyPricingModel()
+        assert model.price_full(catalog_table) == pytest.approx(
+            model.price(catalog_table, catalog_table.schema.names)
+        )
+
+    def test_empty_table_costs_base_price(self):
+        model = EntropyPricingModel(base_price=0.5)
+        empty = Table.empty("t", ["a"])
+        assert model.price(empty, ["a"]) == 0.5
+
+    def test_empty_attribute_set_rejected(self, catalog_table):
+        with pytest.raises(PricingError):
+            EntropyPricingModel().price(catalog_table, [])
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(PricingError):
+            EntropyPricingModel(unit_price=-1.0)
+        with pytest.raises(PricingError):
+            EntropyPricingModel(base_price=-0.1)
+
+    def test_bigger_table_costs_more(self, catalog_table):
+        model = EntropyPricingModel(base_price=0.0)
+        small = catalog_table.head(10)
+        assert model.price(catalog_table, ["category"]) > model.price(small, ["category"])
+
+
+class TestFlatAttributePricing:
+    def test_price_scales_with_attribute_count(self, catalog_table):
+        model = FlatAttributePricingModel(price_per_attribute=2.0)
+        assert model.price(catalog_table, ["id"]) == 2.0
+        assert model.price(catalog_table, ["id", "name"]) == 4.0
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(PricingError):
+            FlatAttributePricingModel(price_per_attribute=-1.0)
+
+    def test_unknown_attribute_rejected(self, catalog_table):
+        from repro.exceptions import UnknownAttributeError
+
+        with pytest.raises(UnknownAttributeError):
+            FlatAttributePricingModel().price(catalog_table, ["missing"])
+
+
+class TestPerCellPricing:
+    def test_price_is_rows_times_attributes(self, catalog_table):
+        model = PerCellPricingModel(price_per_cell=0.01)
+        assert model.price(catalog_table, ["id", "name"]) == pytest.approx(
+            0.01 * len(catalog_table) * 2
+        )
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(PricingError):
+            PerCellPricingModel(price_per_cell=-0.5)

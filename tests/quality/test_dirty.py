@@ -1,0 +1,85 @@
+"""Tests for controlled inconsistency injection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import QualityError
+from repro.quality.dirty import inject_inconsistency, inject_inconsistency_multi
+from repro.quality.fd import FunctionalDependency
+from repro.quality.measure import instance_quality
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def clean_table() -> Table:
+    rows = [(f"g{i % 5}", f"v{i % 5}", i) for i in range(100)]
+    return Table.from_rows("clean", ["grp", "val", "idx"], rows)
+
+
+@pytest.fixture
+def fd_grp_val() -> FunctionalDependency:
+    return FunctionalDependency("grp", "val")
+
+
+class TestInjection:
+    def test_quality_drops_by_roughly_the_rate(self, clean_table, fd_grp_val):
+        dirty = inject_inconsistency(clean_table, fd_grp_val, 0.3, rng=1)
+        quality = instance_quality(dirty, fd_grp_val)
+        assert quality == pytest.approx(0.7, abs=0.1)
+
+    def test_zero_rate_is_a_noop(self, clean_table, fd_grp_val):
+        assert inject_inconsistency(clean_table, fd_grp_val, 0.0) is clean_table
+
+    def test_schema_and_size_preserved(self, clean_table, fd_grp_val):
+        dirty = inject_inconsistency(clean_table, fd_grp_val, 0.2, rng=2)
+        assert dirty.schema == clean_table.schema
+        assert len(dirty) == len(clean_table)
+
+    def test_only_rhs_column_changes(self, clean_table, fd_grp_val):
+        dirty = inject_inconsistency(clean_table, fd_grp_val, 0.2, rng=3)
+        assert dirty.column("grp") == clean_table.column("grp")
+        assert dirty.column("idx") == clean_table.column("idx")
+        assert dirty.column("val") != clean_table.column("val")
+
+    def test_deterministic_with_same_seed(self, clean_table, fd_grp_val):
+        first = inject_inconsistency(clean_table, fd_grp_val, 0.2, rng=7)
+        second = inject_inconsistency(clean_table, fd_grp_val, 0.2, rng=7)
+        assert first.column("val") == second.column("val")
+
+    def test_invalid_rate_rejected(self, clean_table, fd_grp_val):
+        with pytest.raises(QualityError):
+            inject_inconsistency(clean_table, fd_grp_val, 1.5)
+
+    def test_inapplicable_fd_rejected(self, clean_table):
+        with pytest.raises(QualityError):
+            inject_inconsistency(clean_table, FunctionalDependency("grp", "missing"), 0.1)
+
+    def test_empty_table_is_noop(self, fd_grp_val):
+        empty = Table.empty("t", ["grp", "val"])
+        assert inject_inconsistency(empty, fd_grp_val, 0.5) is empty
+
+    def test_numeric_rhs_can_be_corrupted(self):
+        rows = [("a", 1)] * 10
+        table = Table.from_rows("t", ["k", "v"], rows)
+        dirty = inject_inconsistency(table, FunctionalDependency("k", "v"), 0.3, rng=0)
+        assert instance_quality(dirty, FunctionalDependency("k", "v")) < 1.0
+
+    def test_accepts_random_instance(self, clean_table, fd_grp_val):
+        dirty = inject_inconsistency(clean_table, fd_grp_val, 0.1, rng=random.Random(5))
+        assert len(dirty) == len(clean_table)
+
+
+class TestMultiFdInjection:
+    def test_rate_split_across_fds(self, clean_table):
+        fds = [FunctionalDependency("grp", "val"), FunctionalDependency("grp", "idx")]
+        dirty = inject_inconsistency_multi(clean_table, fds, 0.4, rng=4)
+        q_val = instance_quality(dirty, fds[0])
+        q_idx = instance_quality(dirty, fds[1])
+        assert q_val < 1.0
+        assert q_idx < 1.0
+
+    def test_no_fds_is_noop(self, clean_table):
+        assert inject_inconsistency_multi(clean_table, [], 0.4) is clean_table

@@ -1,0 +1,109 @@
+"""Tests for FD repair and the clean-before-join counterexample."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.quality.dirty import inject_inconsistency
+from repro.quality.fd import FunctionalDependency
+from repro.quality.measure import instance_quality, join_quality
+from repro.quality.repair import majority_repair, repair_all, repair_report
+from repro.relational.joins import inner_join
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def dirty_table() -> Table:
+    rows = [(f"g{i % 4}", f"v{i % 4}", i) for i in range(80)]
+    table = Table.from_rows("t", ["grp", "val", "idx"], rows)
+    return inject_inconsistency(table, FunctionalDependency("grp", "val"), 0.3, rng=3)
+
+
+class TestMajorityRepair:
+    def test_repair_restores_exact_fd(self, dirty_table):
+        fd = FunctionalDependency("grp", "val")
+        assert instance_quality(dirty_table, fd) < 1.0
+        repaired = majority_repair(dirty_table, fd)
+        assert instance_quality(repaired, fd) == 1.0
+
+    def test_repair_only_touches_rhs(self, dirty_table):
+        repaired = majority_repair(dirty_table, FunctionalDependency("grp", "val"))
+        assert repaired.column("grp") == dirty_table.column("grp")
+        assert repaired.column("idx") == dirty_table.column("idx")
+
+    def test_repair_keeps_majority_values(self):
+        rows = [("a", "x"), ("a", "x"), ("a", "y"), ("b", "z")]
+        table = Table.from_rows("t", ["k", "v"], rows)
+        repaired = majority_repair(table, FunctionalDependency("k", "v"))
+        assert repaired.column("v") == ["x", "x", "x", "z"]
+
+    def test_tie_broken_deterministically(self):
+        rows = [("a", "x"), ("a", "y")]
+        table = Table.from_rows("t", ["k", "v"], rows)
+        first = majority_repair(table, FunctionalDependency("k", "v"))
+        second = majority_repair(table, FunctionalDependency("k", "v"))
+        assert first.column("v") == second.column("v")
+        assert len(set(first.column("v"))) == 1
+
+    def test_null_lhs_rows_untouched(self):
+        rows = [(None, "x"), (None, "y"), ("a", "x"), ("a", "y"), ("a", "x")]
+        table = Table.from_rows("t", ["k", "v"], rows)
+        repaired = majority_repair(table, FunctionalDependency("k", "v"))
+        assert repaired.column("v")[:2] == ["x", "y"]
+        assert repaired.column("v")[2:] == ["x", "x", "x"]
+
+    def test_inapplicable_fd_is_noop(self, dirty_table):
+        assert majority_repair(dirty_table, FunctionalDependency("grp", "zzz")) is dirty_table
+
+    def test_empty_table_is_noop(self):
+        empty = Table.empty("t", ["k", "v"])
+        assert majority_repair(empty, FunctionalDependency("k", "v")) is empty
+
+
+class TestRepairAll:
+    def test_multiple_fds(self):
+        rows = [("a", "x", "p"), ("a", "y", "p"), ("a", "x", "q"), ("b", "z", "r")]
+        table = Table.from_rows("t", ["k", "v", "w"], rows)
+        fds = [FunctionalDependency("k", "v"), FunctionalDependency("k", "w")]
+        repaired = repair_all(table, fds)
+        for fd in fds:
+            assert instance_quality(repaired, fd) == 1.0
+
+    def test_repair_report_counts_violations(self, dirty_table):
+        fd = FunctionalDependency("grp", "val")
+        report = repair_report(dirty_table, [fd])
+        assert report["total_rewrites"] > 0
+        assert report["per_fd"][str(fd)] == report["total_rewrites"]
+
+
+class TestCleanBeforeJoinCounterexample:
+    def test_repaired_instances_can_still_join_dirty(self):
+        """Example 2.2 of the paper: per-instance cleaning does not guarantee a
+        high-quality join result, so quality must be measured after the join."""
+        d1_rows = [("a1", "b1", f"c{i}") for i in range(10, 22)]
+        d1_rows += [("a1", "b2", "c1"), ("a1", "b2", "c2"), ("a1", "b3", "c3"), ("a1", "b3", "c3")]
+        d1 = Table.from_rows("d1", ["A", "B", "C"], d1_rows)
+        d2_rows = [("c1", "d1", "e1"), ("c1", "d1", "e1"), ("c2", "d1", "e2"),
+                   ("c3", "d1", "e2"), ("c4", "d1", "e2")]
+        d2 = Table.from_rows("d2", ["C", "D", "E"], d2_rows)
+
+        fd_ab = FunctionalDependency("A", "B")
+        fd_de = FunctionalDependency("D", "E")
+
+        cleaned_d1 = majority_repair(d1, fd_ab)
+        cleaned_d2 = majority_repair(d2, fd_de)
+        assert instance_quality(cleaned_d1, fd_ab) == 1.0
+        assert instance_quality(cleaned_d2, fd_de) == 1.0
+
+        # joining the *cleaned* instances restricts D1 to its minority C values,
+        # which after repair all collapsed to the majority B value — but D2's E
+        # values still split, so the joined quality is below 1 even though each
+        # input was repaired to perfection ... or the join keeps quality 1 but
+        # differs from the truthful (uncleaned, then measured) quality.
+        joined_clean = inner_join(cleaned_d1, cleaned_d2)
+        joined_dirty = inner_join(d1, d2)
+        quality_clean_first = join_quality(joined_clean, [fd_ab, fd_de])
+        quality_measured_on_join = join_quality(joined_dirty, [fd_ab, fd_de])
+        # cleaning first hides the inconsistency that the shopper would actually
+        # receive: the clean-first estimate is higher than the real joined quality
+        assert quality_clean_first > quality_measured_on_join

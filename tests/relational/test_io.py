@@ -1,0 +1,49 @@
+"""Tests for CSV import/export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.io import read_csv, write_csv
+from repro.relational.schema import AttributeType
+from repro.relational.table import Table
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        table = Table.from_rows(
+            "cities", ["city", "population"], [("nyc", 8_000_000), ("sf", 800_000)]
+        )
+        path = write_csv(table, tmp_path / "cities.csv")
+        loaded = read_csv(path)
+        assert loaded.name == "cities"
+        assert loaded.column("city") == ["nyc", "sf"]
+        assert loaded.column("population") == [8_000_000, 800_000]
+        assert loaded.schema.type_of("population") is AttributeType.NUMERICAL
+
+    def test_none_round_trips_as_empty_cell(self, tmp_path):
+        table = Table.from_rows("t", ["a", "b"], [(1, None), (2, "x")])
+        loaded = read_csv(write_csv(table, tmp_path / "t.csv"))
+        assert loaded.column("b") == [None, "x"]
+
+    def test_floats_preserved(self, tmp_path):
+        table = Table.from_rows("t", ["v"], [(1.5,), (2.25,)])
+        loaded = read_csv(write_csv(table, tmp_path / "t.csv"))
+        assert loaded.column("v") == [1.5, 2.25]
+
+    def test_custom_name_overrides_stem(self, tmp_path):
+        table = Table.from_rows("orig", ["a"], [(1,)])
+        loaded = read_csv(write_csv(table, tmp_path / "file.csv"), name="renamed")
+        assert loaded.name == "renamed"
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        table = Table.from_rows("t", ["a"], [(1,)])
+        path = write_csv(table, tmp_path / "nested" / "dir" / "t.csv")
+        assert path.exists()

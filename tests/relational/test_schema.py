@@ -1,0 +1,111 @@
+"""Tests for repro.relational.schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownAttributeError
+from repro.relational.schema import Attribute, AttributeType, Schema
+
+
+class TestAttributeType:
+    def test_infer_numerical(self):
+        assert AttributeType.infer([1, 2, 3.5]) is AttributeType.NUMERICAL
+
+    def test_infer_categorical_strings(self):
+        assert AttributeType.infer(["a", "b"]) is AttributeType.CATEGORICAL
+
+    def test_infer_mixed_is_categorical(self):
+        assert AttributeType.infer([1, "a"]) is AttributeType.CATEGORICAL
+
+    def test_infer_ignores_none(self):
+        assert AttributeType.infer([None, 2, 3]) is AttributeType.NUMERICAL
+
+    def test_infer_bools_are_categorical(self):
+        assert AttributeType.infer([True, False]) is AttributeType.CATEGORICAL
+
+    def test_infer_all_none_defaults_categorical(self):
+        assert AttributeType.infer([None, None]) is AttributeType.CATEGORICAL
+
+
+class TestAttribute:
+    def test_default_type_is_categorical(self):
+        assert Attribute("x").is_categorical()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_renamed_keeps_type(self):
+        attr = Attribute("x", AttributeType.NUMERICAL).renamed("y")
+        assert attr.name == "y"
+        assert attr.is_numerical()
+
+
+class TestSchema:
+    def test_from_strings(self):
+        schema = Schema(["a", "b"])
+        assert schema.names == ("a", "b")
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_bad_entry_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([42])  # type: ignore[list-item]
+
+    def test_contains_and_getitem(self):
+        schema = Schema([Attribute("a", AttributeType.NUMERICAL), "b"])
+        assert "a" in schema
+        assert "z" not in schema
+        assert schema["a"].is_numerical()
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            Schema(["a"])["b"]
+
+    def test_index_of(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.index_of("c") == 2
+        with pytest.raises(UnknownAttributeError):
+            schema.index_of("z")
+
+    def test_project_preserves_requested_order(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_common_attributes_in_self_order(self):
+        left = Schema(["a", "b", "c"])
+        right = Schema(["c", "b", "x"])
+        assert left.common_attributes(right) == ("b", "c")
+
+    def test_union_appends_new_attributes(self):
+        left = Schema(["a", "b"])
+        right = Schema(["b", "c"])
+        assert left.union(right).names == ("a", "b", "c")
+
+    def test_rename(self):
+        schema = Schema(["a", "b"]).rename({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            Schema(["a"]).rename({"z": "y"})
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+    def test_numerical_and_categorical_names(self):
+        schema = Schema([Attribute("n", AttributeType.NUMERICAL), Attribute("c")])
+        assert schema.numerical_names() == ("n",)
+        assert schema.categorical_names() == ("c",)
+
+    def test_validate_subset(self):
+        schema = Schema(["a", "b"])
+        assert schema.validate_subset(["b"]) == ("b",)
+        with pytest.raises(UnknownAttributeError):
+            schema.validate_subset(["b", "z"])

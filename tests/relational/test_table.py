@@ -1,0 +1,162 @@
+"""Tests for repro.relational.table."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import Attribute, AttributeType, Schema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def people() -> Table:
+    schema = Schema(
+        [
+            Attribute("name"),
+            Attribute("city"),
+            Attribute("age", AttributeType.NUMERICAL),
+        ]
+    )
+    rows = [
+        ("alice", "nyc", 30),
+        ("bob", "nyc", 41),
+        ("carol", "sf", 29),
+        ("dave", "sf", 29),
+        ("erin", "la", None),
+    ]
+    return Table.from_rows("people", schema, rows)
+
+
+class TestConstruction:
+    def test_from_rows_and_len(self, people):
+        assert len(people) == 5
+        assert people.num_rows == 5
+        assert people.attribute_names == ("name", "city", "age")
+
+    def test_from_dicts_fills_missing_with_none(self):
+        table = Table.from_dicts("t", ["a", "b"], [{"a": 1}, {"a": 2, "b": 3}])
+        assert table.column("b") == [None, 3]
+
+    def test_empty(self):
+        table = Table.empty("t", ["a"])
+        assert len(table) == 0
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows("t", ["a", "b"], [(1,)])
+
+    def test_columns_must_cover_schema(self):
+        with pytest.raises(SchemaError):
+            Table("t", Schema(["a", "b"]), {"a": [1]})
+
+    def test_unequal_column_lengths_raise(self):
+        with pytest.raises(SchemaError):
+            Table("t", Schema(["a", "b"]), {"a": [1], "b": [1, 2]})
+
+
+class TestAccess:
+    def test_column_and_row(self, people):
+        assert people.column("city")[0] == "nyc"
+        assert people.row(2) == ("carol", "sf", 29)
+
+    def test_iter_rows_matches_to_dicts(self, people):
+        rows = list(people.iter_rows())
+        dicts = people.to_dicts()
+        assert len(rows) == len(dicts) == 5
+        assert dicts[0] == {"name": "alice", "city": "nyc", "age": 30}
+
+    def test_key_tuples(self, people):
+        keys = people.key_tuples(["city", "age"])
+        assert keys[0] == ("nyc", 30)
+        assert len(keys) == 5
+
+
+class TestOperations:
+    def test_project(self, people):
+        projected = people.project(["city"])
+        assert projected.attribute_names == ("city",)
+        assert len(projected) == 5
+
+    def test_project_unknown_raises(self, people):
+        from repro.exceptions import UnknownAttributeError
+
+        with pytest.raises(UnknownAttributeError):
+            people.project(["nope"])
+
+    def test_select(self, people):
+        sf_only = people.select(lambda r: r["city"] == "sf")
+        assert len(sf_only) == 2
+
+    def test_take_preserves_order(self, people):
+        taken = people.take([3, 0])
+        assert taken.column("name") == ["dave", "alice"]
+
+    def test_head(self, people):
+        assert len(people.head(2)) == 2
+        assert len(people.head(100)) == 5
+
+    def test_rename(self, people):
+        renamed = people.rename({"city": "town"})
+        assert "town" in renamed.schema
+        assert renamed.column("town") == people.column("city")
+
+    def test_distinct_full_row(self):
+        table = Table.from_rows("t", ["a"], [(1,), (1,), (2,)])
+        assert len(table.distinct()) == 2
+
+    def test_distinct_on_subset(self, people):
+        assert len(people.distinct(["city"])) == 3
+
+    def test_append_column(self, people):
+        extended = people.append_column("country", ["us"] * 5)
+        assert extended.column("country") == ["us"] * 5
+        assert len(extended.schema) == 4
+
+    def test_append_column_wrong_length(self, people):
+        with pytest.raises(SchemaError):
+            people.append_column("x", [1, 2])
+
+    def test_concat(self, people):
+        doubled = people.concat(people)
+        assert len(doubled) == 10
+
+    def test_concat_schema_mismatch(self, people):
+        other = Table.from_rows("o", ["x"], [(1,)])
+        with pytest.raises(SchemaError):
+            people.concat(other)
+
+    def test_shuffled_is_permutation(self, people):
+        shuffled = people.shuffled(random.Random(3))
+        assert sorted(shuffled.column("name")) == sorted(people.column("name"))
+
+    def test_sample_rows_rate_one_keeps_all(self, people):
+        assert len(people.sample_rows(1.0, random.Random(0))) == 5
+
+    def test_with_name(self, people):
+        assert people.with_name("other").name == "other"
+        assert people.with_name("other").column("name") == people.column("name")
+
+
+class TestSummaries:
+    def test_distinct_count(self, people):
+        assert people.distinct_count(["city"]) == 3
+
+    def test_value_counts(self, people):
+        counts = people.value_counts(["city"])
+        assert counts[("nyc",)] == 2
+
+    def test_null_fraction(self, people):
+        assert people.null_fraction("age") == pytest.approx(0.2)
+        assert Table.empty("t", ["a"]).null_fraction("a") == 0.0
+
+    def test_describe(self, people):
+        info = people.describe()
+        assert info["num_rows"] == 5
+        assert info["numerical"] == ["age"]
+
+    def test_equality(self, people):
+        assert people == people.with_name("people")
+        assert people != people.project(["name"])

@@ -1,0 +1,108 @@
+"""Tests for the sample-based estimators of JI, correlation and quality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infotheory.correlation import attribute_set_correlation
+from repro.infotheory.join_informativeness import join_informativeness
+from repro.quality.fd import FunctionalDependency
+from repro.quality.measure import join_quality
+from repro.relational.joins import join_path
+from repro.relational.table import Table
+from repro.sampling.correlated import CorrelatedSampler
+from repro.sampling.estimators import SampleEstimator
+from repro.sampling.resampling import ResamplingPolicy
+
+
+@pytest.fixture
+def chain_tables() -> list[Table]:
+    """A three-table chain a(x) - b(x, y) - c(y) with a planted correlation."""
+    a_rows = [(i, f"grp{i % 4}") for i in range(80)]
+    b_rows = [(i, i % 20, float(i % 4) * 10 + (i % 3)) for i in range(80)]
+    c_rows = [(j, f"label{j % 5}", f"cat{j % 2}") for j in range(20)]
+    return [
+        Table.from_rows("a", ["x", "grp"], a_rows),
+        Table.from_rows("b", ["x", "y", "measure"], b_rows),
+        Table.from_rows("c", ["y", "label", "cat"], c_rows),
+    ]
+
+
+@pytest.fixture
+def estimator() -> SampleEstimator:
+    return SampleEstimator(
+        sampler=CorrelatedSampler(rate=0.6, seed=0),
+        resampling=ResamplingPolicy(threshold=10_000, rate=0.5, seed=0),
+    )
+
+
+class TestJoinInformativenessEstimation:
+    def test_full_rate_estimate_is_exact(self, chain_tables):
+        estimator = SampleEstimator(sampler=CorrelatedSampler(rate=1.0))
+        a, b, _ = chain_tables
+        assert estimator.estimate_join_informativeness(a, b) == pytest.approx(
+            join_informativeness(a, b)
+        )
+
+    def test_estimate_within_tolerance(self, chain_tables, estimator):
+        a, b, _ = chain_tables
+        exact = join_informativeness(a, b)
+        estimate = estimator.estimate_join_informativeness(a, b)
+        assert abs(exact - estimate) < 0.35
+
+    def test_empty_sample_returns_one(self, chain_tables):
+        estimator = SampleEstimator(sampler=CorrelatedSampler(rate=0.001, seed=1))
+        a, b, _ = chain_tables
+        value = estimator.estimate_join_informativeness(a, b)
+        assert 0.0 <= value <= 1.0
+
+    def test_presampled_inputs_used_directly(self, chain_tables, estimator):
+        a, b, _ = chain_tables
+        direct = estimator.estimate_join_informativeness(a, b, presampled=True)
+        assert direct == pytest.approx(join_informativeness(a, b))
+
+
+class TestCorrelationAndQualityEstimation:
+    def test_full_rate_correlation_matches_exact(self, chain_tables):
+        estimator = SampleEstimator(sampler=CorrelatedSampler(rate=1.0))
+        exact = attribute_set_correlation(join_path(chain_tables), ["measure"], ["label"])
+        estimate = estimator.estimate_correlation(chain_tables, ["measure"], ["label"])
+        assert estimate == pytest.approx(exact)
+
+    def test_full_rate_quality_matches_exact(self, chain_tables):
+        estimator = SampleEstimator(sampler=CorrelatedSampler(rate=1.0))
+        fds = [FunctionalDependency("grp", "label")]
+        exact = join_quality(join_path(chain_tables), fds)
+        assert estimator.estimate_quality(chain_tables, fds) == pytest.approx(exact)
+
+    def test_sampled_estimates_are_finite_and_sane(self, chain_tables, estimator):
+        correlation = estimator.estimate_correlation(chain_tables, ["measure"], ["label"])
+        quality = estimator.estimate_quality(
+            chain_tables, [FunctionalDependency("grp", "label")]
+        )
+        assert correlation >= 0.0
+        assert 0.0 <= quality <= 1.0
+
+    def test_resampling_bounds_intermediate_size(self, chain_tables):
+        estimator = SampleEstimator(
+            sampler=CorrelatedSampler(rate=1.0),
+            resampling=ResamplingPolicy(threshold=20, rate=0.5, seed=0),
+        )
+        joined = estimator.joined_sample(chain_tables)
+        # the final result was re-sampled at least once, so it is smaller than
+        # the exact join (80 rows)
+        assert len(joined) < len(join_path(chain_tables))
+
+    def test_estimate_all_returns_every_metric(self, chain_tables, estimator):
+        metrics = estimator.estimate_all(
+            chain_tables,
+            ["measure"],
+            ["label"],
+            [FunctionalDependency("grp", "label")],
+        )
+        assert set(metrics) == {"correlation", "quality", "join_informativeness", "join_rows"}
+        assert metrics["join_rows"] >= 0
+
+    def test_single_table_path(self, chain_tables, estimator):
+        value = estimator.estimate_correlation([chain_tables[2]], ["label"], ["cat"])
+        assert value >= 0.0

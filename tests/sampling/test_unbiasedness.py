@@ -1,0 +1,114 @@
+"""Empirical checks of the unbiasedness claims (Theorems 3.1 and 3.2).
+
+The paper proves that the correlated-sampling estimator of join informativeness
+and the correlated-re-sampling estimators of correlation and quality are
+unbiased.  Here we verify the weaker, empirically-checkable statement: the mean
+of the estimate over many hash families / re-sampling seeds is close to the
+exact value, much closer than any individual estimate is guaranteed to be.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.infotheory.correlation import attribute_set_correlation
+from repro.infotheory.join_informativeness import join_informativeness
+from repro.quality.fd import FunctionalDependency
+from repro.quality.measure import join_quality
+from repro.relational.joins import join_path
+from repro.relational.table import Table
+from repro.sampling.correlated import CorrelatedSampler
+from repro.sampling.estimators import SampleEstimator
+from repro.sampling.resampling import ResamplingPolicy
+
+
+@pytest.fixture(scope="module")
+def pair() -> tuple[Table, Table]:
+    left_rows = [(i % 40, f"l{i % 7}") for i in range(300)]
+    right_rows = [(j, f"r{j % 5}") for j in range(60)]
+    return (
+        Table.from_rows("left", ["k", "lval"], left_rows),
+        Table.from_rows("right", ["k", "rval"], right_rows),
+    )
+
+
+@pytest.fixture(scope="module")
+def chain() -> list[Table]:
+    a_rows = [(i, f"grp{i % 6}") for i in range(120)]
+    b_rows = [(i, i % 30, float(i % 6) * 5 + (i % 2)) for i in range(120)]
+    c_rows = [(j, f"label{j % 6}") for j in range(30)]
+    return [
+        Table.from_rows("a", ["x", "grp"], a_rows),
+        Table.from_rows("b", ["x", "y", "measure"], b_rows),
+        Table.from_rows("c", ["y", "label"], c_rows),
+    ]
+
+
+class TestJoinInformativenessUnbiasedness:
+    def test_mean_estimate_close_to_exact(self, pair):
+        left, right = pair
+        exact = join_informativeness(left, right)
+        estimates = []
+        for seed in range(20):
+            estimator = SampleEstimator(sampler=CorrelatedSampler(rate=0.5, seed=seed))
+            estimates.append(estimator.estimate_join_informativeness(left, right))
+        assert statistics.mean(estimates) == pytest.approx(exact, abs=0.12)
+
+    def test_higher_rate_reduces_spread(self, pair):
+        left, right = pair
+        low, high = [], []
+        for seed in range(12):
+            low.append(
+                SampleEstimator(
+                    sampler=CorrelatedSampler(rate=0.3, seed=seed)
+                ).estimate_join_informativeness(left, right)
+            )
+            high.append(
+                SampleEstimator(
+                    sampler=CorrelatedSampler(rate=0.9, seed=seed)
+                ).estimate_join_informativeness(left, right)
+            )
+        assert statistics.pstdev(high) <= statistics.pstdev(low) + 0.02
+
+
+class TestResamplingUnbiasedness:
+    def test_correlation_estimate_mean_close_to_exact(self, chain):
+        exact = attribute_set_correlation(join_path(chain), ["measure"], ["label"])
+        estimates = []
+        for seed in range(15):
+            estimator = SampleEstimator(
+                sampler=CorrelatedSampler(rate=1.0),
+                resampling=ResamplingPolicy(threshold=40, rate=0.6, seed=seed),
+            )
+            estimates.append(estimator.estimate_correlation(chain, ["measure"], ["label"]))
+        # re-sampling introduces noise but the mean stays near the exact value
+        assert statistics.mean(estimates) == pytest.approx(exact, rel=0.35)
+
+    def test_quality_estimate_mean_close_to_exact(self, chain):
+        fds = [FunctionalDependency("grp", "label")]
+        exact = join_quality(join_path(chain), fds)
+        estimates = []
+        for seed in range(15):
+            estimator = SampleEstimator(
+                sampler=CorrelatedSampler(rate=1.0),
+                resampling=ResamplingPolicy(threshold=40, rate=0.6, seed=seed),
+            )
+            estimates.append(estimator.estimate_quality(chain, fds))
+        assert statistics.mean(estimates) == pytest.approx(exact, abs=0.15)
+
+    def test_estimation_independent_of_threshold_in_expectation(self, chain):
+        """Theorem 3.2: the estimator stays unbiased regardless of eta."""
+        exact = attribute_set_correlation(join_path(chain), ["measure"], ["label"])
+        for threshold in (30, 60, 90):
+            estimates = []
+            for seed in range(10):
+                estimator = SampleEstimator(
+                    sampler=CorrelatedSampler(rate=1.0),
+                    resampling=ResamplingPolicy(threshold=threshold, rate=0.7, seed=seed),
+                )
+                estimates.append(
+                    estimator.estimate_correlation(chain, ["measure"], ["label"])
+                )
+            assert statistics.mean(estimates) == pytest.approx(exact, rel=0.4)

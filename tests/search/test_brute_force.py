@@ -1,0 +1,94 @@
+"""Tests for the LP / GP exhaustive baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleAcquisitionError
+from repro.graph.join_graph import JoinGraph
+from repro.quality.fd import FunctionalDependency
+from repro.relational.table import Table
+from repro.sampling.correlated import CorrelatedSampler
+from repro.search.brute_force import global_optimal, local_optimal
+
+
+@pytest.fixture
+def full_tables() -> dict[str, Table]:
+    orders = Table.from_rows(
+        "orders", ["custkey", "totalprice"], [(i % 6, float(i % 6) * 50 + i % 2) for i in range(60)]
+    )
+    customers = Table.from_rows(
+        "customers", ["custkey", "nationkey", "segment"], [(i, i % 3, f"s{i % 3}") for i in range(6)]
+    )
+    nations = Table.from_rows("nations", ["nationkey", "nname"], [(i, f"n{i}") for i in range(3)])
+    return {"orders": orders, "customers": customers, "nations": nations}
+
+
+@pytest.fixture
+def sampled_graph(full_tables) -> JoinGraph:
+    sampler = CorrelatedSampler(rate=0.8, seed=0)
+    samples = {
+        name: sampler.sample(table, [a for a in table.schema.names if a.endswith("key")], name=name)
+        for name, table in full_tables.items()
+    }
+    return JoinGraph(samples, source_instances=["orders"])
+
+
+@pytest.fixture
+def fds() -> list[FunctionalDependency]:
+    return [FunctionalDependency("nationkey", "nname")]
+
+
+class TestLocalOptimal:
+    def test_finds_feasible_candidate(self, sampled_graph, fds):
+        result = local_optimal(sampled_graph, ["totalprice"], ["nname"], fds, budget=1e9)
+        assert result.feasible
+        assert result.candidates_evaluated > 0
+        assert result.feasible_candidates > 0
+
+    def test_zero_budget_is_infeasible(self, sampled_graph, fds):
+        result = local_optimal(sampled_graph, ["totalprice"], ["nname"], fds, budget=0.0)
+        assert not result.feasible
+        with pytest.raises(InfeasibleAcquisitionError):
+            result.require_feasible()
+
+    def test_optimum_at_least_any_candidate(self, sampled_graph, fds):
+        from repro.search.candidates import enumerate_target_graphs
+
+        result = local_optimal(sampled_graph, ["totalprice"], ["nname"], fds, budget=1e9)
+        samples = {name: sampled_graph.sample(name) for name in sampled_graph.instance_names}
+        best = result.best_evaluation.correlation
+        for candidate in enumerate_target_graphs(sampled_graph, ["totalprice"], ["nname"]):
+            evaluation = candidate.evaluate(
+                samples, ["totalprice"], ["nname"], fds, sampled_graph.pricing
+            )
+            assert best >= evaluation.correlation - 1e-9
+
+
+class TestGlobalOptimal:
+    def test_evaluates_on_full_data(self, sampled_graph, full_tables, fds):
+        result = global_optimal(
+            sampled_graph, full_tables, ["totalprice"], ["nname"], fds, budget=1e9
+        )
+        assert result.feasible
+        # the correlation is measured on full data (60 joined rows), so it uses
+        # every order row, not just the sampled ones
+        assert result.best_evaluation.join_rows == 60
+
+    def test_missing_full_table_rejected(self, sampled_graph, full_tables, fds):
+        incomplete = dict(full_tables)
+        del incomplete["nations"]
+        with pytest.raises(InfeasibleAcquisitionError):
+            global_optimal(sampled_graph, incomplete, ["totalprice"], ["nname"], fds, budget=1e9)
+
+    def test_gp_at_least_as_good_as_lp_choice_on_full_data(
+        self, sampled_graph, full_tables, fds
+    ):
+        lp = local_optimal(sampled_graph, ["totalprice"], ["nname"], fds, budget=1e9)
+        gp = global_optimal(
+            sampled_graph, full_tables, ["totalprice"], ["nname"], fds, budget=1e9
+        )
+        lp_on_full = lp.best_graph.evaluate(
+            full_tables, ["totalprice"], ["nname"], fds, sampled_graph.pricing
+        )
+        assert gp.best_evaluation.correlation >= lp_on_full.correlation - 1e-9

@@ -1,0 +1,137 @@
+"""Tests for the MCMC search (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleAcquisitionError
+from repro.graph.join_graph import JoinGraph
+from repro.graph.steiner import minimal_weight_igraph
+from repro.quality.fd import FunctionalDependency
+from repro.relational.table import Table
+from repro.search.candidates import build_initial_target_graph
+from repro.search.mcmc import MCMCConfig, mcmc_search
+
+
+@pytest.fixture
+def setup():
+    """A small graph with two alternative join attributes between two instances."""
+    # good_key ranges over 0..9 on the fact side but the dimension only holds
+    # 0..7, so the edge's join informativeness is strictly positive (some fact
+    # rows have no dimension partner) and the α constraint can actually bite.
+    facts = Table.from_rows(
+        "facts",
+        ["good_key", "bad_key", "measure"],
+        [(i % 10, i % 3, float(i % 8) * 10 + i % 3) for i in range(64)],
+    )
+    dims = Table.from_rows(
+        "dims",
+        ["good_key", "bad_key", "label"],
+        [(i, i % 2, f"lbl{i}") for i in range(8)],
+    )
+    join_graph = JoinGraph([facts, dims], source_instances=["facts"])
+    igraph = minimal_weight_igraph(join_graph, ["facts", "dims"], rng=0)
+    initial = build_initial_target_graph(join_graph, igraph, ["measure"], ["label"])
+    tables = {"facts": facts, "dims": dims}
+    fds = [FunctionalDependency("good_key", "label")]
+    return join_graph, initial, tables, fds
+
+
+class TestMCMCSearch:
+    def test_finds_a_feasible_graph(self, setup):
+        join_graph, initial, tables, fds = setup
+        result = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds,
+            budget=1e9, config=MCMCConfig(iterations=50, seed=0),
+        )
+        assert result.feasible
+        graph, evaluation = result.require_feasible()
+        assert evaluation.correlation > 0.0
+        assert result.iterations == 50
+
+    def test_best_correlation_never_decreases_along_trace(self, setup):
+        join_graph, initial, tables, fds = setup
+        result = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds,
+            budget=1e9, config=MCMCConfig(iterations=80, seed=1),
+        )
+        assert result.best_evaluation.correlation >= max(result.trace) - 1e-9
+
+    def test_respects_budget_constraint(self, setup):
+        join_graph, initial, tables, fds = setup
+        result = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds,
+            budget=0.0, config=MCMCConfig(iterations=30, seed=0),
+        )
+        assert not result.feasible
+        with pytest.raises(InfeasibleAcquisitionError):
+            result.require_feasible()
+
+    def test_respects_quality_constraint(self, setup):
+        join_graph, initial, tables, fds = setup
+        impossible = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds,
+            budget=1e9, min_quality=1.01, config=MCMCConfig(iterations=10, seed=0),
+        )
+        assert not impossible.feasible
+
+    def test_respects_weight_constraint(self, setup):
+        join_graph, initial, tables, fds = setup
+        initial_eval = initial.evaluate(
+            tables, ["measure"], ["label"], fds, join_graph.pricing
+        )
+        # the initial graph uses the minimum-weight join attributes, so any
+        # threshold strictly below its weight rules out every candidate
+        threshold = initial_eval.weight / 2 if initial_eval.weight > 0 else -0.1
+        result = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds,
+            budget=1e9, max_weight=threshold, config=MCMCConfig(iterations=10, seed=0),
+        )
+        assert not result.feasible
+
+    def test_deterministic_for_fixed_seed(self, setup):
+        join_graph, initial, tables, fds = setup
+        config = MCMCConfig(iterations=40, seed=3)
+        first = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds, budget=1e9, config=config
+        )
+        second = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds, budget=1e9, config=config
+        )
+        assert first.best_evaluation.correlation == second.best_evaluation.correlation
+        assert first.trace == second.trace
+
+    def test_projection_flip_proposals(self, setup):
+        join_graph, initial, tables, fds = setup
+        config = MCMCConfig(iterations=60, seed=2, projection_flip_probability=0.5)
+        result = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds, budget=1e9, config=config
+        )
+        assert result.feasible
+
+    def test_zero_iterations_keeps_initial(self, setup):
+        join_graph, initial, tables, fds = setup
+        result = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds,
+            budget=1e9, config=MCMCConfig(iterations=0, seed=0),
+        )
+        assert result.feasible
+        assert result.best_graph.nodes == initial.nodes
+
+    def test_prefers_informative_join_attribute(self, setup):
+        """With enough iterations the walk should end on the informative key.
+
+        Joining on ``bad_key`` (2 values) collapses the dimension labels, giving
+        much lower correlation than joining on ``good_key`` (8 values).
+        """
+        join_graph, initial, tables, fds = setup
+        bad_start = initial.replace_edge(0, {"bad_key"})
+        result = mcmc_search(
+            join_graph, bad_start, tables, ["measure"], ["label"], fds,
+            budget=1e9, config=MCMCConfig(iterations=100, seed=4),
+        )
+        best_graph, best_eval = result.require_feasible()
+        start_eval = bad_start.evaluate(
+            tables, ["measure"], ["label"], fds, join_graph.pricing
+        )
+        assert best_eval.correlation >= start_eval.correlation

@@ -1,0 +1,61 @@
+"""Tests for the random galaxy workload generator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.workloads.galaxy import random_galaxy_workload
+
+
+class TestGalaxyWorkload:
+    def test_table_count(self):
+        workload = random_galaxy_workload(num_tables=5, rows_per_table=30, seed=0)
+        assert len(workload.tables) == 5
+
+    def test_single_table_allowed(self):
+        workload = random_galaxy_workload(num_tables=1, rows_per_table=10, seed=0)
+        assert len(workload.tables) == 1
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_galaxy_workload(num_tables=0)
+
+    def test_schema_overlap_graph_is_connected(self):
+        workload = random_galaxy_workload(num_tables=7, rows_per_table=40, seed=2)
+        graph = nx.Graph()
+        names = list(workload.tables)
+        graph.add_nodes_from(names)
+        for i, left in enumerate(names):
+            for right in names[i + 1 :]:
+                shared = set(workload.tables[left].schema.names) & set(
+                    workload.tables[right].schema.names
+                )
+                if shared:
+                    graph.add_edge(left, right)
+        assert nx.is_connected(graph)
+
+    def test_every_table_has_a_planted_fd(self):
+        workload = random_galaxy_workload(num_tables=4, rows_per_table=30, seed=1)
+        for name in workload.tables:
+            assert workload.fds[name]
+
+    def test_dirty_rate_creates_dirty_variants(self):
+        workload = random_galaxy_workload(num_tables=4, rows_per_table=60, seed=1, dirty_rate=0.3)
+        assert workload.dirty_tables
+
+    def test_deterministic(self):
+        first = random_galaxy_workload(num_tables=4, rows_per_table=30, seed=5)
+        second = random_galaxy_workload(num_tables=4, rows_per_table=30, seed=5)
+        assert first.table("t1").column("t1_cat") == second.table("t1").column("t1_cat")
+
+    def test_branching_limits_fanout(self):
+        workload = random_galaxy_workload(num_tables=8, rows_per_table=20, seed=3, branching=1)
+        # with branching=1 the workload is a chain: every table except the root
+        # references exactly one parent, and each parent is referenced at most once
+        reference_counts: dict[str, int] = {}
+        for name, table in workload.tables.items():
+            for attr in table.schema.names:
+                if attr.endswith("_key") and not attr.startswith(name):
+                    reference_counts[attr] = reference_counts.get(attr, 0) + 1
+        assert all(count <= 2 for count in reference_counts.values())

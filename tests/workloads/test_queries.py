@@ -1,0 +1,69 @@
+"""Tests for the evaluation queries Q1/Q2/Q3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.queries import queries_for, tpce_queries, tpch_queries
+from repro.workloads.tpce import tpce_workload
+from repro.workloads.tpch import tpch_workload
+
+
+class TestTpchQueries:
+    def test_three_queries_with_increasing_path_length(self):
+        queries = tpch_queries()
+        assert list(queries) == ["Q1", "Q2", "Q3"]
+        lengths = [query.expected_path_length for query in queries.values()]
+        assert lengths == sorted(lengths)
+        assert lengths[0] == 2 and lengths[-1] == 5
+
+    def test_attributes_exist_in_workload(self):
+        workload = tpch_workload(scale=0.05, dirty_rate=0.0)
+        for query in tpch_queries().values():
+            assert query.source_instance in workload.tables
+            source_schema = workload.table(query.source_instance).schema
+            for attribute in query.source_attributes:
+                assert attribute in source_schema
+            all_attributes = {
+                attr for table in workload.tables.values() for attr in table.schema.names
+            }
+            for attribute in query.target_attributes:
+                assert attribute in all_attributes
+
+    def test_involved_attributes(self):
+        query = tpch_queries()["Q1"]
+        assert query.involved_attributes() == query.source_attributes + query.target_attributes
+
+
+class TestTpceQueries:
+    def test_three_queries_with_increasing_path_length(self):
+        queries = tpce_queries()
+        lengths = [query.expected_path_length for query in queries.values()]
+        assert lengths == sorted(lengths)
+        assert lengths[0] == 3 and lengths[-1] == 8
+
+    def test_attributes_exist_in_workload(self):
+        workload = tpce_workload(scale=0.05, dirty_rate=0.0)
+        all_attributes = {
+            attr for table in workload.tables.values() for attr in table.schema.names
+        }
+        for query in tpce_queries().values():
+            assert query.source_instance in workload.tables
+            for attribute in query.involved_attributes():
+                assert attribute in all_attributes
+
+
+class TestDispatch:
+    def test_queries_for_tpch(self):
+        workload = tpch_workload(scale=0.05, dirty_rate=0.0)
+        assert set(queries_for(workload)) == {"Q1", "Q2", "Q3"}
+
+    def test_queries_for_tpce(self):
+        workload = tpce_workload(scale=0.05, dirty_rate=0.0)
+        assert set(queries_for(workload)) == {"Q1", "Q2", "Q3"}
+
+    def test_unknown_workload_raises(self):
+        from repro.workloads.galaxy import random_galaxy_workload
+
+        with pytest.raises(KeyError):
+            queries_for(random_galaxy_workload(num_tables=3))

@@ -1,0 +1,136 @@
+"""Tests for the declarative workload builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.quality.fd import FunctionalDependency
+from repro.quality.measure import instance_quality
+from repro.relational.schema import AttributeType
+from repro.workloads.schema_spec import ColumnSpec, TableSpec, WorkloadBuilder
+
+
+def _dimension_spec() -> TableSpec:
+    return TableSpec(
+        "dim",
+        rows=20,
+        columns=(
+            ColumnSpec("dim_key", kind="key"),
+            ColumnSpec("category", kind="categorical", prefix="cat", cardinality=4),
+            ColumnSpec("label", kind="categorical", derived_from="category", prefix="lbl", cardinality=3),
+            ColumnSpec("score", kind="numerical", low=0.0, high=10.0),
+        ),
+    )
+
+
+def _fact_spec() -> TableSpec:
+    return TableSpec(
+        "fact",
+        rows=100,
+        columns=(
+            ColumnSpec("dim_key", kind="foreign_key", references=("dim", "dim_key"), skew=0.5),
+            ColumnSpec("value", kind="numerical", derived_from="dim_key", std=1.0),
+        ),
+    )
+
+
+class TestColumnKinds:
+    def test_key_column_is_unique(self):
+        workload = WorkloadBuilder("w", seed=0).add(_dimension_spec()).build()
+        keys = workload.table("dim").column("dim_key")
+        assert len(set(keys)) == len(keys)
+
+    def test_foreign_key_values_come_from_reference(self):
+        workload = WorkloadBuilder("w", seed=0).extend([_dimension_spec(), _fact_spec()]).build()
+        dim_keys = set(workload.table("dim").column("dim_key"))
+        assert set(workload.table("fact").column("dim_key")) <= dim_keys
+
+    def test_foreign_key_before_reference_rejected(self):
+        builder = WorkloadBuilder("w").add(_fact_spec())
+        with pytest.raises(SchemaError):
+            builder.build()
+
+    def test_derived_column_plants_fd(self):
+        workload = WorkloadBuilder("w", seed=0).add(_dimension_spec()).build()
+        fd = FunctionalDependency("category", "label")
+        assert fd in workload.fds["dim"]
+        assert instance_quality(workload.table("dim"), fd) == 1.0
+
+    def test_derived_before_base_rejected(self):
+        spec = TableSpec(
+            "bad",
+            rows=5,
+            columns=(
+                ColumnSpec("label", kind="categorical", derived_from="category"),
+                ColumnSpec("category", kind="categorical"),
+            ),
+        )
+        with pytest.raises(SchemaError):
+            WorkloadBuilder("w").add(spec).build()
+
+    def test_numerical_column_types(self):
+        workload = WorkloadBuilder("w", seed=0).add(_dimension_spec()).build()
+        schema = workload.table("dim").schema
+        assert schema.type_of("score") is AttributeType.NUMERICAL
+        assert schema.type_of("category") is AttributeType.CATEGORICAL
+
+    def test_unknown_kind_rejected(self):
+        spec = TableSpec("bad", rows=1, columns=(ColumnSpec("x", kind="mystery"),))
+        with pytest.raises(SchemaError):
+            WorkloadBuilder("w").add(spec).build()
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSpec("bad", rows=-1, columns=())
+
+    def test_deterministic_generation(self):
+        first = WorkloadBuilder("w", seed=9).add(_dimension_spec()).build()
+        second = WorkloadBuilder("w", seed=9).add(_dimension_spec()).build()
+        assert first.table("dim").column("category") == second.table("dim").column("category")
+
+
+class TestDirtyVariants:
+    def test_dirty_rate_lowers_quality(self):
+        builder = WorkloadBuilder("w", seed=0).add(_dimension_spec())
+        workload = builder.build(dirty_tables=["dim"], dirty_rate=0.4)
+        fd = FunctionalDependency("category", "label")
+        assert instance_quality(workload.dirty_tables["dim"], fd) < 1.0
+        # the clean copy is untouched
+        assert instance_quality(workload.table("dim"), fd) == 1.0
+
+    def test_dirty_unknown_table_rejected(self):
+        builder = WorkloadBuilder("w", seed=0).add(_dimension_spec())
+        with pytest.raises(SchemaError):
+            builder.build(dirty_tables=["missing"], dirty_rate=0.3)
+
+    def test_dirty_or_clean_prefers_dirty(self):
+        builder = WorkloadBuilder("w", seed=0).add(_dimension_spec())
+        workload = builder.build(dirty_tables=["dim"], dirty_rate=0.4)
+        assert workload.dirty_or_clean("dim") is workload.dirty_tables["dim"]
+
+
+class TestGeneratedWorkload:
+    def test_subset(self):
+        workload = WorkloadBuilder("w", seed=0).extend([_dimension_spec(), _fact_spec()]).build()
+        subset = workload.subset(["dim"])
+        assert list(subset.tables) == ["dim"]
+        with pytest.raises(SchemaError):
+            workload.subset(["missing"])
+
+    def test_all_fds_deduplicated(self):
+        workload = WorkloadBuilder("w", seed=0).extend([_dimension_spec(), _fact_spec()]).build()
+        fds = workload.all_fds()
+        assert len(fds) == len(set(fds))
+
+    def test_describe_reports_extremes(self):
+        workload = WorkloadBuilder("w", seed=0).extend([_dimension_spec(), _fact_spec()]).build()
+        info = workload.describe()
+        assert info["num_instances"] == 2
+        assert info["max_instance_size"] == ("fact", 100)
+        assert info["min_instance_size"] == ("dim", 20)
+
+    def test_unknown_table_raises(self):
+        workload = WorkloadBuilder("w", seed=0).add(_dimension_spec()).build()
+        with pytest.raises(SchemaError):
+            workload.table("missing")

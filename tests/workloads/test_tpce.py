@@ -1,0 +1,90 @@
+"""Tests for the TPC-E-like workload generator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.quality.measure import instance_quality
+from repro.workloads.tpce import TPCE_DIRTY_TABLES, TPCE_TABLE_NAMES, tpce_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return tpce_workload(scale=0.05, seed=1, dirty_rate=0.2)
+
+
+def _overlap_graph(workload) -> nx.Graph:
+    graph = nx.Graph()
+    names = list(workload.tables)
+    graph.add_nodes_from(names)
+    for i, left in enumerate(names):
+        for right in names[i + 1 :]:
+            shared = set(workload.tables[left].schema.names) & set(
+                workload.tables[right].schema.names
+            )
+            if shared:
+                graph.add_edge(left, right)
+    return graph
+
+
+class TestStructure:
+    def test_twenty_nine_tables(self, workload):
+        assert len(workload.tables) == 29
+        assert set(workload.tables) == set(TPCE_TABLE_NAMES)
+
+    def test_schema_overlap_graph_is_connected(self, workload):
+        assert nx.is_connected(_overlap_graph(workload))
+
+    def test_attribute_width_range(self, workload):
+        widths = [len(table.schema) for table in workload.tables.values()]
+        assert min(widths) >= 2
+        assert max(widths) >= 6
+
+    def test_long_join_path_exists(self, workload):
+        """settlement → trade → security → company → industry → sector → exchange
+        (plus account hops) gives a long chain, as the paper's Q3 needs."""
+        path = [
+            "settlement",
+            "trade",
+            "customer_account",
+            "customer",
+            "address",
+            "zip_code",
+        ]
+        for left, right in zip(path, path[1:]):
+            shared = set(workload.tables[left].schema.names) & set(
+                workload.tables[right].schema.names
+            )
+            assert shared, f"{left} and {right} share no join attribute"
+        market_path = ["trade", "security", "company", "industry", "sector", "exchange"]
+        for left, right in zip(market_path, market_path[1:]):
+            shared = set(workload.tables[left].schema.names) & set(
+                workload.tables[right].schema.names
+            )
+            assert shared, f"{left} and {right} share no join attribute"
+
+    def test_foreign_keys_reference_parents(self, workload):
+        securities = set(workload.table("security").column("security_id"))
+        assert set(workload.table("trade").column("security_id")) <= securities
+
+    def test_deterministic(self):
+        first = tpce_workload(scale=0.05, seed=3, dirty_rate=0.0)
+        second = tpce_workload(scale=0.05, seed=3, dirty_rate=0.0)
+        assert first.table("trade").column("t_price") == second.table("trade").column("t_price")
+
+
+class TestDirtyData:
+    def test_twenty_tables_are_dirty(self, workload):
+        assert len(TPCE_DIRTY_TABLES) == 20
+        # tables with at least one planted FD end up with a dirty variant
+        expected_dirty = {name for name in TPCE_DIRTY_TABLES if workload.fds.get(name)}
+        assert set(workload.dirty_tables) <= set(TPCE_DIRTY_TABLES)
+        assert expected_dirty <= set(workload.dirty_tables)
+
+    def test_dirty_quality_not_higher_than_clean(self, workload):
+        for name, dirty in workload.dirty_tables.items():
+            for fd in workload.fds[name]:
+                assert instance_quality(dirty, fd) <= instance_quality(
+                    workload.table(name), fd
+                ) + 1e-9

@@ -1,0 +1,102 @@
+"""Tests for the TPC-H-like workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+import networkx as nx
+
+from repro.quality.measure import instance_quality
+from repro.workloads.tpch import TPCH_DIRTY_TABLES, TPCH_TABLE_NAMES, tpch_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return tpch_workload(scale=0.05, seed=0, dirty_rate=0.3)
+
+
+class TestStructure:
+    def test_eight_tables(self, workload):
+        assert set(workload.tables) == set(TPCH_TABLE_NAMES)
+        assert len(workload.tables) == 8
+
+    def test_foreign_keys_reference_parents(self, workload):
+        nations = workload.table("nation")
+        regions = set(workload.table("region").column("regionkey"))
+        assert set(nations.column("regionkey")) <= regions
+        lineitem = workload.table("lineitem")
+        orders = set(workload.table("orders").column("orderkey"))
+        assert set(lineitem.column("orderkey")) <= orders
+
+    def test_schema_overlap_graph_is_connected(self, workload):
+        graph = nx.Graph()
+        names = list(workload.tables)
+        graph.add_nodes_from(names)
+        for i, left in enumerate(names):
+            for right in names[i + 1 :]:
+                shared = set(workload.tables[left].schema.names) & set(
+                    workload.tables[right].schema.names
+                )
+                if shared:
+                    graph.add_edge(left, right)
+        assert nx.is_connected(graph)
+
+    def test_long_join_path_exists(self, workload):
+        """lineitem -> orders -> customer -> nation -> region is a 5-instance path."""
+        path = ["lineitem", "orders", "customer", "nation", "region"]
+        for left, right in zip(path, path[1:]):
+            shared = set(workload.tables[left].schema.names) & set(
+                workload.tables[right].schema.names
+            )
+            assert shared, f"{left} and {right} share no join attribute"
+
+    def test_bridge_attribute_toggle(self):
+        with_bridge = tpch_workload(scale=0.05, dirty_rate=0.0)
+        without_bridge = tpch_workload(scale=0.05, dirty_rate=0.0, include_bridge_attribute=False)
+        assert "h_segment" in with_bridge.table("customer").schema
+        assert "h_segment" not in without_bridge.table("customer").schema
+        assert "h_segment" not in without_bridge.table("supplier").schema
+
+    def test_scale_controls_row_counts(self):
+        small = tpch_workload(scale=0.05, dirty_rate=0.0)
+        large = tpch_workload(scale=0.3, dirty_rate=0.0)
+        assert len(large.table("lineitem")) > len(small.table("lineitem"))
+
+    def test_deterministic(self):
+        first = tpch_workload(scale=0.05, seed=4, dirty_rate=0.0)
+        second = tpch_workload(scale=0.05, seed=4, dirty_rate=0.0)
+        assert first.table("orders").column("totalprice") == second.table("orders").column(
+            "totalprice"
+        )
+
+
+class TestDirtyData:
+    def test_dirty_tables_have_lower_quality(self, workload):
+        for name in TPCH_DIRTY_TABLES:
+            fds = workload.fds[name]
+            if not fds:
+                continue
+            clean_quality = min(instance_quality(workload.table(name), fd) for fd in fds)
+            dirty_quality = min(
+                instance_quality(workload.dirty_tables[name], fd) for fd in fds
+            )
+            assert dirty_quality <= clean_quality
+
+    def test_region_and_nation_stay_clean(self, workload):
+        assert "region" not in workload.dirty_tables
+        assert "nation" not in workload.dirty_tables
+
+    def test_zero_dirty_rate_produces_no_dirty_tables(self):
+        assert tpch_workload(scale=0.05, dirty_rate=0.0).dirty_tables == {}
+
+
+class TestPlantedFds:
+    def test_every_dirty_table_has_at_least_one_fd(self, workload):
+        for name in TPCH_DIRTY_TABLES:
+            assert workload.fds[name], f"{name} has no planted FD to corrupt"
+
+    def test_fd_attributes_exist(self, workload):
+        for name, fds in workload.fds.items():
+            schema = workload.table(name).schema
+            for fd in fds:
+                assert all(attribute in schema for attribute in fd.attributes)
