@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Micro-benchmark of the online-phase hot path.
+
+Measures, on the Figure 4 TPC-H scalability scenario scaled up for stable
+timing (scale 2.0, sampling rate 0.4, 200 MCMC iterations, all 8 instances):
+
+* raw join-operator throughput (``inner_join`` / ``full_outer_join`` of the
+  two largest instances), and
+* the end-to-end ``DANCE.acquire()`` wall clock for Q1/Q2/Q3 (offline graph
+  build timed separately).
+
+Results are printed and appended to ``BENCH_hotpath.json`` at the repository
+root, so the performance trajectory is tracked PR over PR.  Run with::
+
+    PYTHONPATH=src python scripts/bench_hot_path.py [--output BENCH_hotpath.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import DanceConfig
+from repro.core.dance import DANCE
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.pricing.models import EntropyPricingModel
+from repro.relational.joins import full_outer_join, inner_join
+from repro.search.mcmc import MCMCConfig
+from repro.workloads.queries import queries_for
+from repro.workloads.tpch import tpch_workload
+
+SCALE = 2.0
+SAMPLING_RATE = 0.4
+MCMC_ITERATIONS = 200
+BUDGET = 1000.0
+JOIN_REPEATS = 5
+
+
+def _best_of(repeats: int, fn, *args, **kwargs) -> tuple[object, float]:
+    """Run ``fn`` ``repeats`` times; return (last result, best wall-clock seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def bench_joins(workload) -> dict[str, float]:
+    lineitem = workload.dirty_or_clean("lineitem")
+    orders = workload.dirty_or_clean("orders")
+    customer = workload.dirty_or_clean("customer")
+    joined, inner_seconds = _best_of(JOIN_REPEATS, inner_join, lineitem, orders)
+    outer, outer_seconds = _best_of(JOIN_REPEATS, full_outer_join, customer, orders)
+    return {
+        "inner_join_seconds": inner_seconds,
+        "inner_join_rows": len(joined),
+        "full_outer_join_seconds": outer_seconds,
+        "full_outer_join_rows": len(outer),
+    }
+
+
+def bench_acquire(workload) -> dict[str, object]:
+    pricing = EntropyPricingModel()
+    marketplace = Marketplace(default_pricing=pricing)
+    for name in workload.tables:
+        marketplace.host(
+            MarketplaceDataset(table=workload.dirty_or_clean(name), pricing=pricing)
+        )
+    config = DanceConfig(
+        sampling_rate=SAMPLING_RATE,
+        mcmc=MCMCConfig(iterations=MCMC_ITERATIONS, seed=0),
+    )
+    dance = DANCE(marketplace, config)
+
+    start = time.perf_counter()
+    dance.build_offline()
+    offline_seconds = time.perf_counter() - start
+
+    results: dict[str, object] = {"offline_seconds": offline_seconds}
+    total = 0.0
+    for query in queries_for(workload).values():
+        request = AcquisitionRequest(
+            source_attributes=list(query.source_attributes),
+            target_attributes=list(query.target_attributes),
+            budget=BUDGET,
+        )
+        start = time.perf_counter()
+        acquisition = dance.acquire(request)
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        results[f"acquire_{query.name}_seconds"] = elapsed
+        results[f"acquire_{query.name}_correlation"] = acquisition.estimated_correlation
+        hit_rate = getattr(acquisition, "mcmc_cache_hit_rate", None)
+        if hit_rate is not None:
+            results[f"acquire_{query.name}_cache_hit_rate"] = hit_rate
+    results["acquire_total_seconds"] = total
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_hotpath.json",
+        help="JSON file the measurements are appended to",
+    )
+    parser.add_argument(
+        "--label", default="current", help="label recorded with this measurement"
+    )
+    args = parser.parse_args()
+
+    workload = tpch_workload(scale=SCALE, seed=0)
+    entry: dict[str, object] = {
+        "label": args.label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "scenario": {
+            "workload": "tpch",
+            "scale": SCALE,
+            "sampling_rate": SAMPLING_RATE,
+            "mcmc_iterations": MCMC_ITERATIONS,
+            "budget": BUDGET,
+        },
+    }
+    entry.update(bench_joins(workload))
+    entry.update(bench_acquire(workload))
+
+    history: list[dict[str, object]] = []
+    if args.output.exists():
+        try:
+            history = json.loads(args.output.read_text())
+        except (OSError, json.JSONDecodeError):
+            history = []
+    history.append(entry)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+
+    for key, value in entry.items():
+        if isinstance(value, float):
+            print(f"{key:>40}: {value:.4f}")
+        else:
+            print(f"{key:>40}: {value}")
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,33 @@ Quickstart::
     )
     result = dance.acquire(request)
     print(result.sql())
+
+Performance architecture
+------------------------
+
+The online search is dominated by repeated joins and entropies over the same
+sample tables, so the hot path is layered over three caches:
+
+* **Dictionary encoding** — :class:`~repro.relational.table.Table` lazily
+  encodes each column (and each multi-column key) into integer codes with a
+  code→value dictionary, cached on the table.  Joins match per distinct key
+  code and gather result *columns* from index vectors (no row tuples), and all
+  entropy kernels reduce integer-code histograms instead of hashing raw
+  values row by row (:mod:`repro.infotheory.entropy`).
+* **Histogram-based join informativeness** — JI over the full outer join is a
+  pure function of the two join-key histograms, so
+  :func:`~repro.infotheory.join_informativeness.join_informativeness` never
+  materialises the outer join; per-edge JI weights are additionally cached on
+  the :class:`~repro.graph.join_graph.JoinGraph` and shared across candidate
+  evaluations through ``ji_cache``.
+* **MCMC evaluation memoisation** — the Metropolis walk revisits candidate
+  target graphs constantly, so :func:`~repro.search.mcmc.mcmc_search`
+  memoises :meth:`~repro.graph.target.TargetGraph.evaluate` results by a
+  canonical graph signature and reports the hit rate in
+  :class:`~repro.search.mcmc.MCMCResult`.
+
+``scripts/bench_hot_path.py`` tracks the resulting wall-clock numbers in
+``BENCH_hotpath.json`` PR over PR.
 """
 
 from repro.core.config import DanceConfig

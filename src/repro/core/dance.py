@@ -11,6 +11,7 @@ retries, exactly as described in Section 2.1 of the paper.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Mapping, Sequence
 
 from repro.core.config import DanceConfig
@@ -24,7 +25,6 @@ from repro.quality.fd import FunctionalDependency
 from repro.relational.table import Table
 from repro.sampling.correlated import CorrelatedSampler
 from repro.search.acquisition import heuristic_acquisition
-from repro.search.mcmc import MCMCConfig
 
 
 class DANCE:
@@ -69,9 +69,32 @@ class DANCE:
         return list(self._fds)
 
     def register_source_tables(self, tables: Sequence[Table]) -> None:
-        """Register the shopper's local instances; they join for free."""
+        """Register the shopper's local instances; they join for free.
+
+        When the offline phase has already run, the join graph is updated
+        immediately so the new sources participate in subsequent acquisitions
+        (previously they were silently absent until the next offline rebuild).
+        Genuinely new instances are added incrementally (reusing the graph's
+        cached JI weights); replacing an already-known instance falls back to
+        a full rebuild so the FDs collected from the old data are dropped too.
+        """
+        replacing = False
         for table in tables:
+            if table.name in self._source_tables or table.name in self._samples:
+                replacing = True
             self._source_tables[table.name] = table
+        if not tables or self._join_graph is None:
+            return
+        if replacing:
+            self._rebuild_graph()
+            return
+        seen = {(fd.lhs, fd.rhs) for fd in self._fds}
+        for table in tables:
+            self._join_graph.add_instance(table, is_source=True)
+            for fd in self._collect_fds({table.name: table}):
+                if (fd.lhs, fd.rhs) not in seen:
+                    seen.add((fd.lhs, fd.rhs))
+                    self._fds.append(fd)
 
     def build_offline(self, *, sampling_rate: float | None = None) -> JoinGraph:
         """Run the offline phase: buy samples of every hosted instance, build the graph."""
@@ -94,7 +117,7 @@ class DANCE:
         tables.update(self._source_tables)
         self._join_graph = JoinGraph(
             tables,
-            pricing=self.marketplace._default_pricing,
+            pricing=self.marketplace.pricing,
             max_join_attribute_size=self.config.max_join_attribute_size,
             source_instances=tuple(self._source_tables),
         )
@@ -177,6 +200,7 @@ class DANCE:
             queries=queries,
             sample_cost=self._sample_cost,
             igraph_size=heuristic.igraph_size,
+            mcmc_cache_hit_rate=heuristic.mcmc.evaluation_cache_hit_rate,
         )
 
     # --------------------------------------------------------------- summaries
@@ -200,14 +224,14 @@ def build_dance(
     source_tables: Sequence[Table] = (),
     mcmc_iterations: int | None = None,
 ) -> DANCE:
-    """Convenience constructor: register sources, run the offline phase, return DANCE."""
+    """Convenience constructor: register sources, run the offline phase, return DANCE.
+
+    ``mcmc_iterations`` overrides the iteration count on a *copy* of the given
+    configuration — the caller's ``DanceConfig`` is never mutated.
+    """
     if mcmc_iterations is not None:
-        config = config or DanceConfig()
-        config.mcmc = MCMCConfig(
-            iterations=mcmc_iterations,
-            seed=config.mcmc.seed,
-            projection_flip_probability=config.mcmc.projection_flip_probability,
-        )
+        base = config or DanceConfig()
+        config = replace(base, mcmc=replace(base.mcmc, iterations=mcmc_iterations))
     dance = DANCE(marketplace, config)
     if source_tables:
         dance.register_source_tables(list(source_tables))

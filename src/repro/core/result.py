@@ -31,6 +31,9 @@ class AcquisitionResult:
     refinement_rounds:
         How many times DANCE had to buy more samples before it found a feasible
         recommendation.
+    mcmc_cache_hit_rate:
+        Fraction of MCMC candidate evaluations served from the walk's memo
+        table (see :class:`repro.search.mcmc.MCMCResult`).
     """
 
     target_graph: TargetGraph
@@ -39,6 +42,7 @@ class AcquisitionResult:
     sample_cost: float = 0.0
     igraph_size: int = 0
     refinement_rounds: int = 0
+    mcmc_cache_hit_rate: float = 0.0
 
     @property
     def estimated_correlation(self) -> float:
@@ -80,6 +84,7 @@ class AcquisitionResult:
             "sample_cost": self.sample_cost,
             "igraph_size": self.igraph_size,
             "refinement_rounds": self.refinement_rounds,
+            "mcmc_cache_hit_rate": self.mcmc_cache_hit_rate,
             "queries": self.sql(),
         }
 

@@ -105,6 +105,11 @@ class JoinGraph:
         self._graph = nx.Graph()
         self._edges: dict[tuple[str, str], IEdge] = {}
         self._lattices: dict[str, AttributeSetLattice] = {}
+        # Per-edge join-informativeness weights, keyed by (left, right, attrs)
+        # with the instance pair in sorted order.  JI on the samples is a pure
+        # function of that key, so the cache survives across searches and is
+        # only invalidated when an instance's sample is replaced.
+        self._ji_cache: dict[tuple[str, str, frozenset[str]], float] = {}
         self._build()
 
     # ------------------------------------------------------------------- build
@@ -131,11 +136,27 @@ class JoinGraph:
         limit = min(self.max_join_attribute_size, len(shared))
         for size in range(1, limit + 1):
             for attrs in combinations(shared, size):
-                if len(left) == 0 or len(right) == 0:
-                    weights[frozenset(attrs)] = 1.0
-                else:
-                    weights[frozenset(attrs)] = join_informativeness(left, right, attrs)
+                weights[frozenset(attrs)] = self.edge_weight(left.name, right.name, attrs)
         return weights
+
+    def edge_weight(self, left: str, right: str, attrs: Iterable[str]) -> float:
+        """JI of instances ``left`` and ``right`` on ``attrs`` (cached on the graph).
+
+        Empty samples weigh 1.0 (an uninformative join), matching the
+        pessimistic default used during target-graph evaluation.
+        """
+        attr_set = frozenset(attrs)
+        first, second = sorted((left, right))
+        key = (first, second, attr_set)
+        cached = self._ji_cache.get(key)
+        if cached is None:
+            left_table, right_table = self.sample(left), self.sample(right)
+            if len(left_table) == 0 or len(right_table) == 0:
+                cached = 1.0
+            else:
+                cached = join_informativeness(left_table, right_table, sorted(attr_set))
+            self._ji_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ access
     @property
@@ -225,6 +246,9 @@ class JoinGraph:
             stale = [key for key in self._edges if name in key]
             for key in stale:
                 del self._edges[key]
+            stale_ji = [key for key in self._ji_cache if name in key[:2]]
+            for key in stale_ji:
+                del self._ji_cache[key]
             if self._graph.has_node(name):
                 self._graph.remove_node(name)
         self._graph.add_node(name, num_rows=len(table), attributes=table.schema.names)

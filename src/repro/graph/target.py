@@ -207,9 +207,10 @@ class TargetGraph:
     def _join(self, projected: Sequence[Table], intermediate_hook=None) -> Table:
         joined = projected[0]
         for edge_index, right in enumerate(projected[1:]):
-            join_attrs = [
+            # sorted so the key-encoding cache key is canonical for the attr set
+            join_attrs = sorted(
                 a for a in self.edges[edge_index] if a in joined.schema and a in right.schema
-            ]
+            )
             if not join_attrs:
                 parent = self.nodes[self.parents[edge_index]]
                 raise SearchError(
@@ -235,16 +236,35 @@ class TargetGraph:
                 total += pricing.price(table, attributes)
         return total
 
-    def weight(self, tables: Mapping[str, Table]) -> float:
-        """Total join-informativeness weight: Σ JI over the edges (on the given tables)."""
+    def weight(
+        self,
+        tables: Mapping[str, Table],
+        *,
+        ji_cache: dict[tuple, float] | None = None,
+    ) -> float:
+        """Total join-informativeness weight: Σ JI over the edges (on the given tables).
+
+        ``ji_cache`` (keyed by ``(left, right, attrs)`` with the instance pair
+        sorted) memoises per-edge JI across repeated evaluations against the
+        same tables — the MCMC walk shares one cache for the whole search.
+        """
         total = 0.0
         for left_name, right_name, join_attrs in self.edge_pairs():
             left, right = tables[left_name], tables[right_name]
-            usable = [a for a in join_attrs if a in left.schema and a in right.schema]
+            usable = sorted(a for a in join_attrs if a in left.schema and a in right.schema)
             if not usable or len(left) == 0 or len(right) == 0:
                 total += 1.0
                 continue
-            total += join_informativeness(left, right, usable)
+            if ji_cache is None:
+                total += join_informativeness(left, right, usable)
+                continue
+            first, second = sorted((left_name, right_name))
+            key = (first, second, frozenset(usable))
+            cached = ji_cache.get(key)
+            if cached is None:
+                cached = join_informativeness(left, right, usable)
+                ji_cache[key] = cached
+            total += cached
         return total
 
     def evaluate(
@@ -256,6 +276,7 @@ class TargetGraph:
         pricing,
         *,
         intermediate_hook=None,
+        ji_cache: dict[tuple, float] | None = None,
     ) -> TargetGraphEvaluation:
         """Correlation, quality, weight and price of this target graph on ``tables``."""
         joined = self._join(self._projected_tables(tables), intermediate_hook)
@@ -264,7 +285,7 @@ class TargetGraph:
         return TargetGraphEvaluation(
             correlation=correlation,
             quality=quality,
-            weight=self.weight(tables),
+            weight=self.weight(tables, ji_cache=ji_cache),
             price=self.price(tables, pricing),
             join_rows=len(joined),
         )

@@ -16,8 +16,11 @@ are used in the examples to sanity-check the entropy-based measure.
 
 from repro.infotheory.entropy import (
     conditional_entropy,
+    counts_of_codes,
+    entropy_of_codes,
     entropy_of_counts,
     joint_entropy,
+    joint_entropy_of_codes,
     mutual_information,
     shannon_entropy,
 )
@@ -26,13 +29,19 @@ from repro.infotheory.cumulative import (
     cumulative_entropy,
 )
 from repro.infotheory.correlation import attribute_set_correlation, correlation
-from repro.infotheory.join_informativeness import join_informativeness
+from repro.infotheory.join_informativeness import (
+    join_informativeness,
+    join_informativeness_from_histograms,
+)
 from repro.infotheory.comparators import cramers_v, pearson_correlation
 
 __all__ = [
     "shannon_entropy",
     "entropy_of_counts",
+    "counts_of_codes",
+    "entropy_of_codes",
     "joint_entropy",
+    "joint_entropy_of_codes",
     "conditional_entropy",
     "mutual_information",
     "cumulative_entropy",
@@ -40,6 +49,7 @@ __all__ = [
     "correlation",
     "attribute_set_correlation",
     "join_informativeness",
+    "join_informativeness_from_histograms",
     "pearson_correlation",
     "cramers_v",
 ]

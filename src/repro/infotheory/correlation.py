@@ -17,7 +17,12 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.infotheory.cumulative import conditional_cumulative_entropy, cumulative_entropy
-from repro.infotheory.entropy import conditional_entropy, shannon_entropy
+from repro.infotheory.entropy import (
+    conditional_entropy,
+    entropy_of_counts,
+    joint_entropy_of_codes,
+    shannon_entropy,
+)
 from repro.relational.schema import AttributeType
 from repro.relational.table import Table
 
@@ -51,12 +56,26 @@ def attribute_set_correlation(
     if not present_sources or not present_targets or len(table) == 0:
         return 0.0
 
-    target_keys = table.key_tuples(present_targets)
+    # Operate on dictionary-encoded code columns: the target key is encoded
+    # once (cached on the table) and each source contribution reduces to small
+    # integer-histogram entropies instead of hashing value tuples per row.
+    y_encoding = table.encoded_key(present_targets)
+    h_y = entropy_of_counts(y_encoding.counts())
     total = 0.0
     for attribute in present_sources:
-        x_values = table.column(attribute)
         x_type = table.schema.type_of(attribute)
-        total += correlation(x_values, target_keys, x_type=x_type)
+        if x_type is AttributeType.NUMERICAL:
+            x_values = table.column(attribute)
+            total += cumulative_entropy(x_values) - conditional_cumulative_entropy(
+                x_values, y_encoding.codes
+            )
+        else:
+            x_encoding = table.encoded(attribute)
+            h_x = entropy_of_counts(x_encoding.counts())
+            h_xy = joint_entropy_of_codes(
+                x_encoding.codes, y_encoding.codes, y_encoding.num_codes
+            )
+            total += h_x - (h_xy - h_y)
     return total
 
 

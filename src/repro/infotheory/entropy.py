@@ -1,10 +1,14 @@
 """Shannon entropy, conditional entropy and mutual information.
 
 All functions operate either on raw value sequences (hashable values, ``None``
-allowed and treated as a regular symbol) or directly on count histograms.
-Entropies are measured in bits (log base 2); the choice of base cancels in the
-correlation and join-informativeness ratios, but bits make the unit tests easy
-to reason about.
+allowed and treated as a regular symbol), directly on count histograms, or —
+for the hot-path kernels — on dictionary-encoded integer code columns (see
+:class:`repro.relational.table.ColumnEncoding`).  The code-based kernels avoid
+hashing arbitrary values row by row: a joint histogram of two code columns is
+built over small dense integers, which is what makes the MCMC evaluation loop
+cheap.  Entropies are measured in bits (log base 2); the choice of base cancels
+in the correlation and join-informativeness ratios, but bits make the unit
+tests easy to reason about.
 """
 
 from __future__ import annotations
@@ -68,6 +72,43 @@ def normalized_mutual_information(x: Sequence[Hashable], y: Sequence[Hashable]) 
     if joint <= 0.0:
         return 0.0
     return mutual_information(x, y) / joint
+
+
+def counts_of_codes(codes: Sequence[int], num_codes: int) -> list[int]:
+    """Histogram of a dictionary-encoded code column (codes in ``[0, num_codes)``)."""
+    counts = [0] * num_codes
+    for code in codes:
+        counts[code] += 1
+    return counts
+
+
+def entropy_of_codes(codes: Sequence[int], num_codes: int) -> float:
+    """Shannon entropy (bits) of a code column, equal to ``shannon_entropy`` on the values."""
+    return entropy_of_counts(counts_of_codes(codes, num_codes))
+
+
+def joint_code_counts(
+    x_codes: Sequence[int], y_codes: Sequence[int], y_num_codes: int
+) -> dict[int, int]:
+    """Histogram of the aligned pair column ``(x, y)``, keyed by ``x * |y| + y``.
+
+    The combined integer key identifies the value pair uniquely, so the counts
+    equal the histogram of ``zip(x_values, y_values)`` without building tuples.
+    """
+    counts: dict[int, int] = {}
+    for x_code, y_code in zip(x_codes, y_codes):
+        key = x_code * y_num_codes + y_code
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def joint_entropy_of_codes(
+    x_codes: Sequence[int], y_codes: Sequence[int], y_num_codes: int
+) -> float:
+    """``H(X, Y)`` in bits from two aligned code columns."""
+    if len(x_codes) != len(y_codes):
+        raise ValueError("joint_entropy_of_codes requires aligned code columns")
+    return entropy_of_counts(joint_code_counts(x_codes, y_codes, y_num_codes).values())
 
 
 def entropy_of_distribution(probabilities: Mapping[Hashable, float] | Iterable[float]) -> float:

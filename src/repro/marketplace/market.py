@@ -73,6 +73,15 @@ class Marketplace:
         for dataset in datasets:
             self.host(dataset)
 
+    @property
+    def pricing(self) -> PricingModel:
+        """The marketplace's default pricing model (applied to bare hosted tables).
+
+        ``_default_pricing`` remains available as a private alias for backwards
+        compatibility; new code should use this property.
+        """
+        return self._default_pricing
+
     # ------------------------------------------------------------------ hosting
     def host(self, dataset: MarketplaceDataset | Table) -> MarketplaceDataset:
         """Add a dataset to the marketplace (wrapping bare tables with default pricing)."""

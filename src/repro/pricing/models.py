@@ -14,7 +14,6 @@ from abc import ABC, abstractmethod
 from typing import Sequence
 
 from repro.exceptions import PricingError
-from repro.infotheory.entropy import shannon_entropy
 from repro.relational.table import Table
 
 
@@ -60,8 +59,10 @@ class EntropyPricingModel(PricingModel):
             return self.base_price
         import math
 
-        joint_keys = table.key_tuples(validated)
-        entropy = shannon_entropy(joint_keys)
+        # key_entropy equals shannon_entropy over the key tuples but is
+        # histogram-based and cached per (table, attribute-set) — the search
+        # loop prices the same projections over and over.
+        entropy = table.key_entropy(validated)
         size_factor = math.log10(len(table) + 1)
         return self.base_price + self.unit_price * entropy * size_factor
 

@@ -9,8 +9,9 @@ The public surface is re-exported here:
 
 ``AttributeType``, ``Attribute``, ``Schema``
     Schema-level metadata (``schema.py``).
-``Table``
-    The column-oriented relation (``table.py``).
+``Table``, ``ColumnEncoding``
+    The column-oriented relation and its lazy dictionary encoding
+    (``table.py``).
 ``inner_join``, ``full_outer_join``, ``join_path``
     Equi-join operators and multi-way join evaluation (``joins.py``).
 ``partition``, ``equivalence_classes``
@@ -19,7 +20,7 @@ The public surface is re-exported here:
 """
 
 from repro.relational.schema import Attribute, AttributeType, Schema
-from repro.relational.table import Table
+from repro.relational.table import ColumnEncoding, Table
 from repro.relational.joins import full_outer_join, inner_join, join_path
 from repro.relational.partitions import equivalence_classes, partition, stripped_partition
 
@@ -28,6 +29,7 @@ __all__ = [
     "AttributeType",
     "Schema",
     "Table",
+    "ColumnEncoding",
     "inner_join",
     "full_outer_join",
     "join_path",

@@ -5,6 +5,11 @@ the purchased instances, while the join-informativeness measure (Definition
 2.4) is defined over the *full outer* join of two instances so that unmatched
 join values are penalised.  Both operators are hash joins on the shared join
 attributes.
+
+The joins are *columnar*: each side's join key is dictionary-encoded once
+(cached on the table), matching happens per distinct key code rather than per
+row, and the result columns are gathered directly from (left row, right row)
+index vectors — no intermediate row tuples are materialised.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from typing import Sequence
 
 from repro.exceptions import JoinError
 from repro.relational.schema import Schema
-from repro.relational.table import Table, Value
+from repro.relational.table import ColumnEncoding, Table, Value
 
 
 def shared_join_attributes(left: Table, right: Table) -> tuple[str, ...]:
@@ -47,6 +52,41 @@ def _build_hash_index(table: Table, attrs: Sequence[str]) -> dict[tuple, list[in
     return index
 
 
+def _rows_by_code(encoding: ColumnEncoding) -> list[list[int]]:
+    """Row indices grouped by key code (the columnar hash index)."""
+    groups: list[list[int]] = [[] for _ in range(encoding.num_codes)]
+    for row_index, code in enumerate(encoding.codes):
+        groups[code].append(row_index)
+    return groups
+
+
+def _matches_per_left_code(
+    left_encoding: ColumnEncoding, right_encoding: ColumnEncoding
+) -> list[list[int] | None]:
+    """For each distinct left key code, the matching right row indices (or None).
+
+    ``None`` join values never match (SQL NULL semantics), so keys containing
+    ``None`` — on either side — produce no matches.
+    """
+    right_groups = _rows_by_code(right_encoding)
+    right_by_value: dict[tuple, list[int]] = {}
+    for code, value in enumerate(right_encoding.values):
+        if right_groups[code] and not any(v is None for v in value):
+            right_by_value[value] = right_groups[code]
+    matches: list[list[int] | None] = []
+    for value in left_encoding.values:
+        if any(v is None for v in value):
+            matches.append(None)
+        else:
+            matches.append(right_by_value.get(value))
+    return matches
+
+
+def _gather(column: Sequence[Value], indices: Sequence[int]) -> list[Value]:
+    """``column`` values at ``indices``; index ``-1`` yields the NULL pad."""
+    return [None if i < 0 else column[i] for i in indices]
+
+
 def _joined_schema(left: Table, right: Table, join_attrs: Sequence[str]) -> tuple[Schema, list[str]]:
     """Schema of the join result and the right-side attributes that are appended."""
     right_extra = [name for name in right.schema.names if name not in join_attrs]
@@ -77,23 +117,29 @@ def inner_join(
     schema, right_extra = _joined_schema(left, right, join_attrs)
     result_name = name or f"{left.name}_join_{right.name}"
 
-    right_index = _build_hash_index(right, join_attrs)
-    left_names = left.schema.names
-    left_cols = [left.column(attr) for attr in left_names]
-    right_cols = [right.column(attr) for attr in right_extra]
+    matches = _matches_per_left_code(
+        left.encoded_key(join_attrs), right.encoded_key(join_attrs)
+    )
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    for left_row_index, code in enumerate(left.encoded_key(join_attrs).codes):
+        matched = matches[code]
+        if not matched:
+            continue
+        left_idx.extend([left_row_index] * len(matched))
+        right_idx.extend(matched)
 
-    rows: list[tuple] = []
-    for left_row_index, key in enumerate(left.key_tuples(join_attrs)):
-        if any(value is None for value in key):
-            continue
-        matches = right_index.get(key)
-        if not matches:
-            continue
-        left_values = tuple(col[left_row_index] for col in left_cols)
-        for right_row_index in matches:
-            right_values = tuple(col[right_row_index] for col in right_cols)
-            rows.append(left_values + right_values)
-    return Table.from_rows(result_name, schema, rows)
+    columns: dict[str, list[Value]] = {}
+    for attr in left.schema.names:
+        column = left.column(attr)
+        columns[attr] = [column[i] for i in left_idx]
+    result_names = schema.names
+    for offset, attr in enumerate(right_extra):
+        column = right.column(attr)
+        columns[result_names[len(left.schema.names) + offset]] = [
+            column[j] for j in right_idx
+        ]
+    return Table._from_columns(result_name, schema, columns, len(left_idx))
 
 
 def full_outer_join(
@@ -125,36 +171,35 @@ def full_outer_join(
     schema = Schema(list(left.schema.attributes) + right_copy_attrs + extra_attrs)
     result_name = name or f"{left.name}_outer_{right.name}"
 
-    right_index = _build_hash_index(right, join_attrs)
-    matched_right: set[int] = set()
-
-    left_names = left.schema.names
-    left_cols = [left.column(attr) for attr in left_names]
-    right_join_cols = [right.column(attr) for attr in join_attrs]
-    right_extra_cols = [right.column(attr) for attr in right_extra]
-
-    rows: list[tuple] = []
-    for left_row_index, key in enumerate(left.key_tuples(join_attrs)):
-        left_values = tuple(col[left_row_index] for col in left_cols)
-        matches = right_index.get(key) if not any(v is None for v in key) else None
-        if matches:
-            for right_row_index in matches:
-                matched_right.add(right_row_index)
-                right_key_values = tuple(col[right_row_index] for col in right_join_cols)
-                right_values = tuple(col[right_row_index] for col in right_extra_cols)
-                rows.append(left_values + right_key_values + right_values)
+    matches = _matches_per_left_code(
+        left.encoded_key(join_attrs), right.encoded_key(join_attrs)
+    )
+    right_matched = [False] * len(right)
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    for left_row_index, code in enumerate(left.encoded_key(join_attrs).codes):
+        matched = matches[code]
+        if matched:
+            left_idx.extend([left_row_index] * len(matched))
+            right_idx.extend(matched)
+            for right_row_index in matched:
+                right_matched[right_row_index] = True
         else:
-            rows.append(left_values + (None,) * (len(join_attrs) + len(right_extra)))
+            left_idx.append(left_row_index)
+            right_idx.append(-1)
+    for right_row_index, was_matched in enumerate(right_matched):
+        if not was_matched:
+            left_idx.append(-1)
+            right_idx.append(right_row_index)
 
-    none_left = (None,) * len(left_names)
-    for right_row_index in range(len(right)):
-        if right_row_index in matched_right:
-            continue
-        right_key_values = tuple(col[right_row_index] for col in right_join_cols)
-        right_values = tuple(col[right_row_index] for col in right_extra_cols)
-        rows.append(none_left + right_key_values + right_values)
-
-    return Table.from_rows(result_name, schema, rows)
+    columns: dict[str, list[Value]] = {}
+    for attr in left.schema.names:
+        columns[attr] = _gather(left.column(attr), left_idx)
+    result_names = schema.names
+    offset = len(left.schema.names)
+    for position, attr in enumerate(list(join_attrs) + right_extra):
+        columns[result_names[offset + position]] = _gather(right.column(attr), right_idx)
+    return Table._from_columns(result_name, schema, columns, len(left_idx))
 
 
 def join_path(

@@ -19,6 +19,57 @@ Row = tuple
 Value = object
 
 
+class ColumnEncoding:
+    """Dictionary encoding of one column (or multi-column key) of a table.
+
+    ``codes`` holds one integer per row; ``values`` maps each code back to the
+    original value (a bare value for single columns, a tuple for multi-column
+    keys).  Codes are assigned in first-occurrence order, so iterating
+    ``values`` reproduces the first-seen order of the raw data.  Encodings are
+    produced and cached by :meth:`Table.encoded` / :meth:`Table.encoded_key`;
+    they are the substrate for the histogram-based entropy / join kernels.
+    """
+
+    __slots__ = ("codes", "values", "_counts")
+
+    def __init__(self, codes: list[int], values: list[Value]) -> None:
+        self.codes = codes
+        self.values = values
+        self._counts: list[int] | None = None
+
+    @property
+    def num_codes(self) -> int:
+        return len(self.values)
+
+    def counts(self) -> list[int]:
+        """Histogram of the codes (``counts()[c]`` = occurrences of code ``c``)."""
+        if self._counts is None:
+            counts = [0] * len(self.values)
+            for code in self.codes:
+                counts[code] += 1
+            self._counts = counts
+        return self._counts
+
+    def value_counts(self) -> dict[Value, int]:
+        """Histogram keyed by the original values, in first-occurrence order."""
+        counts = self.counts()
+        return {value: counts[code] for code, value in enumerate(self.values)}
+
+
+def _encode(values: Sequence[Value]) -> ColumnEncoding:
+    codes: list[int] = []
+    mapping: dict[Value, int] = {}
+    decode: list[Value] = []
+    for value in values:
+        code = mapping.get(value)
+        if code is None:
+            code = len(decode)
+            mapping[value] = code
+            decode.append(value)
+        codes.append(code)
+    return ColumnEncoding(codes, decode)
+
+
 class Table:
     """An immutable-by-convention, column-oriented relational instance.
 
@@ -34,7 +85,7 @@ class Table:
         the same length and exactly cover the schema.
     """
 
-    __slots__ = ("name", "schema", "_columns", "_num_rows")
+    __slots__ = ("name", "schema", "_columns", "_num_rows", "_encodings", "_stats")
 
     def __init__(self, name: str, schema: Schema, columns: Mapping[str, Sequence[Value]]) -> None:
         if set(columns) != set(schema.names):
@@ -53,6 +104,27 @@ class Table:
             attr: list(columns[attr]) for attr in schema.names
         }
         self._num_rows = lengths.pop() if lengths else 0
+        self._encodings: dict[tuple[str, ...], ColumnEncoding] = {}
+        self._stats: dict[object, float] = {}
+
+    @classmethod
+    def _from_columns(
+        cls, name: str, schema: Schema, columns: dict[str, list[Value]], num_rows: int
+    ) -> "Table":
+        """Internal fast constructor: trusts (and shares) the given column lists.
+
+        Callers must pass columns that exactly match ``schema`` with equal
+        lengths ``num_rows``; the lists are adopted without copying, so they
+        must not be mutated afterwards (tables are immutable by convention).
+        """
+        table = cls.__new__(cls)
+        table.name = name
+        table.schema = schema
+        table._columns = columns
+        table._num_rows = num_rows
+        table._encodings = {}
+        table._stats = {}
+        return table
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -153,17 +225,70 @@ class Table:
         cols = self.columns(list(names))
         return list(zip(*cols)) if cols else [() for _ in range(self._num_rows)]
 
+    # ---------------------------------------------------------------- encoding
+    def encoded(self, name: str) -> ColumnEncoding:
+        """Lazy dictionary encoding of one column (cached on the table).
+
+        The cache assumes the column is never mutated (tables are immutable by
+        convention); callers that mutate column lists in place would observe a
+        stale encoding.
+        """
+        key = (name,)
+        encoding = self._encodings.get(key)
+        if encoding is None:
+            encoding = _encode(self.column(name))
+            self._encodings[key] = encoding
+        return encoding
+
+    def encoded_key(self, names: Sequence[str]) -> ColumnEncoding:
+        """Lazy dictionary encoding of the tuple-key over ``names`` (cached).
+
+        ``values`` are row tuples, aligned with :meth:`key_tuples`.  For a
+        single column this still yields one-element tuples so that keys compare
+        equal across tables regardless of how they were produced.
+        """
+        key = tuple(names)
+        encoding = self._encodings.get(("#key",) + key)
+        if encoding is None:
+            if len(key) == 1:
+                base = self.encoded(key[0])
+                encoding = ColumnEncoding(base.codes, [(value,) for value in base.values])
+            else:
+                encoding = _encode(self.key_tuples(key))
+            self._encodings[("#key",) + key] = encoding
+        return encoding
+
+    def key_entropy(self, names: Sequence[str]) -> float:
+        """Shannon entropy (bits) of the joint distribution of ``names`` (cached).
+
+        This is the quantity the entropy pricing model and several search
+        heuristics need per (table, attribute-set) pair; caching it removes the
+        dominant repeated cost from the MCMC evaluation loop.
+        """
+        from repro.infotheory.entropy import entropy_of_counts
+
+        key = ("entropy",) + tuple(names)
+        cached = self._stats.get(key)
+        if cached is None:
+            cached = entropy_of_counts(self.encoded_key(names).counts())
+            self._stats[key] = cached
+        return cached
+
     # -------------------------------------------------------------- operations
     def with_name(self, name: str) -> "Table":
-        """The same data under a different instance name."""
-        return Table(name, self.schema, self._columns)
+        """The same data under a different instance name (columns are shared)."""
+        return Table._from_columns(name, self.schema, self._columns, self._num_rows)
 
     def project(self, names: Sequence[str], *, name: str | None = None) -> "Table":
-        """Relational projection onto ``names`` (duplicates are kept, SQL-bag style)."""
+        """Relational projection onto ``names`` (duplicates are kept, SQL-bag style).
+
+        Column lists are shared with the parent table, so projection is O(1)
+        per attribute regardless of the row count.
+        """
         validated = self.schema.validate_subset(names)
         schema = self.schema.project(validated)
         columns = {attr: self._columns[attr] for attr in validated}
-        return Table(name or self.name, schema, columns)
+        return Table._from_columns(name or self.name, schema, columns, self._num_rows)
 
     def select(self, predicate: Callable[[dict[str, Value]], bool], *, name: str | None = None) -> "Table":
         """Relational selection with a row-dict predicate."""
@@ -180,7 +305,7 @@ class Table:
         columns = {
             attr: [values[i] for i in indices] for attr, values in self._columns.items()
         }
-        return Table(name or self.name, self.schema, columns)
+        return Table._from_columns(name or self.name, self.schema, columns, len(indices))
 
     def head(self, n: int) -> "Table":
         return self.take(range(min(n, self._num_rows)))
@@ -191,7 +316,7 @@ class Table:
         columns = {
             mapping.get(attr, attr): values for attr, values in self._columns.items()
         }
-        return Table(name or self.name, schema, columns)
+        return Table._from_columns(name or self.name, schema, columns, self._num_rows)
 
     def distinct(self, names: Sequence[str] | None = None, *, name: str | None = None) -> "Table":
         """Distinct rows (over ``names`` if given, else over the whole schema)."""
@@ -229,7 +354,9 @@ class Table:
         columns = {
             attr: self._columns[attr] + other._columns[attr] for attr in self.schema.names
         }
-        return Table(name or self.name, self.schema, columns)
+        return Table._from_columns(
+            name or self.name, self.schema, columns, self._num_rows + other._num_rows
+        )
 
     def shuffled(self, rng: random.Random, *, name: str | None = None) -> "Table":
         """Rows in a random order drawn from ``rng`` (used by re-sampling)."""
@@ -245,14 +372,11 @@ class Table:
     # --------------------------------------------------------------- summaries
     def distinct_count(self, names: Sequence[str]) -> int:
         """Number of distinct value combinations of ``names``."""
-        return len(set(self.key_tuples(names)))
+        return self.encoded_key(names).num_codes
 
     def value_counts(self, names: Sequence[str]) -> dict[tuple, int]:
-        """Histogram of the value combinations of ``names``."""
-        counts: dict[tuple, int] = {}
-        for key in self.key_tuples(names):
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        """Histogram of the value combinations of ``names`` (first-occurrence order)."""
+        return self.encoded_key(names).value_counts()
 
     def null_fraction(self, name: str) -> float:
         """Fraction of ``None`` values in one column."""

@@ -64,6 +64,9 @@ def _exhaustive_search(
 ) -> BruteForceResult:
     pricing = join_graph.pricing
     result = BruteForceResult(best_graph=None, best_evaluation=None)
+    # Candidates overlap heavily in their edges, so per-edge JI terms are
+    # shared across the whole enumeration (the tables are fixed for the run).
+    ji_cache: dict[tuple, float] = {}
     for candidate in enumerate_target_graphs(
         join_graph,
         source_attributes,
@@ -75,7 +78,7 @@ def _exhaustive_search(
         result.candidates_evaluated += 1
         try:
             evaluation = candidate.evaluate(
-                tables, source_attributes, target_attributes, fds, pricing
+                tables, source_attributes, target_attributes, fds, pricing, ji_cache=ji_cache
             )
         except Exception:
             # A candidate may be un-joinable on the evaluation tables (e.g. a

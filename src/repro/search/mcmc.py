@@ -48,18 +48,34 @@ class MCMCConfig:
 
 @dataclass
 class MCMCResult:
-    """Outcome of the MCMC walk."""
+    """Outcome of the MCMC walk.
+
+    ``evaluation_cache_hits`` / ``evaluation_cache_misses`` count how often a
+    proposed target graph's evaluation was served from the walk's memo table
+    versus computed fresh — Metropolis walks revisit the same candidates
+    constantly, so the hit rate is the main lever on online-phase runtime.
+    """
 
     best_graph: TargetGraph | None
     best_evaluation: TargetGraphEvaluation | None
     accepted_steps: int = 0
     feasible_steps: int = 0
     iterations: int = 0
+    evaluation_cache_hits: int = 0
+    evaluation_cache_misses: int = 0
     trace: list[float] = field(default_factory=list)
 
     @property
     def feasible(self) -> bool:
         return self.best_graph is not None
+
+    @property
+    def evaluation_cache_hit_rate(self) -> float:
+        """Fraction of candidate evaluations served from the memo table."""
+        total = self.evaluation_cache_hits + self.evaluation_cache_misses
+        if total == 0:
+            return 0.0
+        return self.evaluation_cache_hits / total
 
     def require_feasible(self) -> tuple[TargetGraph, TargetGraphEvaluation]:
         if self.best_graph is None or self.best_evaluation is None:
@@ -67,6 +83,20 @@ class MCMCResult:
                 "MCMC search found no target graph satisfying the constraints"
             )
         return self.best_graph, self.best_evaluation
+
+
+def _graph_signature(graph: TargetGraph) -> tuple:
+    """A canonical, hashable identity of a target graph (nodes, edges, parents, projections).
+
+    Two graphs with the same signature evaluate identically on the same tables,
+    so the signature keys the walk's evaluation memo table.
+    """
+    return (
+        tuple(graph.nodes),
+        tuple(tuple(sorted(edge)) for edge in graph.edges),
+        tuple(graph.parents),
+        tuple(tuple(sorted(graph.projections[name])) for name in graph.nodes),
+    )
 
 
 def _propose_edge_swap(
@@ -157,26 +187,56 @@ def mcmc_search(
     pricing = join_graph.pricing
     wanted = set(source_attributes) | set(target_attributes)
 
+    # The walk revisits candidates constantly (edge swaps are frequently
+    # undone), so evaluations are memoised by canonical graph signature, and
+    # per-edge join-informativeness terms share one cache across candidates.
+    evaluation_cache: dict[tuple, TargetGraphEvaluation] = {}
+    ji_cache: dict[tuple, float] = {}
+
     def evaluate(graph: TargetGraph) -> TargetGraphEvaluation:
-        return graph.evaluate(
+        signature = _graph_signature(graph)
+        cached = evaluation_cache.get(signature)
+        if cached is not None:
+            result.evaluation_cache_hits += 1
+            return cached
+        result.evaluation_cache_misses += 1
+        # A re-sampling hook makes the evaluation stochastic, and memoising a
+        # stochastic evaluation would freeze one random draw per candidate for
+        # the rest of the walk.  The hook returns its input object unchanged
+        # when it does not fire, so track whether any intermediate was actually
+        # altered and only memoise the (then deterministic) evaluations.
+        hook = intermediate_hook
+        hook_fired = False
+        if intermediate_hook is not None:
+            def hook(intermediate, _inner=intermediate_hook):
+                nonlocal hook_fired
+                out = _inner(intermediate)
+                if out is not intermediate:
+                    hook_fired = True
+                return out
+        evaluation = graph.evaluate(
             tables,
             source_attributes,
             target_attributes,
             fds,
             pricing,
-            intermediate_hook=intermediate_hook,
+            intermediate_hook=hook,
+            ji_cache=ji_cache,
         )
+        if not hook_fired:
+            evaluation_cache[signature] = evaluation
+        return evaluation
+
+    result = MCMCResult(best_graph=None, best_evaluation=None)
 
     current = initial
     current_eval = evaluate(current)
     current_feasible = current_eval.satisfies(
         max_weight=max_weight, min_quality=min_quality, budget=budget
     )
-
-    best: TargetGraph | None = current if current_feasible else None
-    best_eval: TargetGraphEvaluation | None = current_eval if current_feasible else None
-
-    result = MCMCResult(best_graph=best, best_evaluation=best_eval)
+    if current_feasible:
+        result.best_graph = current
+        result.best_evaluation = current_eval
     result.feasible_steps = 1 if current_feasible else 0
 
     for _ in range(config.iterations):

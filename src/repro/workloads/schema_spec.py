@@ -20,6 +20,7 @@ TPC-E tables at fixed rates).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -29,6 +30,12 @@ from repro.quality.dirty import inject_inconsistency
 from repro.quality.fd import FunctionalDependency
 from repro.relational.schema import Attribute, AttributeType, Schema
 from repro.relational.table import Table, Value
+
+
+def _stable_hash(value: object) -> int:
+    """Process-independent hash used for derived columns (not PYTHONHASHSEED-salted)."""
+    digest = hashlib.blake2b(repr(value).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 @dataclass(frozen=True)
@@ -226,7 +233,7 @@ class WorkloadBuilder:
                 )
             base = existing[spec.derived_from]
             return [
-                None if value is None else categories[hash(repr(value)) % len(categories)]
+                None if value is None else categories[_stable_hash(value) % len(categories)]
                 for value in base
             ]
         if spec.skew > 0:
@@ -248,7 +255,7 @@ class WorkloadBuilder:
             values: list[Value] = []
             for value in base:
                 if value is None or not isinstance(value, (int, float)):
-                    numeric = float(abs(hash(repr(value))) % 1000)
+                    numeric = float(_stable_hash(value) % 1000)
                 else:
                     numeric = float(value)
                 values.append(round(numeric * 2.0 + self._rng.gauss(0.0, noise_scale), 4))

@@ -1,0 +1,130 @@
+"""Regression tests for config-mutation and stale-graph bugs in the middleware.
+
+Each test here failed on the code before the fix it documents:
+
+* ``build_dance(..., mcmc_iterations=N)`` used to replace ``config.mcmc`` on
+  the *caller's* ``DanceConfig`` object;
+* ``DANCE._rebuild_graph`` used to reach into the private
+  ``Marketplace._default_pricing``;
+* ``register_source_tables`` after ``build_offline()`` used to leave a stale
+  join graph in which the new sources were silently absent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DanceConfig
+from repro.core.dance import DANCE, build_dance
+from repro.marketplace.market import Marketplace
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.pricing.models import FlatAttributePricingModel
+from repro.relational.table import Table
+from repro.search.mcmc import MCMCConfig
+
+
+@pytest.fixture
+def chain_marketplace() -> Marketplace:
+    market = Marketplace()
+    market.host(
+        Table.from_rows(
+            "orders",
+            ["custkey", "totalprice"],
+            [(i % 6, float(i % 6) * 100 + i % 2) for i in range(60)],
+        )
+    )
+    market.host(
+        Table.from_rows("customers", ["custkey", "nationkey"], [(i, i % 3) for i in range(6)])
+    )
+    market.host(
+        Table.from_rows("nations", ["nationkey", "nname"], [(i, f"n{i}") for i in range(3)])
+    )
+    return market
+
+
+class TestBuildDanceConfigMutation:
+    def test_caller_config_is_not_mutated(self, chain_marketplace):
+        config = DanceConfig(sampling_rate=0.8, mcmc=MCMCConfig(iterations=30, seed=7))
+        original_mcmc = config.mcmc
+
+        dance = build_dance(chain_marketplace, config=config, mcmc_iterations=5)
+
+        assert config.mcmc is original_mcmc
+        assert config.mcmc.iterations == 30
+        assert dance.config.mcmc.iterations == 5
+        assert dance.config.mcmc.seed == 7
+        assert dance.config is not config
+
+    def test_override_preserves_other_mcmc_knobs(self, chain_marketplace):
+        config = DanceConfig(
+            sampling_rate=0.8,
+            mcmc=MCMCConfig(iterations=30, seed=3, projection_flip_probability=0.25),
+        )
+        dance = build_dance(chain_marketplace, config=config, mcmc_iterations=12)
+        assert dance.config.mcmc.projection_flip_probability == 0.25
+        assert config.mcmc.projection_flip_probability == 0.25
+        assert config.mcmc.iterations == 30
+
+
+class TestMarketplacePricingProperty:
+    def test_pricing_property_exposes_default_model(self):
+        model = FlatAttributePricingModel(price_per_attribute=2.0)
+        market = Marketplace(default_pricing=model)
+        assert market.pricing is model
+        # the private name stays as a compatibility alias
+        assert market._default_pricing is market.pricing
+
+    def test_join_graph_uses_public_pricing(self, chain_marketplace):
+        dance = DANCE(chain_marketplace, DanceConfig(sampling_rate=0.8))
+        dance.build_offline()
+        assert dance.join_graph.pricing is chain_marketplace.pricing
+
+
+class TestRegisterSourcesAfterOffline:
+    def test_late_source_registration_rebuilds_graph(self, chain_marketplace):
+        dance = DANCE(chain_marketplace, DanceConfig(sampling_rate=0.8))
+        dance.build_offline()
+        assert "shopper_orders" not in dance.join_graph
+
+        shopper_orders = Table.from_rows(
+            "shopper_orders",
+            ["custkey", "ordercount"],
+            [(i % 6, float(i)) for i in range(12)],
+        )
+        dance.register_source_tables([shopper_orders])
+
+        graph = dance.join_graph
+        assert "shopper_orders" in graph
+        assert "shopper_orders" in graph.source_instances
+        # the new source is wired into the I-layer through its shared attribute
+        assert graph.has_edge("shopper_orders", "customers")
+
+    def test_late_source_participates_in_acquisition(self, chain_marketplace):
+        dance = DANCE(
+            chain_marketplace,
+            DanceConfig(sampling_rate=0.8, mcmc=MCMCConfig(iterations=30, seed=0)),
+        )
+        dance.build_offline()
+        shopper_orders = Table.from_rows(
+            "shopper_orders",
+            ["custkey", "spend"],
+            [(i % 6, float(i % 6) * 10 + i % 3) for i in range(24)],
+        )
+        dance.register_source_tables([shopper_orders])
+        result = dance.acquire(
+            AcquisitionRequest(
+                source_attributes=["spend"],
+                target_attributes=["nname"],
+                budget=1e6,
+            )
+        )
+        assert "shopper_orders" in result.target_graph.nodes
+        # owned instances are never purchased
+        assert "shopper_orders" not in [query.dataset for query in result.queries]
+        assert 0.0 <= result.mcmc_cache_hit_rate <= 1.0
+
+    def test_registering_no_tables_keeps_graph(self, chain_marketplace):
+        dance = DANCE(chain_marketplace, DanceConfig(sampling_rate=0.8))
+        graph = dance.build_offline()
+        dance.register_source_tables([])
+        assert dance.join_graph is graph

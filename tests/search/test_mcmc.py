@@ -118,6 +118,72 @@ class TestMCMCSearch:
         assert result.feasible
         assert result.best_graph.nodes == initial.nodes
 
+    def test_evaluation_cache_reports_hit_rate(self, setup):
+        """Revisited candidates are served from the memo table and counted."""
+        join_graph, initial, tables, fds = setup
+        result = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds,
+            budget=1e9, config=MCMCConfig(iterations=100, seed=0),
+        )
+        # Only two join-attribute choices exist, so a 100-step walk must
+        # revisit previously-evaluated candidates many times.
+        assert result.evaluation_cache_hits > 0
+        assert result.evaluation_cache_misses >= 1
+        assert 0.0 < result.evaluation_cache_hit_rate < 1.0
+        assert result.evaluation_cache_hit_rate == pytest.approx(
+            result.evaluation_cache_hits
+            / (result.evaluation_cache_hits + result.evaluation_cache_misses)
+        )
+
+    def test_stochastic_hook_disables_memoisation(self, setup):
+        """Evaluations whose re-sampling hook fired must not be memoised.
+
+        Caching a stochastic evaluation would freeze one random draw per
+        candidate; with a hook that always resamples, every visit must
+        re-evaluate (zero cache hits).
+        """
+        import random as random_module
+
+        join_graph, initial, tables, fds = setup
+        rng = random_module.Random(0)
+
+        def always_resample(intermediate):
+            return intermediate.sample_rows(0.9, rng)
+
+        result = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds,
+            budget=1e9, config=MCMCConfig(iterations=40, seed=0),
+            intermediate_hook=always_resample,
+        )
+        assert result.evaluation_cache_hits == 0
+        assert result.evaluation_cache_misses > 1
+
+    def test_noop_hook_keeps_memoisation(self, setup):
+        """A hook that never alters the intermediate keeps full caching."""
+        join_graph, initial, tables, fds = setup
+        result = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds,
+            budget=1e9, config=MCMCConfig(iterations=100, seed=0),
+            intermediate_hook=lambda intermediate: intermediate,
+        )
+        assert result.evaluation_cache_hits > 0
+
+    def test_cached_walk_matches_uncached_evaluations(self, setup):
+        """Memoised evaluations must be value-identical to fresh ones."""
+        join_graph, initial, tables, fds = setup
+        result = mcmc_search(
+            join_graph, initial, tables, ["measure"], ["label"], fds,
+            budget=1e9, config=MCMCConfig(iterations=60, seed=5),
+        )
+        best_graph, best_eval = result.require_feasible()
+        fresh = best_graph.evaluate(
+            tables, ["measure"], ["label"], fds, join_graph.pricing
+        )
+        assert best_eval.correlation == pytest.approx(fresh.correlation)
+        assert best_eval.quality == pytest.approx(fresh.quality)
+        assert best_eval.weight == pytest.approx(fresh.weight)
+        assert best_eval.price == pytest.approx(fresh.price)
+
     def test_prefers_informative_join_attribute(self, setup):
         """With enough iterations the walk should end on the informative key.
 
