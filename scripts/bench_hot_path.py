@@ -10,9 +10,13 @@ timing (scale 2.0, sampling rate 0.4, 200 MCMC iterations, all 8 instances):
   build timed separately).
 
 Results are printed and appended to ``BENCH_hotpath.json`` at the repository
-root, so the performance trajectory is tracked PR over PR.  Run with::
+root, so the performance trajectory is tracked PR over PR.  By default the
+scenario is measured once per columnar backend (numpy and pure-python; see
+``repro/relational/backend.py``), appending one entry per backend with a
+``"backend"`` field.  Run with::
 
     PYTHONPATH=src python scripts/bench_hot_path.py [--output BENCH_hotpath.json]
+                                                    [--backend both|auto|numpy|python]
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ if str(_SRC) not in sys.path:
 
 from repro.core.config import DanceConfig
 from repro.core.dance import DANCE
+from repro.relational import backend as columnar_backend
 from repro.marketplace.dataset import MarketplaceDataset
 from repro.marketplace.market import Marketplace
 from repro.marketplace.shopper import AcquisitionRequest
@@ -110,6 +115,32 @@ def bench_acquire(workload) -> dict[str, object]:
     return results
 
 
+def bench_backend(backend_name: str, label: str) -> dict[str, object]:
+    """Measure the full scenario under one columnar backend.
+
+    The workload is rebuilt from scratch so that every encoding is produced by
+    the requested backend (tables cache their encodings).
+    """
+    resolved = columnar_backend.set_backend(backend_name)
+    workload = tpch_workload(scale=SCALE, seed=0)
+    entry: dict[str, object] = {
+        "label": label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "backend": resolved,
+        "scenario": {
+            "workload": "tpch",
+            "scale": SCALE,
+            "sampling_rate": SAMPLING_RATE,
+            "mcmc_iterations": MCMC_ITERATIONS,
+            "budget": BUDGET,
+        },
+    }
+    entry.update(bench_joins(workload))
+    entry.update(bench_acquire(workload))
+    return entry
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -121,23 +152,29 @@ def main() -> None:
     parser.add_argument(
         "--label", default="current", help="label recorded with this measurement"
     )
+    parser.add_argument(
+        "--backend",
+        default="both",
+        choices=["both", "auto", "numpy", "python"],
+        help="columnar backend(s) to measure ('both' appends one entry per backend)",
+    )
     args = parser.parse_args()
 
-    workload = tpch_workload(scale=SCALE, seed=0)
-    entry: dict[str, object] = {
-        "label": args.label,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "python": platform.python_version(),
-        "scenario": {
-            "workload": "tpch",
-            "scale": SCALE,
-            "sampling_rate": SAMPLING_RATE,
-            "mcmc_iterations": MCMC_ITERATIONS,
-            "budget": BUDGET,
-        },
-    }
-    entry.update(bench_joins(workload))
-    entry.update(bench_acquire(workload))
+    if args.backend == "both":
+        backends = ["python"]
+        if columnar_backend.numpy_available():
+            backends.append("numpy")
+        else:
+            print("numpy is not importable; measuring the pure-python backend only")
+    else:
+        backends = [args.backend]
+
+    entries = []
+    try:
+        for backend_name in backends:
+            entries.append(bench_backend(backend_name, args.label))
+    finally:
+        columnar_backend.set_backend(None)
 
     history: list[dict[str, object]] = []
     if args.output.exists():
@@ -145,14 +182,16 @@ def main() -> None:
             history = json.loads(args.output.read_text())
         except (OSError, json.JSONDecodeError):
             history = []
-    history.append(entry)
+    history.extend(entries)
     args.output.write_text(json.dumps(history, indent=2) + "\n")
 
-    for key, value in entry.items():
-        if isinstance(value, float):
-            print(f"{key:>40}: {value:.4f}")
-        else:
-            print(f"{key:>40}: {value}")
+    for entry in entries:
+        print(f"--- backend: {entry['backend']}")
+        for key, value in entry.items():
+            if isinstance(value, float):
+                print(f"{key:>40}: {value:.4f}")
+            else:
+                print(f"{key:>40}: {value}")
     print(f"\nwrote {args.output}")
 
 

@@ -34,11 +34,15 @@ Quickstart::
     result = dance.acquire(request)
     print(result.sql())
 
+A fuller quickstart lives in ``README.md``; the layer map and hot-path design
+are documented in ``docs/ARCHITECTURE.md``.
+
 Performance architecture
 ------------------------
 
 The online search is dominated by repeated joins and entropies over the same
-sample tables, so the hot path is layered over three caches:
+sample tables, so the hot path is layered over three caches and two
+interchangeable columnar backends:
 
 * **Dictionary encoding** — :class:`~repro.relational.table.Table` lazily
   encodes each column (and each multi-column key) into integer codes with a
@@ -57,9 +61,16 @@ sample tables, so the hot path is layered over three caches:
   memoises :meth:`~repro.graph.target.TargetGraph.evaluate` results by a
   canonical graph signature and reports the hit rate in
   :class:`~repro.search.mcmc.MCMCResult`.
+* **Numpy backend (optional)** — when numpy is importable the columnar
+  kernels store codes as ``int64`` arrays, histograms become ``np.bincount``,
+  joint counts reduce via ``np.unique``, and join gathers fancy-index cached
+  object arrays (:mod:`repro.relational.backend`; select with
+  ``REPRO_BACKEND``, :func:`repro.relational.set_backend`, or
+  ``DanceConfig(backend=...)``).  Both backends are bit-identical; the
+  pure-python kernels remain the no-dependency fallback.
 
-``scripts/bench_hot_path.py`` tracks the resulting wall-clock numbers in
-``BENCH_hotpath.json`` PR over PR.
+``scripts/bench_hot_path.py`` tracks the resulting wall-clock numbers (for
+both backends) in ``BENCH_hotpath.json`` PR over PR.
 """
 
 from repro.core.config import DanceConfig

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import SamplingError
+from repro.relational import backend as relational_backend
 from repro.sampling.resampling import ResamplingPolicy
 from repro.search.mcmc import MCMCConfig
 
@@ -39,6 +40,14 @@ class DanceConfig:
         sampling rate) and retry when no feasible target graph exists.
     refinement_rate_multiplier:
         Factor applied to the sampling rate on each refinement round.
+    backend:
+        Columnar-kernel backend for the hot path: ``"numpy"``, ``"python"``,
+        or ``"auto"`` (numpy when importable).  ``None`` (the default) leaves
+        the process-wide selection alone — i.e. the ``REPRO_BACKEND``
+        environment variable or automatic detection; a non-``None`` value is
+        applied process-wide when the :class:`~repro.core.dance.DANCE`
+        middleware is constructed (see :mod:`repro.relational.backend`).
+        Both backends produce bit-identical results.
     """
 
     sampling_rate: float = 0.3
@@ -51,8 +60,12 @@ class DanceConfig:
     afd_max_lhs_size: int = 2
     max_refinement_rounds: int = 2
     refinement_rate_multiplier: float = 2.0
+    backend: str | None = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            # Normalises aliases and raises early on unknown backend names.
+            self.backend = relational_backend.normalize(self.backend)
         if not 0.0 < self.sampling_rate <= 1.0:
             raise SamplingError(
                 f"sampling_rate must be in (0, 1], got {self.sampling_rate}"
@@ -83,4 +96,5 @@ class DanceConfig:
             afd_max_lhs_size=self.afd_max_lhs_size,
             max_refinement_rounds=self.max_refinement_rounds,
             refinement_rate_multiplier=self.refinement_rate_multiplier,
+            backend=self.backend,
         )

@@ -22,13 +22,37 @@ from repro.marketplace.market import Marketplace
 from repro.marketplace.shopper import AcquisitionRequest
 from repro.quality.discovery import discover_afds
 from repro.quality.fd import FunctionalDependency
+from repro.relational import backend as relational_backend
 from repro.relational.table import Table
 from repro.sampling.correlated import CorrelatedSampler
 from repro.search.acquisition import heuristic_acquisition
 
 
 class DANCE:
-    """Data Acquisition framework on oNline data markets for CorrElation analysis."""
+    """Data Acquisition framework on oNline data markets for CorrElation analysis.
+
+    The middleware between a data shopper and a :class:`Marketplace`
+    (Section 2.1 of the paper).  Typical use::
+
+        dance = DANCE(marketplace)
+        dance.build_offline()                      # buy samples, build the join graph
+        result = dance.acquire(request)            # online search for one request
+        print(result.sql())                        # the projection queries to purchase
+
+    Parameters
+    ----------
+    marketplace:
+        The marketplace to buy samples and instances from.
+    config:
+        All tunable knobs (sampling rate, MCMC budget, refinement policy,
+        columnar-kernel backend, ...); defaults to :class:`DanceConfig`.
+        When ``config.backend`` is set, the process-wide columnar backend
+        (numpy vs. pure-python; see :mod:`repro.relational.backend`) is
+        selected here, before any sample is encoded.
+    known_fds:
+        Known functional dependencies per instance name; instances without an
+        entry get AFDs discovered on their samples instead.
+    """
 
     def __init__(
         self,
@@ -39,6 +63,8 @@ class DANCE:
     ) -> None:
         self.marketplace = marketplace
         self.config = config or DanceConfig()
+        if self.config.backend is not None:
+            relational_backend.set_backend(self.config.backend)
         self._known_fds = {
             name: list(fds) for name, fds in (known_fds or {}).items()
         }
@@ -144,10 +170,37 @@ class DANCE:
 
     # ---------------------------------------------------------------- online
     def acquire(self, request: AcquisitionRequest) -> AcquisitionResult:
-        """Answer one acquisition request; may trigger sample refinement rounds.
+        """Answer one acquisition request (the online phase, Algorithm 1 + Step 1).
 
-        Raises :class:`InfeasibleAcquisitionError` when no feasible target
-        graph exists even after the configured number of refinement rounds.
+        Runs the two-step heuristic search — landmark-based I-graph seeding,
+        then the MCMC walk over the AS-layer — on the offline join graph, and
+        translates the best feasible target graph into billed projection
+        queries.  When no feasible target graph exists, DANCE buys more
+        samples at a higher sampling rate and retries, up to
+        ``config.max_refinement_rounds`` times (iterative refinement).
+
+        Parameters
+        ----------
+        request:
+            ``A_S``/``A_T`` (source/target attributes), the budget ``B``, and
+            the optional join-informativeness / quality constraints
+            (``max_join_informativeness`` = α, ``min_quality`` = β).
+
+        Returns
+        -------
+        AcquisitionResult
+            The winning target graph, its evaluation (estimated correlation,
+            price, quality), the projection queries to purchase (``.sql()``),
+            and diagnostics such as the MCMC evaluation-cache hit rate.
+
+        Raises
+        ------
+        InfeasibleAcquisitionError
+            When no feasible target graph exists even after the configured
+            number of refinement rounds.
+
+        Calls :meth:`build_offline` implicitly if the offline phase has not
+        run yet.
         """
         if self._join_graph is None:
             self.build_offline()
@@ -226,8 +279,12 @@ def build_dance(
 ) -> DANCE:
     """Convenience constructor: register sources, run the offline phase, return DANCE.
 
-    ``mcmc_iterations`` overrides the iteration count on a *copy* of the given
-    configuration — the caller's ``DanceConfig`` is never mutated.
+    Equivalent to constructing :class:`DANCE`, calling
+    :meth:`DANCE.register_source_tables` with ``source_tables``, and then
+    :meth:`DANCE.build_offline` — the returned middleware is ready for
+    :meth:`DANCE.acquire` calls.  ``mcmc_iterations`` overrides the iteration
+    count on a *copy* of the given configuration — the caller's
+    ``DanceConfig`` is never mutated.
     """
     if mcmc_iterations is not None:
         base = config or DanceConfig()

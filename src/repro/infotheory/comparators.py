@@ -13,11 +13,13 @@ import math
 from collections import Counter
 from typing import Hashable, Sequence
 
-import numpy as np
-
 
 def pearson_correlation(x: Sequence[object], y: Sequence[object]) -> float:
-    """Pearson's r for two aligned numeric sequences (``None`` pairs are dropped)."""
+    """Pearson's r for two aligned numeric sequences (``None`` pairs are dropped).
+
+    Implemented without numpy so the comparators stay importable when the
+    optional numpy backend dependency is absent.
+    """
     pairs = [
         (float(a), float(b))
         for a, b in zip(x, y)
@@ -27,13 +29,16 @@ def pearson_correlation(x: Sequence[object], y: Sequence[object]) -> float:
     ]
     if len(pairs) < 2:
         return 0.0
-    xs = np.array([p[0] for p in pairs], dtype=float)
-    ys = np.array([p[1] for p in pairs], dtype=float)
-    x_std = xs.std()
-    y_std = ys.std()
-    if x_std == 0.0 or y_std == 0.0:
+    n = len(pairs)
+    mean_x = sum(a for a, _ in pairs) / n
+    mean_y = sum(b for _, b in pairs) / n
+    var_x = sum((a - mean_x) ** 2 for a, _ in pairs)
+    var_y = sum((b - mean_y) ** 2 for _, b in pairs)
+    if var_x == 0.0 or var_y == 0.0:
         return 0.0
-    return float(np.corrcoef(xs, ys)[0, 1])
+    covariance = sum((a - mean_x) * (b - mean_y) for a, b in pairs)
+    # Clamp: float rounding can push perfectly-correlated data past ±1.
+    return max(-1.0, min(1.0, covariance / math.sqrt(var_x * var_y)))
 
 
 def cramers_v(x: Sequence[Hashable], y: Sequence[Hashable]) -> float:

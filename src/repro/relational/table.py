@@ -13,10 +13,14 @@ import random
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import SchemaError
+from repro.relational import backend as _backend
 from repro.relational.schema import Attribute, AttributeType, Schema
 
 Row = tuple
 Value = object
+
+# Sentinel distinguishing "never computed" from a cached None (ragged/no-numpy).
+_UNSET = object()
 
 
 class ColumnEncoding:
@@ -28,31 +32,52 @@ class ColumnEncoding:
     ``values`` reproduces the first-seen order of the raw data.  Encodings are
     produced and cached by :meth:`Table.encoded` / :meth:`Table.encoded_key`;
     they are the substrate for the histogram-based entropy / join kernels.
+
+    Under the numpy backend (see :mod:`repro.relational.backend`) ``codes`` is
+    an ``int64`` ``np.ndarray`` and :meth:`counts` is an ``np.bincount``
+    array; under the pure-python backend both are plain lists.  Consumers
+    dispatch on the container type via :func:`repro.relational.backend.is_array`,
+    and both representations produce bit-identical downstream statistics.
     """
 
     __slots__ = ("codes", "values", "_counts")
 
-    def __init__(self, codes: list[int], values: list[Value]) -> None:
+    def __init__(self, codes, values: list[Value]) -> None:
         self.codes = codes
         self.values = values
-        self._counts: list[int] | None = None
+        self._counts = None
 
     @property
     def num_codes(self) -> int:
         return len(self.values)
 
-    def counts(self) -> list[int]:
-        """Histogram of the codes (``counts()[c]`` = occurrences of code ``c``)."""
+    def counts(self):
+        """Histogram of the codes (``counts()[c]`` = occurrences of code ``c``).
+
+        A list of ints for list-backed codes; an ``np.bincount`` array (same
+        values, same order) for array-backed codes.
+        """
         if self._counts is None:
-            counts = [0] * len(self.values)
-            for code in self.codes:
-                counts[code] += 1
-            self._counts = counts
+            from repro.infotheory.entropy import counts_of_codes
+
+            self._counts = counts_of_codes(self.codes, len(self.values))
         return self._counts
 
+    def code_list(self) -> list[int]:
+        """The codes as a plain python list (no copy for list-backed codes)."""
+        if _backend.is_array(self.codes):
+            return self.codes.tolist()
+        return self.codes
+
     def value_counts(self) -> dict[Value, int]:
-        """Histogram keyed by the original values, in first-occurrence order."""
+        """Histogram keyed by the original values, in first-occurrence order.
+
+        Counts are plain python ints under both backends, so the result can be
+        compared and reduced without caring which backend built the encoding.
+        """
         counts = self.counts()
+        if _backend.is_array(counts):
+            counts = counts.tolist()
         return {value: counts[code] for code, value in enumerate(self.values)}
 
 
@@ -67,11 +92,21 @@ def _encode(values: Sequence[Value]) -> ColumnEncoding:
             mapping[value] = code
             decode.append(value)
         codes.append(code)
-    return ColumnEncoding(codes, decode)
+    return ColumnEncoding(_backend.make_codes(codes), decode)
 
 
 class Table:
     """An immutable-by-convention, column-oriented relational instance.
+
+    Tables are the single data container of the library: marketplace
+    datasets, correlated samples, and join results are all ``Table`` objects.
+    Statistics needed by the hot path — dictionary encodings
+    (:meth:`encoded` / :meth:`encoded_key`), code histograms, key entropies
+    (:meth:`key_entropy`), and the numpy backend's padded gather arrays
+    (:meth:`padded_column_array`) — are computed lazily and cached on the
+    table, and inherited by derived tables that share column objects
+    (:meth:`project`, :meth:`rename`, :meth:`with_name`).  The caches assume
+    columns are never mutated in place.
 
     Parameters
     ----------
@@ -85,7 +120,15 @@ class Table:
         the same length and exactly cover the schema.
     """
 
-    __slots__ = ("name", "schema", "_columns", "_num_rows", "_encodings", "_stats")
+    __slots__ = (
+        "name",
+        "schema",
+        "_columns",
+        "_num_rows",
+        "_encodings",
+        "_stats",
+        "_padded_arrays",
+    )
 
     def __init__(self, name: str, schema: Schema, columns: Mapping[str, Sequence[Value]]) -> None:
         if set(columns) != set(schema.names):
@@ -106,6 +149,7 @@ class Table:
         self._num_rows = lengths.pop() if lengths else 0
         self._encodings: dict[tuple[str, ...], ColumnEncoding] = {}
         self._stats: dict[object, float] = {}
+        self._padded_arrays: dict[str, object] = {}
 
     @classmethod
     def _from_columns(
@@ -124,6 +168,7 @@ class Table:
         table._num_rows = num_rows
         table._encodings = {}
         table._stats = {}
+        table._padded_arrays = {}
         return table
 
     # ------------------------------------------------------------ constructors
@@ -258,6 +303,34 @@ class Table:
             self._encodings[("#key",) + key] = encoding
         return encoding
 
+    def padded_column_array(self, name: str):
+        """One column as an object ``np.ndarray`` with a trailing ``None`` pad (cached).
+
+        This is the gather substrate of the numpy join backend: row-index
+        vectors fancy-index into it, and the pad slot at position ``-1``
+        supplies the NULL of unmatched outer-join rows.  Returns ``None`` when
+        numpy is unavailable or when the column holds ragged values that numpy
+        cannot store element-wise (tuple-valued columns); callers then fall
+        back to the python gather.  Cached because the MCMC loop joins the
+        same sample tables over and over.
+        """
+        cached = self._padded_arrays.get(name, _UNSET)
+        if cached is _UNSET:
+            np = _backend.get_numpy()
+            if np is None:
+                cached = None
+            else:
+                column = self.column(name)
+                try:
+                    padded = np.empty(len(column) + 1, dtype=object)
+                    padded[: len(column)] = column
+                except ValueError:  # ragged values (e.g. tuples): not representable
+                    cached = None
+                else:
+                    cached = padded
+            self._padded_arrays[name] = cached
+        return cached
+
     def key_entropy(self, names: Sequence[str]) -> float:
         """Shannon entropy (bits) of the joint distribution of ``names`` (cached).
 
@@ -274,21 +347,69 @@ class Table:
             self._stats[key] = cached
         return cached
 
+    def _adopt_encodings_from(
+        self, parent: "Table", rename_map: Mapping[str, str] | None = None
+    ) -> "Table":
+        """Share ``parent``'s cached encodings/entropies where columns are identical.
+
+        A cached :class:`ColumnEncoding` (or key entropy) is valid for a
+        derived table exactly when every column it was built from is the *same
+        list object* in both tables and the row count is unchanged — which is
+        the case for projections, renames, and ``with_name`` (all of which
+        share column lists), but never for ``take``/``select`` (which gather
+        new lists).  ``rename_map`` translates attribute names when the
+        derived table renamed columns without copying them.
+        """
+        if self._num_rows != parent._num_rows:
+            return self
+        mapping = rename_map or {}
+        for key, encoding in parent._encodings.items():
+            old_names = key[1:] if key[0] == "#key" else key
+            new_names = tuple(mapping.get(n, n) for n in old_names)
+            if not all(
+                new in self._columns and self._columns[new] is parent._columns[old]
+                for old, new in zip(old_names, new_names)
+            ):
+                continue
+            new_key = ("#key",) + new_names if key[0] == "#key" else new_names
+            self._encodings.setdefault(new_key, encoding)
+        for key, value in parent._stats.items():
+            if key[0] != "entropy":
+                continue
+            old_names = key[1:]
+            new_names = tuple(mapping.get(n, n) for n in old_names)
+            if all(
+                new in self._columns and self._columns[new] is parent._columns[old]
+                for old, new in zip(old_names, new_names)
+            ):
+                self._stats.setdefault(("entropy",) + new_names, value)
+        for old, padded in parent._padded_arrays.items():
+            new = mapping.get(old, old)
+            if new in self._columns and self._columns[new] is parent._columns[old]:
+                self._padded_arrays.setdefault(new, padded)
+        return self
+
     # -------------------------------------------------------------- operations
     def with_name(self, name: str) -> "Table":
         """The same data under a different instance name (columns are shared)."""
-        return Table._from_columns(name, self.schema, self._columns, self._num_rows)
+        return Table._from_columns(
+            name, self.schema, self._columns, self._num_rows
+        )._adopt_encodings_from(self)
 
     def project(self, names: Sequence[str], *, name: str | None = None) -> "Table":
         """Relational projection onto ``names`` (duplicates are kept, SQL-bag style).
 
         Column lists are shared with the parent table, so projection is O(1)
-        per attribute regardless of the row count.
+        per attribute regardless of the row count, and cached
+        :class:`ColumnEncoding`/entropy statistics over the surviving columns
+        are inherited rather than recomputed.
         """
         validated = self.schema.validate_subset(names)
         schema = self.schema.project(validated)
         columns = {attr: self._columns[attr] for attr in validated}
-        return Table._from_columns(name or self.name, schema, columns, self._num_rows)
+        return Table._from_columns(
+            name or self.name, schema, columns, self._num_rows
+        )._adopt_encodings_from(self)
 
     def select(self, predicate: Callable[[dict[str, Value]], bool], *, name: str | None = None) -> "Table":
         """Relational selection with a row-dict predicate."""
@@ -301,7 +422,13 @@ class Table:
         return self.take(keep, name=name)
 
     def take(self, indices: Sequence[int], *, name: str | None = None) -> "Table":
-        """A new table containing the rows at ``indices`` (in the given order)."""
+        """A new table containing the rows at ``indices`` (in the given order).
+
+        Gathering produces fresh column lists, so — unlike :meth:`project` —
+        cached encodings cannot be shared with the parent (the identity
+        condition of :meth:`_adopt_encodings_from` never holds) and the
+        derived table re-encodes lazily on first use.
+        """
         columns = {
             attr: [values[i] for i in indices] for attr, values in self._columns.items()
         }
@@ -311,12 +438,14 @@ class Table:
         return self.take(range(min(n, self._num_rows)))
 
     def rename(self, mapping: Mapping[str, str], *, name: str | None = None) -> "Table":
-        """Rename attributes; data is shared column-wise."""
+        """Rename attributes; data is shared column-wise (encodings carry over)."""
         schema = self.schema.rename(mapping)
         columns = {
             mapping.get(attr, attr): values for attr, values in self._columns.items()
         }
-        return Table._from_columns(name or self.name, schema, columns, self._num_rows)
+        return Table._from_columns(
+            name or self.name, schema, columns, self._num_rows
+        )._adopt_encodings_from(self, rename_map=dict(mapping))
 
     def distinct(self, names: Sequence[str] | None = None, *, name: str | None = None) -> "Table":
         """Distinct rows (over ``names`` if given, else over the whole schema)."""

@@ -89,7 +89,12 @@ def _graph_signature(graph: TargetGraph) -> tuple:
     """A canonical, hashable identity of a target graph (nodes, edges, parents, projections).
 
     Two graphs with the same signature evaluate identically on the same tables,
-    so the signature keys the walk's evaluation memo table.
+    so the signature keys the walk's evaluation memo table.  The signature is
+    purely structural — instance names, edge attribute sets, projections —
+    and never contains table data or (possibly array-backed, unhashable)
+    :class:`~repro.relational.table.ColumnEncoding` objects, so the memo
+    table is valid under both columnar backends
+    (:mod:`repro.relational.backend`), which evaluate bit-identically.
     """
     return (
         tuple(graph.nodes),

@@ -5,6 +5,10 @@ straightforward row-at-a-time implementations.  These tests keep simplified
 copies of the original row-based algorithms as executable references and check
 the columnar versions against them on randomized tables — including ``None``
 join keys, colliding column names between the two sides, and empty tables.
+
+The whole module runs twice, once per columnar backend (numpy and
+pure-python; see :mod:`repro.relational.backend`), so the same references
+double as parity oracles for the gated numpy kernels.
 """
 
 from __future__ import annotations
@@ -14,6 +18,17 @@ from collections import Counter
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from repro.relational import backend as columnar_backend_module
+
+
+@pytest.fixture(scope="module", params=["python", "numpy"], autouse=True)
+def columnar_backend(request):
+    """Run every test in this module under both columnar backends."""
+    if request.param == "numpy" and not columnar_backend_module.numpy_available():
+        pytest.skip("numpy is not installed")
+    with columnar_backend_module.use_backend(request.param):
+        yield request.param
 
 from repro.infotheory.correlation import attribute_set_correlation, correlation
 from repro.infotheory.entropy import (

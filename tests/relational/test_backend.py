@@ -1,0 +1,216 @@
+"""Backend selection, numpy-masked fallback, parity, and encoding propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infotheory.correlation import attribute_set_correlation
+from repro.infotheory.join_informativeness import join_informativeness
+from repro.relational import backend
+from repro.relational.joins import full_outer_join, inner_join
+from repro.relational.schema import Attribute, AttributeType, Schema
+from repro.relational.table import Table
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend_state():
+    """Snapshot/restore the module-level backend selection around each test."""
+    saved_override, saved_active = backend._override, backend._active
+    yield
+    backend._override, backend._active = saved_override, saved_active
+
+
+def make_table(name: str = "t") -> Table:
+    schema = Schema(
+        [
+            Attribute("k", AttributeType.CATEGORICAL),
+            Attribute("num", AttributeType.NUMERICAL),
+            Attribute("cat", AttributeType.CATEGORICAL),
+        ]
+    )
+    rows = [
+        ("a", 1, "x"),
+        ("b", 2, "y"),
+        ("a", 3, "x"),
+        (None, 4, "z"),
+        ("c", 2, "y"),
+        ("a", 1, None),
+    ]
+    return Table.from_rows(name, schema, rows)
+
+
+# ------------------------------------------------------------------ selection
+class TestBackendSelection:
+    def test_normalize_aliases(self):
+        assert backend.normalize("np") == backend.NUMPY
+        assert backend.normalize("NumPy") == backend.NUMPY
+        assert backend.normalize("list") == backend.PYTHON
+        assert backend.normalize("pure-python") == backend.PYTHON
+        assert backend.normalize("") == backend.AUTO
+        with pytest.raises(ValueError):
+            backend.normalize("fortran")
+
+    def test_auto_prefers_numpy_when_available(self):
+        resolved = backend.set_backend("auto")
+        expected = backend.NUMPY if backend.numpy_available() else backend.PYTHON
+        assert resolved == expected
+
+    def test_env_var_selects_python(self, monkeypatch):
+        monkeypatch.setenv(backend.ENV_VAR, "python")
+        backend.set_backend(None)  # clear the override, re-read the env var
+        assert backend.active_backend() == backend.PYTHON
+        table = make_table()
+        assert isinstance(table.encoded("k").codes, list)
+
+    def test_set_backend_controls_new_encodings(self):
+        if not backend.numpy_available():
+            pytest.skip("numpy is not installed")
+        np = backend.get_numpy()
+        with backend.use_backend("numpy"):
+            array_codes = make_table().encoded("k").codes
+        with backend.use_backend("python"):
+            list_codes = make_table().encoded("k").codes
+        assert isinstance(array_codes, np.ndarray)
+        assert isinstance(list_codes, list)
+        assert array_codes.tolist() == list_codes
+
+    def test_config_knob_applies_backend(self):
+        from repro.core.config import DanceConfig
+        from repro.core.dance import DANCE
+        from repro.marketplace.market import Marketplace
+
+        DANCE(Marketplace([make_table()]), DanceConfig(backend="python"))
+        assert backend.active_backend() == backend.PYTHON
+        with pytest.raises(Exception):
+            DanceConfig(backend="fortran")
+
+
+# ------------------------------------------------------- numpy masked out
+class TestNumpyMaskedFallback:
+    def test_auto_falls_back_to_python(self, monkeypatch):
+        monkeypatch.setattr(backend, "_NUMPY", None)
+        backend.set_backend(None)
+        assert not backend.numpy_available()
+        assert backend.active_backend() == backend.PYTHON
+
+    def test_explicit_numpy_request_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setattr(backend, "_NUMPY", None)
+        with pytest.warns(RuntimeWarning):
+            resolved = backend.set_backend("numpy")
+        assert resolved == backend.PYTHON
+
+    def test_kernels_run_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(backend, "_NUMPY", None)
+        backend.set_backend(None)
+        left, right = make_table("left"), make_table("right")
+        joined = inner_join(left, right, ["k"])
+        assert isinstance(left.encoded_key(("k",)).codes, list)
+        assert len(joined) == 11  # 'a': 3x3 pairs, 'b': 1, 'c': 1; None keys never match
+        outer = full_outer_join(left, right, ["k"])
+        assert len(outer) > len(joined)
+        assert 0.0 <= join_informativeness(left, right, ["k"]) <= 1.0
+        assert attribute_set_correlation(joined, ["num"], ["cat"]) >= 0.0
+
+    def test_array_encodings_survive_backend_switch(self):
+        if not backend.numpy_available():
+            pytest.skip("numpy is not installed")
+        with backend.use_backend("numpy"):
+            table = make_table()
+            table.encoded_key(("k",))  # cached as an array-backed encoding
+        with backend.use_backend("python"):
+            # Kernels dispatch on the container type, not on the active
+            # backend, so the cached array encoding keeps working.
+            other = make_table("other")
+            joined = inner_join(table, other, ["k"])
+        assert len(joined) == 11
+
+
+# ----------------------------------------------------------------- parity
+@pytest.mark.skipif(not backend.numpy_available(), reason="numpy is not installed")
+class TestBackendParity:
+    def _statistics(self) -> dict[str, float]:
+        from repro.workloads.tpch import tpch_workload
+
+        workload = tpch_workload(scale=0.1, seed=0)
+        orders = workload.dirty_or_clean("orders")
+        customer = workload.dirty_or_clean("customer")
+        joined = inner_join(customer, orders)
+        stats = {
+            "ji": join_informativeness(customer, orders),
+            "corr": attribute_set_correlation(
+                joined,
+                list(joined.schema.numerical_names())[:1],
+                list(joined.schema.categorical_names())[:2],
+            ),
+            "entropy": customer.key_entropy(customer.schema.names[:2]),
+        }
+        stats["outer_rows"] = float(len(full_outer_join(customer, orders)))
+        return stats
+
+    def test_statistics_bit_identical_across_backends(self):
+        with backend.use_backend("python"):
+            python_stats = self._statistics()
+        with backend.use_backend("numpy"):
+            numpy_stats = self._statistics()
+        # Bit-identical, not approximately equal: both backends must consume
+        # the same counts in the same order through the same float reduction.
+        assert python_stats == numpy_stats
+
+    def test_join_results_identical_across_backends(self):
+        left, right = make_table("left"), make_table("right")
+        with backend.use_backend("python"):
+            python_inner = inner_join(make_table("left"), make_table("right"), ["k"])
+            python_outer = full_outer_join(make_table("left"), make_table("right"), ["k"])
+        with backend.use_backend("numpy"):
+            numpy_inner = inner_join(left, right, ["k"])
+            numpy_outer = full_outer_join(left, right, ["k"])
+        assert list(python_inner.iter_rows()) == list(numpy_inner.iter_rows())
+        assert list(python_outer.iter_rows()) == list(numpy_outer.iter_rows())
+
+
+# ------------------------------------------------- encoding propagation
+class TestEncodingPropagation:
+    def test_project_inherits_cached_encodings(self):
+        table = make_table()
+        encoding = table.encoded("k")
+        key_encoding = table.encoded_key(("k", "cat"))
+        entropy = table.key_entropy(("k",))
+        projected = table.project(["k", "cat"])
+        assert projected.encoded("k") is encoding
+        assert projected.encoded_key(("k", "cat")) is key_encoding
+        assert projected.key_entropy(("k",)) == entropy
+        assert ("entropy", "k") in projected._stats
+
+    def test_project_drops_encodings_of_dropped_columns(self):
+        table = make_table()
+        table.encoded("num")
+        projected = table.project(["k"])
+        assert ("num",) not in projected._encodings
+
+    def test_with_name_and_rename_inherit(self):
+        table = make_table()
+        encoding = table.encoded("k")
+        renamed = table.rename({"k": "key"})
+        assert renamed.encoded("key") is encoding
+        assert table.with_name("other").encoded("k") is encoding
+
+    def test_take_re_encodes(self):
+        table = make_table()
+        table.encoded("k")
+        subset = table.take([0, 2, 4])
+        assert not subset._encodings  # gathered columns: nothing to inherit
+        assert subset.encoded("k").values == ["a", "c"]
+
+    def test_projected_encoding_matches_fresh_encoding(self):
+        table = make_table()
+        table.encoded_key(("k", "cat"))
+        projected = table.project(["k", "cat"])
+        fresh = Table(
+            "fresh",
+            projected.schema,
+            {name: list(projected.column(name)) for name in projected.schema.names},
+        )
+        inherited = projected.encoded_key(("k", "cat"))
+        rebuilt = fresh.encoded_key(("k", "cat"))
+        assert list(inherited.codes) == list(rebuilt.codes)
+        assert inherited.values == rebuilt.values
