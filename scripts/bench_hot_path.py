@@ -13,10 +13,14 @@ Results are printed and appended to ``BENCH_hotpath.json`` at the repository
 root, so the performance trajectory is tracked PR over PR.  By default the
 scenario is measured once per columnar backend (numpy and pure-python; see
 ``repro/relational/backend.py``), appending one entry per backend with a
-``"backend"`` field.  Run with::
+``"backend"`` field.  ``--chains`` / ``--executor`` measure the multi-chain
+MCMC search (``repro/search/chains.py``); ``--scale`` / ``--iterations`` /
+``--sampling-rate`` shrink the scenario for smoke runs (e.g. in CI).  Run
+with::
 
     PYTHONPATH=src python scripts/bench_hot_path.py [--output BENCH_hotpath.json]
                                                     [--backend both|auto|numpy|python]
+                                                    [--chains N] [--executor serial|thread|process]
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ from repro.marketplace.market import Marketplace
 from repro.marketplace.shopper import AcquisitionRequest
 from repro.pricing.models import EntropyPricingModel
 from repro.relational.joins import full_outer_join, inner_join
-from repro.search.mcmc import MCMCConfig
+from repro.search.mcmc import EXECUTORS, MCMCConfig
 from repro.workloads.queries import queries_for
 from repro.workloads.tpch import tpch_workload
 
@@ -77,7 +81,7 @@ def bench_joins(workload) -> dict[str, float]:
     }
 
 
-def bench_acquire(workload) -> dict[str, object]:
+def bench_acquire(workload, args: argparse.Namespace) -> dict[str, object]:
     pricing = EntropyPricingModel()
     marketplace = Marketplace(default_pricing=pricing)
     for name in workload.tables:
@@ -85,8 +89,13 @@ def bench_acquire(workload) -> dict[str, object]:
             MarketplaceDataset(table=workload.dirty_or_clean(name), pricing=pricing)
         )
     config = DanceConfig(
-        sampling_rate=SAMPLING_RATE,
-        mcmc=MCMCConfig(iterations=MCMC_ITERATIONS, seed=0),
+        sampling_rate=args.sampling_rate,
+        mcmc=MCMCConfig(
+            iterations=args.iterations,
+            seed=0,
+            chains=args.chains,
+            executor=args.executor,
+        ),
     )
     dance = DANCE(marketplace, config)
 
@@ -115,29 +124,31 @@ def bench_acquire(workload) -> dict[str, object]:
     return results
 
 
-def bench_backend(backend_name: str, label: str) -> dict[str, object]:
+def bench_backend(backend_name: str, args: argparse.Namespace) -> dict[str, object]:
     """Measure the full scenario under one columnar backend.
 
     The workload is rebuilt from scratch so that every encoding is produced by
     the requested backend (tables cache their encodings).
     """
     resolved = columnar_backend.set_backend(backend_name)
-    workload = tpch_workload(scale=SCALE, seed=0)
+    workload = tpch_workload(scale=args.scale, seed=0)
     entry: dict[str, object] = {
-        "label": label,
+        "label": args.label,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "backend": resolved,
         "scenario": {
             "workload": "tpch",
-            "scale": SCALE,
-            "sampling_rate": SAMPLING_RATE,
-            "mcmc_iterations": MCMC_ITERATIONS,
+            "scale": args.scale,
+            "sampling_rate": args.sampling_rate,
+            "mcmc_iterations": args.iterations,
             "budget": BUDGET,
+            "chains": args.chains,
+            "executor": args.executor,
         },
     }
     entry.update(bench_joins(workload))
-    entry.update(bench_acquire(workload))
+    entry.update(bench_acquire(workload, args))
     return entry
 
 
@@ -158,6 +169,33 @@ def main() -> None:
         choices=["both", "auto", "numpy", "python"],
         help="columnar backend(s) to measure ('both' appends one entry per backend)",
     )
+    parser.add_argument(
+        "--chains",
+        type=int,
+        default=1,
+        help="number of parallel MCMC chains per acquisition (1 = the paper's walk)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        choices=list(EXECUTORS),
+        help="executor for multi-chain walks (ignored when --chains 1)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=SCALE, help="TPC-H workload scale factor"
+    )
+    parser.add_argument(
+        "--sampling-rate",
+        type=float,
+        default=SAMPLING_RATE,
+        help="offline-phase correlated sampling rate",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=MCMC_ITERATIONS,
+        help="MCMC iterations per chain",
+    )
     args = parser.parse_args()
 
     if args.backend == "both":
@@ -172,7 +210,7 @@ def main() -> None:
     entries = []
     try:
         for backend_name in backends:
-            entries.append(bench_backend(backend_name, args.label))
+            entries.append(bench_backend(backend_name, args))
     finally:
         columnar_backend.set_backend(None)
 

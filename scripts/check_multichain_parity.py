@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Assert that a bench JSON's acquisition correlations agree across entries.
+
+Used by the CI ``bench-smoke`` job: ``scripts/bench_hot_path.py`` runs the
+same tiny scenario several times — ``--chains 1`` and ``--chains 4`` under the
+serial / thread / process executors, on both columnar backends — and every
+run must report *exactly* the same per-query correlations.  That is the
+multi-chain determinism contract (``repro/search/chains.py``): results depend
+only on ``(seed, chains)``, never on the executor, the scheduling order, or
+the backend — and on scenarios whose walks converge, not on the chain count
+either.
+
+Usage::
+
+    python scripts/check_multichain_parity.py bench-smoke.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def correlations(entry: dict) -> dict[str, float]:
+    return {
+        key: value
+        for key, value in entry.items()
+        if key.startswith("acquire_") and key.endswith("_correlation")
+    }
+
+
+def describe(entry: dict) -> str:
+    scenario = entry.get("scenario", {})
+    return (
+        f"backend={entry.get('backend')} chains={scenario.get('chains')} "
+        f"executor={scenario.get('executor')}"
+    )
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    entries = json.loads(path.read_text())
+    if len(entries) < 2:
+        print(f"error: {path} holds {len(entries)} entries; need >= 2 to compare")
+        return 1
+
+    reference = correlations(entries[0])
+    if not reference:
+        print(f"error: first entry of {path} has no acquire_*_correlation keys")
+        return 1
+
+    failures = 0
+    for entry in entries[1:]:
+        current = correlations(entry)
+        if set(current) != set(reference):
+            print(f"MISMATCH [{describe(entry)}]: query set differs: "
+                  f"{sorted(current)} vs {sorted(reference)}")
+            failures += 1
+            continue
+        for key, expected in reference.items():
+            if current[key] != expected:
+                print(
+                    f"MISMATCH [{describe(entry)}] {key}: "
+                    f"{current[key]!r} != {expected!r} [{describe(entries[0])}]"
+                )
+                failures += 1
+
+    if failures:
+        print(f"\n{failures} correlation mismatch(es) across {len(entries)} entries")
+        return 1
+    print(
+        f"OK: {len(entries)} entries agree bit-for-bit on "
+        f"{len(reference)} correlation(s): "
+        + ", ".join(f"{key}={value}" for key, value in sorted(reference.items()))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

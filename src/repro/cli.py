@@ -33,7 +33,7 @@ from repro.graph.export import join_graph_to_dot, write_dot, write_join_graph_js
 from repro.marketplace.dataset import MarketplaceDataset
 from repro.marketplace.market import Marketplace
 from repro.pricing.models import EntropyPricingModel
-from repro.search.mcmc import MCMCConfig
+from repro.search.mcmc import EXECUTORS, MCMCConfig
 from repro.search.topk import ScoreWeights, top_k_acquisition
 from repro.marketplace.shopper import AcquisitionRequest
 from repro.workloads.queries import queries_for
@@ -60,7 +60,12 @@ def _build_marketplace(workload_name: str, scale: float, seed: int) -> tuple[Mar
 def _build_dance(marketplace: Marketplace, args: argparse.Namespace) -> DANCE:
     config = DanceConfig(
         sampling_rate=args.sampling_rate,
-        mcmc=MCMCConfig(iterations=args.mcmc_iterations, seed=args.seed),
+        mcmc=MCMCConfig(
+            iterations=args.mcmc_iterations,
+            seed=args.seed,
+            chains=args.chains,
+            executor=args.executor,
+        ),
         num_landmarks=args.landmarks,
     )
     dance = DANCE(marketplace, config)
@@ -136,6 +141,11 @@ def cmd_acquire(args: argparse.Namespace) -> int:
         print(f"estimated join informativeness: {result.estimated_join_informativeness:.4f}")
         print(f"estimated price               : {result.estimated_price:.2f}")
         print(f"sample cost                   : {result.sample_cost:.3f}")
+        if result.mcmc_chains > 1:
+            print(
+                f"mcmc chains                   : {result.mcmc_chains} "
+                f"({result.mcmc_executor}, best chain {result.mcmc_best_chain})"
+            )
     return 0
 
 
@@ -170,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument("--sampling-rate", type=float, default=0.5)
         sub.add_argument("--mcmc-iterations", type=int, default=100)
+        sub.add_argument("--chains", type=int, default=1,
+                         help="number of parallel MCMC chains (per I-graph)")
+        sub.add_argument("--executor", choices=EXECUTORS,
+                         default="serial", help="how multi-chain walks execute")
         sub.add_argument("--landmarks", type=int, default=4)
 
     catalog = subparsers.add_parser("catalog", help="print the marketplace catalog")

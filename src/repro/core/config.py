@@ -26,7 +26,14 @@ class DanceConfig:
         Correlated re-sampling policy for intermediate join results (threshold
         ``eta`` and re-sampling rate; Figure 8 varies the rate).
     mcmc:
-        Step 2 configuration (iterations ``ℓ``, seed, proposal mix).
+        Step 2 configuration (iterations ``ℓ``, seed, proposal mix, and the
+        parallel-search knobs: ``MCMCConfig(chains=N, executor="thread")``
+        runs N independently-seeded Metropolis chains per candidate I-graph
+        under the chosen executor — ``serial`` / ``thread`` / ``process`` —
+        sharing the evaluation and join-informativeness caches; results are
+        bit-identical for a fixed ``(seed, chains)`` whatever the executor or
+        columnar backend.  ``record_trace`` re-enables the per-iteration
+        correlation trace).
     num_landmarks:
         Number of landmarks used by Step 1.
     max_join_attribute_size:

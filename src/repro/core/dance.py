@@ -247,13 +247,20 @@ class DANCE:
             return None
         target_graph, evaluation = heuristic.require_feasible()
         queries = queries_for_target_graph(target_graph, exclude=tuple(self._source_tables))
+        # MCMCResult and MultiChainResult expose the same chain-diagnostic
+        # surface (n_chains, executor, best_chain_index, chain_correlations).
+        mcmc = heuristic.mcmc
         return AcquisitionResult(
             target_graph=target_graph,
             evaluation=evaluation,
             queries=queries,
             sample_cost=self._sample_cost,
             igraph_size=heuristic.igraph_size,
-            mcmc_cache_hit_rate=heuristic.mcmc.evaluation_cache_hit_rate,
+            mcmc_cache_hit_rate=mcmc.evaluation_cache_hit_rate,
+            mcmc_chains=mcmc.n_chains,
+            mcmc_executor=mcmc.executor,
+            mcmc_best_chain=mcmc.best_chain_index or 0,
+            mcmc_chain_correlations=mcmc.chain_correlations,
         )
 
     # --------------------------------------------------------------- summaries

@@ -33,7 +33,19 @@ class AcquisitionResult:
         recommendation.
     mcmc_cache_hit_rate:
         Fraction of MCMC candidate evaluations served from the walk's memo
-        table (see :class:`repro.search.mcmc.MCMCResult`).
+        table, across all chains (see :class:`repro.search.mcmc.MCMCResult`
+        and :class:`repro.search.chains.MultiChainResult`).
+    mcmc_chains / mcmc_executor:
+        How many Metropolis chains Step 2 ran and under which executor
+        (``serial`` / ``thread`` / ``process``); ``1`` / ``"serial"`` for the
+        paper's single-chain walk.
+    mcmc_best_chain:
+        Index of the chain that produced the recommended target graph
+        (always 0 for a single-chain run).
+    mcmc_chain_correlations:
+        Best correlation found by each chain (``None`` for chains that found
+        no feasible candidate) — the spread is a cheap convergence
+        diagnostic for multi-modal AS-layers.
     """
 
     target_graph: TargetGraph
@@ -43,6 +55,10 @@ class AcquisitionResult:
     igraph_size: int = 0
     refinement_rounds: int = 0
     mcmc_cache_hit_rate: float = 0.0
+    mcmc_chains: int = 1
+    mcmc_executor: str = "serial"
+    mcmc_best_chain: int = 0
+    mcmc_chain_correlations: list[float | None] = field(default_factory=list)
 
     @property
     def estimated_correlation(self) -> float:
@@ -85,6 +101,10 @@ class AcquisitionResult:
             "igraph_size": self.igraph_size,
             "refinement_rounds": self.refinement_rounds,
             "mcmc_cache_hit_rate": self.mcmc_cache_hit_rate,
+            "mcmc_chains": self.mcmc_chains,
+            "mcmc_executor": self.mcmc_executor,
+            "mcmc_best_chain": self.mcmc_best_chain,
+            "mcmc_chain_correlations": list(self.mcmc_chain_correlations),
             "queries": self.sql(),
         }
 

@@ -13,7 +13,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.core.config import DanceConfig
 from repro.graph.join_graph import JoinGraph
 from repro.marketplace.dataset import MarketplaceDataset
 from repro.marketplace.market import Marketplace

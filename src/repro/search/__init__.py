@@ -12,12 +12,23 @@
 ``acquisition``
     The combined two-step heuristic: Step 1 (minimal-weight I-graph) followed
     by Step 2 (MCMC on the AS-layer).
+``chains``
+    The parallel multi-chain extension of Step 2: several independently
+    seeded walks (serial / thread / process executors) sharing the
+    evaluation and join-informativeness caches, aggregated into the best
+    feasible result across chains.
 """
 
 from repro.search.candidates import (
     build_initial_target_graph,
     candidate_paths,
     enumerate_target_graphs,
+)
+from repro.search.chains import (
+    ChainScheduler,
+    LockStripedCache,
+    MultiChainResult,
+    chain_seed,
 )
 from repro.search.mcmc import MCMCConfig, MCMCResult, mcmc_search
 from repro.search.brute_force import BruteForceResult, global_optimal, local_optimal
@@ -34,6 +45,10 @@ __all__ = [
     "MCMCConfig",
     "MCMCResult",
     "mcmc_search",
+    "ChainScheduler",
+    "LockStripedCache",
+    "MultiChainResult",
+    "chain_seed",
     "BruteForceResult",
     "local_optimal",
     "global_optimal",

@@ -19,15 +19,22 @@ from repro.graph.target import TargetGraph, TargetGraphEvaluation
 from repro.quality.fd import FunctionalDependency
 from repro.relational.table import Table
 from repro.search.candidates import build_initial_target_graph, terminal_instances
+from repro.search.chains import MultiChainResult
 from repro.search.mcmc import MCMCConfig, MCMCResult, mcmc_search
 
 
 @dataclass
 class HeuristicResult:
-    """Outcome of the two-step heuristic."""
+    """Outcome of the two-step heuristic.
+
+    ``mcmc`` is a single-chain :class:`~repro.search.mcmc.MCMCResult` or, when
+    Step 2 ran with ``MCMCConfig(chains > 1)``, a
+    :class:`~repro.search.chains.MultiChainResult` aggregating all chains —
+    the two expose the same best-graph / cache-accounting surface.
+    """
 
     igraph: IGraph
-    mcmc: MCMCResult
+    mcmc: MCMCResult | MultiChainResult
 
     @property
     def best_graph(self) -> TargetGraph | None:
@@ -86,7 +93,11 @@ def heuristic_acquisition(
     max_igraphs:
         How many of Step 1's candidate I-graphs Step 2 explores.
     mcmc_config:
-        Step 2 configuration (iterations, seed, proposal mix).
+        Step 2 configuration (iterations, seed, proposal mix, and the
+        multi-chain knobs ``chains`` / ``executor`` — with ``chains > 1``
+        every candidate I-graph is searched by a parallel multi-chain walk
+        whose best feasible result wins, deterministically for a fixed
+        ``(seed, chains)`` regardless of executor).
     evaluation_tables:
         Tables to evaluate candidates on; defaults to the samples inside the
         join graph (the normal DANCE setting).

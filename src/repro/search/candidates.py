@@ -10,7 +10,7 @@ up to caps that keep the enumeration finite).
 from __future__ import annotations
 
 from itertools import product
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterator, Sequence
 
 import networkx as nx
 

@@ -1,0 +1,461 @@
+"""Parallel multi-chain MCMC search (the ROADMAP's "parallel MCMC chains").
+
+Algorithm 1 of the paper is a single Metropolis walk.  On multi-modal
+AS-layers one walk can stall in a local optimum, and a single chain leaves
+multi-core hardware idle, so :class:`ChainScheduler` runs ``n`` independently
+seeded walks and keeps the best feasible target graph across all of them:
+
+* **Deterministic seeding** — every chain's seed is derived from the base seed
+  by :func:`chain_seed` (chain 0 keeps the base seed), so the outcome of a
+  multi-chain search depends only on ``(seed, chains)``: never on the
+  executor, the scheduling order, or the columnar backend.
+* **Shared caches** — chains explore overlapping candidate sets, so the
+  evaluation memo table and the per-edge join-informativeness cache are shared.
+  For the ``serial`` and ``thread`` executors the chains literally share two
+  :class:`LockStripedCache` instances (lock striping keeps thread contention
+  per-bucket); the ``process`` executor gives each worker private caches and
+  merges them afterwards.  Sharing is safe because every cached value is
+  deterministic: a chain served from another chain's entry computes nothing
+  different, it just computes less.
+* **Aggregation** — the per-chain :class:`~repro.search.mcmc.MCMCResult`\\ s
+  are folded into a :class:`MultiChainResult` that duck-types ``MCMCResult``
+  (``best_graph``, ``require_feasible``, cache-hit accounting, ...), so the
+  two-step heuristic, :class:`~repro.core.dance.DANCE`, and the CLI surface
+  multi-chain runs without special cases.
+
+Stochastic re-sampling hooks stay correct: each chain receives its own deep
+copy of the hook (reset to its seeded state when it exposes ``reset()``), and
+evaluations during which a hook actually fired are never memoised, so the
+shared caches only ever hold hook-independent values.  This relies on one
+property custom hooks must share with
+:class:`~repro.sampling.resampling.ResamplingPolicy`: *whether* a hook fires
+on a given intermediate (and whether it consumes randomness) must be a
+deterministic function of that intermediate — e.g. a size threshold.  A hook
+that draws from its RNG even when it returns its input unchanged would let a
+cache hit (which skips hook invocations entirely) desynchronise the hook's
+RNG between executors, breaking cross-executor bit-identity.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.exceptions import InfeasibleAcquisitionError, SearchError
+from repro.graph.join_graph import JoinGraph
+from repro.graph.target import TargetGraph, TargetGraphEvaluation
+from repro.quality.fd import FunctionalDependency
+from repro.relational.table import Table
+from repro.search.mcmc import EXECUTORS, MCMCConfig, MCMCResult, mcmc_search
+
+_MAX_WORKERS = 8
+
+
+def chain_seed(base_seed: int, chain_index: int) -> int:
+    """The deterministic seed of chain ``chain_index`` for a given base seed.
+
+    Chain 0 keeps the base seed, so a one-chain multi-chain search reproduces
+    the single-chain walk bit-for-bit.  Later chains hash ``(base_seed,
+    index)`` through blake2b — stable across processes and Python versions
+    (unlike ``hash()``), and collision-free for any realistic chain count.
+    """
+    if chain_index < 0:
+        raise SearchError(f"chain_index must be >= 0, got {chain_index}")
+    if chain_index == 0:
+        return base_seed
+    digest = hashlib.blake2b(
+        f"{base_seed}:{chain_index}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class LockStripedCache:
+    """A dict striped over independently-locked buckets.
+
+    Supports the exact mapping surface the search hot path uses — ``get`` and
+    item assignment — plus ``len``.  Keys are routed to a stripe by hash, so
+    concurrent chains touching different candidates rarely contend on the
+    same lock.  (CPython's GIL already serialises single dict operations; the
+    stripes make the structure safe by construction rather than by
+    implementation detail, and keep the design portable to free-threaded
+    builds.)
+    """
+
+    __slots__ = ("_stripes", "_locks")
+
+    def __init__(self, stripes: int = 16) -> None:
+        if stripes < 1:
+            raise SearchError(f"stripes must be >= 1, got {stripes}")
+        self._stripes: list[dict] = [{} for _ in range(stripes)]
+        self._locks = [threading.Lock() for _ in range(stripes)]
+
+    def _index(self, key) -> int:
+        return hash(key) % len(self._stripes)
+
+    def get(self, key, default=None):
+        index = self._index(key)
+        with self._locks[index]:
+            return self._stripes[index].get(key, default)
+
+    def __setitem__(self, key, value) -> None:
+        index = self._index(key)
+        with self._locks[index]:
+            self._stripes[index][key] = value
+
+    def __contains__(self, key) -> bool:
+        index = self._index(key)
+        with self._locks[index]:
+            return key in self._stripes[index]
+
+    def __len__(self) -> int:
+        return sum(len(stripe) for stripe in self._stripes)
+
+    def update(self, items: Mapping) -> None:
+        for key, value in items.items():
+            self[key] = value
+
+
+@dataclass
+class MultiChainResult:
+    """Aggregate outcome of a multi-chain MCMC search.
+
+    Duck-types :class:`~repro.search.mcmc.MCMCResult` (``best_graph``,
+    ``best_evaluation``, ``feasible``, ``require_feasible``, step and
+    cache-hit counters), so every existing consumer of the single-chain result
+    works unchanged, and adds the per-chain view: ``chain_results``,
+    ``best_chain_index``, per-chain correlations and traces.
+
+    The best chain is the feasible chain with the highest best correlation,
+    ties broken by the lowest chain index — a deterministic rule, so the
+    aggregate is independent of executor scheduling.
+    """
+
+    chain_results: list[MCMCResult] = field(default_factory=list)
+    best_chain_index: int | None = None
+    executor: str = "serial"
+    evaluation_cache_size: int = 0
+    ji_cache_size: int = 0
+
+    # ------------------------------------------------------------ aggregate
+    @property
+    def n_chains(self) -> int:
+        return len(self.chain_results)
+
+    @property
+    def best_chain(self) -> MCMCResult | None:
+        if self.best_chain_index is None:
+            return None
+        return self.chain_results[self.best_chain_index]
+
+    @property
+    def best_graph(self) -> TargetGraph | None:
+        best = self.best_chain
+        return None if best is None else best.best_graph
+
+    @property
+    def best_evaluation(self) -> TargetGraphEvaluation | None:
+        best = self.best_chain
+        return None if best is None else best.best_evaluation
+
+    @property
+    def feasible(self) -> bool:
+        return self.best_graph is not None
+
+    def require_feasible(self) -> tuple[TargetGraph, TargetGraphEvaluation]:
+        best = self.best_chain
+        if best is None:
+            raise InfeasibleAcquisitionError(
+                "no MCMC chain found a target graph satisfying the constraints"
+            )
+        return best.require_feasible()
+
+    # ------------------------------------------------------------- counters
+    @property
+    def iterations(self) -> int:
+        return sum(chain.iterations for chain in self.chain_results)
+
+    @property
+    def accepted_steps(self) -> int:
+        return sum(chain.accepted_steps for chain in self.chain_results)
+
+    @property
+    def feasible_steps(self) -> int:
+        return sum(chain.feasible_steps for chain in self.chain_results)
+
+    @property
+    def evaluation_cache_hits(self) -> int:
+        return sum(chain.evaluation_cache_hits for chain in self.chain_results)
+
+    @property
+    def evaluation_cache_misses(self) -> int:
+        return sum(chain.evaluation_cache_misses for chain in self.chain_results)
+
+    @property
+    def evaluation_cache_hit_rate(self) -> float:
+        """Fraction of candidate evaluations (across all chains) served from cache."""
+        total = self.evaluation_cache_hits + self.evaluation_cache_misses
+        if total == 0:
+            return 0.0
+        return self.evaluation_cache_hits / total
+
+    # ------------------------------------------------------------ per chain
+    @property
+    def chain_correlations(self) -> list[float | None]:
+        """Best correlation per chain (``None`` for infeasible chains)."""
+        return [
+            None if chain.best_evaluation is None else chain.best_evaluation.correlation
+            for chain in self.chain_results
+        ]
+
+    @property
+    def traces(self) -> list[list[float]]:
+        """Per-chain correlation traces (empty unless ``record_trace`` was on)."""
+        return [chain.trace for chain in self.chain_results]
+
+    @property
+    def trace(self) -> list[float]:
+        """The best chain's trace — the single-chain-compatible view."""
+        best = self.best_chain
+        return [] if best is None else best.trace
+
+
+def _chain_configs(config: MCMCConfig) -> list[MCMCConfig]:
+    """One single-chain config per chain, with deterministically derived seeds."""
+    return [
+        replace(config, chains=1, executor="serial", seed=chain_seed(config.seed, index))
+        for index in range(config.chains)
+    ]
+
+
+def _chain_hook(intermediate_hook, chain_index: int):
+    """An independent, reset copy of the re-sampling hook for one chain.
+
+    Chains must not share mutable hook state (a shared RNG would make results
+    depend on chain scheduling).  Chain 0 keeps a reset deep copy too, so its
+    walk matches a fresh single-chain run with the same hook.
+    """
+    if intermediate_hook is None:
+        return None
+    hook = copy.deepcopy(intermediate_hook)
+    reset = getattr(hook, "reset", None)
+    if callable(reset):
+        reset()
+    return hook
+
+
+def _run_chain(payload: tuple) -> tuple[MCMCResult, dict, dict]:
+    """Run one chain with private caches; return the result and its caches.
+
+    Module-level so the process executor can pickle it.  The private caches
+    are returned for merging — under the process executor this is the only
+    way cache contents flow back to the scheduler.
+    """
+    (
+        join_graph,
+        initial,
+        tables,
+        source_attributes,
+        target_attributes,
+        fds,
+        budget,
+        max_weight,
+        min_quality,
+        config,
+        intermediate_hook,
+    ) = payload
+    evaluation_cache: dict = {}
+    ji_cache: dict = {}
+    result = mcmc_search(
+        join_graph,
+        initial,
+        tables,
+        source_attributes,
+        target_attributes,
+        fds,
+        budget=budget,
+        max_weight=max_weight,
+        min_quality=min_quality,
+        config=config,
+        intermediate_hook=intermediate_hook,
+        evaluation_cache=evaluation_cache,
+        ji_cache=ji_cache,
+    )
+    return result, evaluation_cache, ji_cache
+
+
+class ChainScheduler:
+    """Runs ``chains`` independently-seeded MCMC walks under one executor.
+
+    Parameters
+    ----------
+    chains:
+        Number of walks.  ``1`` is allowed and reproduces the single-chain
+        search exactly (chain 0 keeps the base seed).
+    executor:
+        ``"serial"``, ``"thread"``, or ``"process"`` (see module docstring).
+    max_workers:
+        Pool size cap for the thread / process executors; defaults to
+        ``min(chains, 8)``.
+    """
+
+    def __init__(
+        self,
+        chains: int,
+        executor: str = "serial",
+        *,
+        max_workers: int | None = None,
+    ) -> None:
+        if chains < 1:
+            raise SearchError(f"chains must be >= 1, got {chains}")
+        if executor not in EXECUTORS:
+            raise SearchError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        self.chains = chains
+        self.executor = executor
+        self.max_workers = max_workers
+
+    def _pool_size(self) -> int:
+        if self.max_workers is not None:
+            return max(1, min(self.max_workers, self.chains))
+        return min(self.chains, _MAX_WORKERS)
+
+    def run(
+        self,
+        join_graph: JoinGraph,
+        initial: TargetGraph,
+        tables: Mapping[str, Table],
+        source_attributes: Sequence[str],
+        target_attributes: Sequence[str],
+        fds: Sequence[FunctionalDependency],
+        *,
+        budget: float,
+        max_weight: float = float("inf"),
+        min_quality: float = 0.0,
+        config: MCMCConfig | None = None,
+        intermediate_hook=None,
+        evaluation_cache=None,
+        ji_cache=None,
+    ) -> MultiChainResult:
+        """Run all chains and fold their results into a :class:`MultiChainResult`.
+
+        Accepts the same arguments as :func:`repro.search.mcmc.mcmc_search`;
+        ``config.chains`` is overridden by the scheduler's own chain count.
+        Caller-supplied ``evaluation_cache`` / ``ji_cache`` mappings are used
+        directly by the serial and thread executors (pass thread-safe
+        mappings, e.g. :class:`LockStripedCache`, for ``thread``); the
+        process executor merges each worker's private caches into them after
+        the run, so contents survive for subsequent searches either way.
+        """
+        config = config or MCMCConfig()
+        configs = _chain_configs(replace(config, chains=self.chains))
+        payloads = [
+            (
+                join_graph,
+                initial,
+                tables,
+                source_attributes,
+                target_attributes,
+                fds,
+                budget,
+                max_weight,
+                min_quality,
+                chain_config,
+                _chain_hook(intermediate_hook, index),
+            )
+            for index, chain_config in enumerate(configs)
+        ]
+
+        if self.executor == "process":
+            chain_results, evaluation_cache, ji_cache = self._run_process(
+                payloads, evaluation_cache, ji_cache
+            )
+        else:
+            chain_results, evaluation_cache, ji_cache = self._run_shared(
+                payloads, evaluation_cache, ji_cache
+            )
+
+        return MultiChainResult(
+            chain_results=chain_results,
+            best_chain_index=_best_chain_index(chain_results),
+            executor=self.executor,
+            evaluation_cache_size=len(evaluation_cache),
+            ji_cache_size=len(ji_cache),
+        )
+
+    # ------------------------------------------------------------ executors
+    def _run_shared(self, payloads: list[tuple], evaluation_cache, ji_cache):
+        """Serial / thread execution over literally shared caches.
+
+        Only the thread pool needs lock striping; serial chains share plain
+        dicts so the hot loop pays no lock traffic.
+        """
+        threaded = self.executor == "thread" and self.chains > 1
+        if evaluation_cache is None:
+            evaluation_cache = LockStripedCache() if threaded else {}
+        if ji_cache is None:
+            ji_cache = LockStripedCache() if threaded else {}
+
+        def run_one(payload: tuple) -> MCMCResult:
+            (
+                join_graph,
+                initial,
+                tables,
+                source_attributes,
+                target_attributes,
+                fds,
+                budget,
+                max_weight,
+                min_quality,
+                chain_config,
+                hook,
+            ) = payload
+            return mcmc_search(
+                join_graph,
+                initial,
+                tables,
+                source_attributes,
+                target_attributes,
+                fds,
+                budget=budget,
+                max_weight=max_weight,
+                min_quality=min_quality,
+                config=chain_config,
+                intermediate_hook=hook,
+                evaluation_cache=evaluation_cache,
+                ji_cache=ji_cache,
+            )
+
+        if self.executor == "thread" and self.chains > 1:
+            with ThreadPoolExecutor(max_workers=self._pool_size()) as pool:
+                chain_results = list(pool.map(run_one, payloads))
+        else:
+            chain_results = [run_one(payload) for payload in payloads]
+        return chain_results, evaluation_cache, ji_cache
+
+    def _run_process(self, payloads: list[tuple], evaluation_cache, ji_cache):
+        """Process execution: private caches per worker, merged afterwards."""
+        merged_evaluations = evaluation_cache if evaluation_cache is not None else {}
+        merged_ji = ji_cache if ji_cache is not None else {}
+        chain_results: list[MCMCResult] = []
+        with ProcessPoolExecutor(max_workers=self._pool_size()) as pool:
+            for result, chain_evaluations, chain_ji in pool.map(_run_chain, payloads):
+                chain_results.append(result)
+                merged_evaluations.update(chain_evaluations)
+                merged_ji.update(chain_ji)
+        return chain_results, merged_evaluations, merged_ji
+
+
+def _best_chain_index(chain_results: Sequence[MCMCResult]) -> int | None:
+    """The feasible chain with the highest correlation; ties → lowest index."""
+    best_index: int | None = None
+    best_correlation = float("-inf")
+    for index, chain in enumerate(chain_results):
+        if chain.best_evaluation is None:
+            continue
+        if chain.best_evaluation.correlation > best_correlation:
+            best_index = index
+            best_correlation = chain.best_evaluation.correlation
+    return best_index

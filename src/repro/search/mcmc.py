@@ -14,13 +14,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, MutableMapping, Sequence
 
-from repro.exceptions import InfeasibleAcquisitionError
+from repro.exceptions import InfeasibleAcquisitionError, SearchError
 from repro.graph.join_graph import JoinGraph
 from repro.graph.target import TargetGraph, TargetGraphEvaluation
 from repro.quality.fd import FunctionalDependency
 from repro.relational.table import Table
+
+if TYPE_CHECKING:
+    from repro.search.chains import MultiChainResult
+
+EXECUTORS = ("serial", "thread", "process")
 
 
 @dataclass
@@ -30,20 +35,52 @@ class MCMCConfig:
     Attributes
     ----------
     iterations:
-        Number of proposal steps ``ℓ`` (Algorithm 1 runs a fixed iteration count).
+        Number of proposal steps ``ℓ`` (Algorithm 1 runs a fixed iteration
+        count) — per chain when ``chains > 1``.
     seed:
         Seed of the private random generator; runs with the same seed and the
-        same inputs are reproducible.
+        same inputs are reproducible.  With ``chains > 1`` every chain's seed
+        is derived deterministically from this base seed (chain 0 keeps the
+        base seed, so ``chains=1`` reproduces the single-chain walk exactly).
     projection_flip_probability:
         Probability that a step additionally toggles one optional attribute of
         one instance's projection (an inexpensive extension of Algorithm 1 that
         lets the walk also explore AS-vertices differing in non-join
         attributes; 0 recovers the paper's pure edge-swap proposal).
+    chains:
+        Number of independently-seeded Metropolis walks.  ``1`` (the default)
+        runs the paper's single chain; larger values run a multi-chain search
+        (see :mod:`repro.search.chains`) whose result is the best feasible
+        target graph across chains.  The outcome depends only on
+        ``(seed, chains)`` — never on the executor or the columnar backend.
+    executor:
+        How chains execute when ``chains > 1``: ``"serial"`` (one after the
+        other, sharing caches), ``"thread"`` (a thread pool sharing
+        lock-striped caches), or ``"process"`` (a process pool with per-chain
+        caches merged afterwards).  Ignored for ``chains=1``.
+    record_trace:
+        Whether each walk records its per-iteration correlation in
+        :attr:`MCMCResult.trace`.  Off by default: the trace grows by one
+        float per iteration per chain and is only read by diagnostics, so
+        long multi-chain runs should not pay for it.
     """
 
     iterations: int = 200
     seed: int = 0
     projection_flip_probability: float = 0.0
+    chains: int = 1
+    executor: str = "serial"
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise SearchError(f"iterations must be >= 0, got {self.iterations}")
+        if self.chains < 1:
+            raise SearchError(f"chains must be >= 1, got {self.chains}")
+        if self.executor not in EXECUTORS:
+            raise SearchError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
 
 
 @dataclass
@@ -54,6 +91,11 @@ class MCMCResult:
     proposed target graph's evaluation was served from the walk's memo table
     versus computed fresh — Metropolis walks revisit the same candidates
     constantly, so the hit rate is the main lever on online-phase runtime.
+
+    ``trace`` holds the per-iteration correlation of the walk's current state,
+    but only when the walk ran with ``MCMCConfig(record_trace=True)`` — it is
+    empty otherwise, so long multi-chain runs don't accumulate floats nobody
+    reads.
     """
 
     best_graph: TargetGraph | None
@@ -68,6 +110,27 @@ class MCMCResult:
     @property
     def feasible(self) -> bool:
         return self.best_graph is not None
+
+    # Single-chain values of the multi-chain surface, so MCMCResult and
+    # MultiChainResult are interchangeable to every consumer (DANCE, CLI,
+    # experiment drivers) without isinstance dispatch.
+    @property
+    def n_chains(self) -> int:
+        return 1
+
+    @property
+    def executor(self) -> str:
+        return "serial"
+
+    @property
+    def best_chain_index(self) -> int | None:
+        return 0 if self.feasible else None
+
+    @property
+    def chain_correlations(self) -> list[float | None]:
+        return [
+            None if self.best_evaluation is None else self.best_evaluation.correlation
+        ]
 
     @property
     def evaluation_cache_hit_rate(self) -> float:
@@ -163,8 +226,16 @@ def mcmc_search(
     min_quality: float = 0.0,
     config: MCMCConfig | None = None,
     intermediate_hook=None,
-) -> MCMCResult:
+    evaluation_cache: "MutableMapping[tuple, TargetGraphEvaluation] | None" = None,
+    ji_cache: "MutableMapping[tuple, float] | None" = None,
+) -> "MCMCResult | MultiChainResult":
     """Algorithm 1: find the best feasible target graph by a Metropolis walk.
+
+    With ``config.chains > 1`` the call transparently becomes a multi-chain
+    search (see :mod:`repro.search.chains`): ``chains`` independently-seeded
+    walks run under ``config.executor`` and the returned
+    :class:`~repro.search.chains.MultiChainResult` (a drop-in superset of
+    :class:`MCMCResult`) carries the best feasible target graph across chains.
 
     Parameters
     ----------
@@ -186,8 +257,32 @@ def mcmc_search(
     intermediate_hook:
         Optional re-sampling hook applied to intermediate join results during
         candidate evaluation (correlated re-sampling).
+    evaluation_cache / ji_cache:
+        Optional externally-owned memo tables (any mapping supporting ``get``
+        and item assignment, e.g. the lock-striped caches of
+        :class:`~repro.search.chains.ChainScheduler`).  Sharing them across
+        chains never changes walk outcomes — only which chain pays for each
+        (deterministic) evaluation.
     """
     config = config or MCMCConfig()
+    if config.chains > 1:
+        from repro.search.chains import ChainScheduler
+
+        return ChainScheduler(chains=config.chains, executor=config.executor).run(
+            join_graph,
+            initial,
+            tables,
+            source_attributes,
+            target_attributes,
+            fds,
+            budget=budget,
+            max_weight=max_weight,
+            min_quality=min_quality,
+            config=config,
+            intermediate_hook=intermediate_hook,
+            evaluation_cache=evaluation_cache,
+            ji_cache=ji_cache,
+        )
     rng = random.Random(config.seed)
     pricing = join_graph.pricing
     wanted = set(source_attributes) | set(target_attributes)
@@ -195,8 +290,10 @@ def mcmc_search(
     # The walk revisits candidates constantly (edge swaps are frequently
     # undone), so evaluations are memoised by canonical graph signature, and
     # per-edge join-informativeness terms share one cache across candidates.
-    evaluation_cache: dict[tuple, TargetGraphEvaluation] = {}
-    ji_cache: dict[tuple, float] = {}
+    if evaluation_cache is None:
+        evaluation_cache = {}
+    if ji_cache is None:
+        ji_cache = {}
 
     def evaluate(graph: TargetGraph) -> TargetGraphEvaluation:
         signature = _graph_signature(graph)
@@ -233,6 +330,7 @@ def mcmc_search(
         return evaluation
 
     result = MCMCResult(best_graph=None, best_evaluation=None)
+    record_trace = config.record_trace
 
     current = initial
     current_eval = evaluate(current)
@@ -252,14 +350,16 @@ def mcmc_search(
         if proposal is None:
             proposal = _propose_edge_swap(current, join_graph, rng)
         if proposal is None:
-            result.trace.append(current_eval.correlation)
+            if record_trace:
+                result.trace.append(current_eval.correlation)
             continue
 
         proposal_eval = evaluate(proposal)
         if not proposal_eval.satisfies(
             max_weight=max_weight, min_quality=min_quality, budget=budget
         ):
-            result.trace.append(current_eval.correlation)
+            if record_trace:
+                result.trace.append(current_eval.correlation)
             continue
         result.feasible_steps += 1
 
@@ -276,6 +376,7 @@ def mcmc_search(
             ):
                 result.best_graph = current
                 result.best_evaluation = current_eval
-        result.trace.append(current_eval.correlation)
+        if record_trace:
+            result.trace.append(current_eval.correlation)
 
     return result

@@ -60,3 +60,27 @@ class TestAcquisitionResult:
         assert summary["estimated_price"] == 12.0
         assert summary["igraph_size"] == 3
         assert summary["sample_cost"] == 0.5
+        # Single-chain defaults of the multi-chain diagnostics.
+        assert summary["mcmc_chains"] == 1
+        assert summary["mcmc_executor"] == "serial"
+        assert summary["mcmc_best_chain"] == 0
+        assert summary["mcmc_chain_correlations"] == []
+
+    def test_summary_carries_chain_diagnostics(self):
+        graph = _make_graph()
+        evaluation = TargetGraphEvaluation(
+            correlation=2.5, quality=0.9, weight=0.8, price=12.0, join_rows=40
+        )
+        result = AcquisitionResult(
+            target_graph=graph,
+            evaluation=evaluation,
+            mcmc_chains=4,
+            mcmc_executor="thread",
+            mcmc_best_chain=2,
+            mcmc_chain_correlations=[2.5, 2.5, 2.5, None],
+        )
+        summary = result.summary()
+        assert summary["mcmc_chains"] == 4
+        assert summary["mcmc_executor"] == "thread"
+        assert summary["mcmc_best_chain"] == 2
+        assert summary["mcmc_chain_correlations"] == [2.5, 2.5, 2.5, None]

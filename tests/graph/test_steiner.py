@@ -63,7 +63,9 @@ class TestMinimalWeightIGraph:
 
     def test_total_weight_matches_edges(self, chain_graph):
         igraph = minimal_weight_igraph(chain_graph, ["orders", "regions"], rng=0)
-        expected = sum(chain_graph.edge(l, r).weight for l, r in igraph.edges)
+        expected = sum(
+            chain_graph.edge(left, right).weight for left, right in igraph.edges
+        )
         assert igraph.total_weight == pytest.approx(expected)
 
     def test_deterministic_for_seed(self, chain_graph):

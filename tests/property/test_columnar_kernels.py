@@ -20,16 +20,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.relational import backend as columnar_backend_module
-
-
-@pytest.fixture(scope="module", params=["python", "numpy"], autouse=True)
-def columnar_backend(request):
-    """Run every test in this module under both columnar backends."""
-    if request.param == "numpy" and not columnar_backend_module.numpy_available():
-        pytest.skip("numpy is not installed")
-    with columnar_backend_module.use_backend(request.param):
-        yield request.param
-
 from repro.infotheory.correlation import attribute_set_correlation, correlation
 from repro.infotheory.entropy import (
     entropy_of_codes,
@@ -50,6 +40,15 @@ from repro.relational.joins import (
 )
 from repro.relational.schema import Attribute, AttributeType, Schema
 from repro.relational.table import Table
+
+
+@pytest.fixture(scope="module", params=["python", "numpy"], autouse=True)
+def columnar_backend(request):
+    """Run every test in this module under both columnar backends."""
+    if request.param == "numpy" and not columnar_backend_module.numpy_available():
+        pytest.skip("numpy is not installed")
+    with columnar_backend_module.use_backend(request.param):
+        yield request.param
 
 # ---------------------------------------------------------------------- data
 key_values = st.one_of(st.none(), st.integers(min_value=0, max_value=4))

@@ -53,7 +53,7 @@ class TestMCMCSearch:
         join_graph, initial, tables, fds = setup
         result = mcmc_search(
             join_graph, initial, tables, ["measure"], ["label"], fds,
-            budget=1e9, config=MCMCConfig(iterations=80, seed=1),
+            budget=1e9, config=MCMCConfig(iterations=80, seed=1, record_trace=True),
         )
         assert result.best_evaluation.correlation >= max(result.trace) - 1e-9
 
@@ -91,7 +91,7 @@ class TestMCMCSearch:
 
     def test_deterministic_for_fixed_seed(self, setup):
         join_graph, initial, tables, fds = setup
-        config = MCMCConfig(iterations=40, seed=3)
+        config = MCMCConfig(iterations=40, seed=3, record_trace=True)
         first = mcmc_search(
             join_graph, initial, tables, ["measure"], ["label"], fds, budget=1e9, config=config
         )
