@@ -55,7 +55,9 @@ def test_ablation_mcmc_iterations(benchmark, ablation_rows):
 
 def test_more_iterations_never_reduce_best_correlation(ablation_rows):
     correlations = [row["best_correlation"] for row in ablation_rows]
-    assert all(later >= earlier - 1e-9 for earlier, later in zip(correlations, correlations[1:]))
+    assert all(
+        later >= earlier - 1e-9 for earlier, later in zip(correlations, correlations[1:])
+    )
 
 
 def test_walk_actually_moves(ablation_rows):

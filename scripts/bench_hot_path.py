@@ -14,13 +14,20 @@ root, so the performance trajectory is tracked PR over PR.  By default the
 scenario is measured once per columnar backend (numpy and pure-python; see
 ``repro/relational/backend.py``), appending one entry per backend with a
 ``"backend"`` field.  ``--chains`` / ``--executor`` measure the multi-chain
-MCMC search (``repro/search/chains.py``); ``--scale`` / ``--iterations`` /
-``--sampling-rate`` shrink the scenario for smoke runs (e.g. in CI).  Run
-with::
+MCMC search (``repro/search/chains.py``); ``--executor all`` sweeps
+serial/thread/process in one invocation and writes one self-contained entry
+whose ``"executors"`` map holds the per-executor timings (with a computed
+``executor_parity`` flag).  ``--service`` additionally appends a
+service-mode entry (``repro/service``): cold vs. warm request latency through
+one long-lived ``AcquisitionService`` plus a concurrent batch, parity-checked
+against the cold run.  ``--scale`` / ``--iterations`` / ``--sampling-rate``
+shrink the scenario for smoke runs (e.g. in CI).  Run with::
 
     PYTHONPATH=src python scripts/bench_hot_path.py [--output BENCH_hotpath.json]
                                                     [--backend both|auto|numpy|python]
-                                                    [--chains N] [--executor serial|thread|process]
+                                                    [--chains N]
+                                                    [--executor serial|thread|process|all]
+                                                    [--service]
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ _SRC = _REPO_ROOT / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.core.config import DanceConfig
+from repro.core.config import DanceConfig, ServiceConfig
 from repro.core.dance import DANCE
 from repro.relational import backend as columnar_backend
 from repro.marketplace.dataset import MarketplaceDataset
@@ -46,6 +53,7 @@ from repro.marketplace.shopper import AcquisitionRequest
 from repro.pricing.models import EntropyPricingModel
 from repro.relational.joins import full_outer_join, inner_join
 from repro.search.mcmc import EXECUTORS, MCMCConfig
+from repro.service import AcquisitionService
 from repro.workloads.queries import queries_for
 from repro.workloads.tpch import tpch_workload
 
@@ -81,20 +89,36 @@ def bench_joins(workload) -> dict[str, float]:
     }
 
 
-def bench_acquire(workload, args: argparse.Namespace) -> dict[str, object]:
+def _marketplace_for(workload) -> Marketplace:
     pricing = EntropyPricingModel()
     marketplace = Marketplace(default_pricing=pricing)
     for name in workload.tables:
         marketplace.host(
             MarketplaceDataset(table=workload.dirty_or_clean(name), pricing=pricing)
         )
+    return marketplace
+
+
+def _requests_for(workload) -> list[AcquisitionRequest]:
+    return [
+        AcquisitionRequest(
+            source_attributes=list(query.source_attributes),
+            target_attributes=list(query.target_attributes),
+            budget=BUDGET,
+        )
+        for query in queries_for(workload).values()
+    ]
+
+
+def bench_acquire(workload, args: argparse.Namespace, executor: str) -> dict[str, object]:
+    marketplace = _marketplace_for(workload)
     config = DanceConfig(
         sampling_rate=args.sampling_rate,
         mcmc=MCMCConfig(
             iterations=args.iterations,
             seed=0,
             chains=args.chains,
-            executor=args.executor,
+            executor=executor,
         ),
     )
     dance = DANCE(marketplace, config)
@@ -124,19 +148,69 @@ def bench_acquire(workload, args: argparse.Namespace) -> dict[str, object]:
     return results
 
 
-def bench_backend(backend_name: str, args: argparse.Namespace) -> dict[str, object]:
-    """Measure the full scenario under one columnar backend.
+def bench_service(workload, args: argparse.Namespace) -> dict[str, object]:
+    """Cold vs. warm request latency through one long-lived acquisition service.
 
-    The workload is rebuilt from scratch so that every encoding is produced by
-    the requested backend (tables cache their encodings).
+    The *cold* number is the first ``acquire()`` of Q1 on a fresh session
+    (empty caches, pools not yet spun up); the *warm* number repeats the
+    identical request against the now-hot session — same seed, bit-identical
+    result, served almost entirely from the shared evaluation memo.  The
+    batch number serves all queries concurrently through the batch API.
     """
-    resolved = columnar_backend.set_backend(backend_name)
-    workload = tpch_workload(scale=args.scale, seed=0)
-    entry: dict[str, object] = {
+    marketplace = _marketplace_for(workload)
+    executor = args.executor if args.executor != "all" else "thread"
+    config = DanceConfig(
+        sampling_rate=args.sampling_rate,
+        mcmc=MCMCConfig(
+            iterations=args.iterations, seed=0, chains=args.chains, executor=executor
+        ),
+        service=ServiceConfig(max_batch_workers=4),
+    )
+    requests = _requests_for(workload)
+    results: dict[str, object] = {}
+    with AcquisitionService(marketplace, config, build_offline=False) as service:
+        start = time.perf_counter()
+        service.dance.build_offline()
+        results["offline_seconds"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cold = service.acquire(requests[0])
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = service.acquire(requests[0])
+        warm_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batch = service.acquire_batch(requests)
+        batch_seconds = time.perf_counter() - start
+
+        results.update(
+            {
+                "cold_request_seconds": cold_seconds,
+                "warm_request_seconds": warm_seconds,
+                "warm_speedup": cold_seconds / warm_seconds if warm_seconds else None,
+                "cold_correlation": cold.estimated_correlation,
+                "warm_parity": warm.estimated_correlation == cold.estimated_correlation
+                and warm.sql() == cold.sql(),
+                "warm_cache_hit_rate": warm.mcmc_cache_hit_rate,
+                "batch_requests": len(requests),
+                "batch_seconds": batch_seconds,
+                "batch_ok": batch.ok,
+                "batch_correlations": [
+                    item.result.estimated_correlation if item.ok else None
+                    for item in batch
+                ],
+            }
+        )
+    return results
+
+
+def _base_entry(args: argparse.Namespace, resolved_backend: str, executor: str) -> dict:
+    return {
         "label": args.label,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
-        "backend": resolved,
+        "backend": resolved_backend,
         "scenario": {
             "workload": "tpch",
             "scale": args.scale,
@@ -144,12 +218,45 @@ def bench_backend(backend_name: str, args: argparse.Namespace) -> dict[str, obje
             "mcmc_iterations": args.iterations,
             "budget": BUDGET,
             "chains": args.chains,
-            "executor": args.executor,
+            "executor": executor,
         },
     }
+
+
+def bench_backend(backend_name: str, args: argparse.Namespace) -> list[dict[str, object]]:
+    """Measure the full scenario under one columnar backend.
+
+    The workload is rebuilt from scratch so that every encoding is produced by
+    the requested backend (tables cache their encodings).  Returns one entry
+    for the library scenario (with an ``"executors"`` sub-map under
+    ``--executor all``) plus, with ``--service``, one service-mode entry.
+    """
+    resolved = columnar_backend.set_backend(backend_name)
+    workload = tpch_workload(scale=args.scale, seed=0)
+    entry = _base_entry(args, resolved, args.executor)
     entry.update(bench_joins(workload))
-    entry.update(bench_acquire(workload, args))
-    return entry
+    if args.executor == "all":
+        sweep: dict[str, dict[str, object]] = {}
+        for executor in EXECUTORS:
+            sweep[executor] = bench_acquire(workload, args, executor)
+        entry["executors"] = sweep
+        correlations = [
+            {k: v for k, v in run.items() if k.endswith("_correlation")}
+            for run in sweep.values()
+        ]
+        entry["executor_parity"] = all(c == correlations[0] for c in correlations)
+        # The serial run's flat keys stay on the entry itself, so history
+        # tooling (and check_multichain_parity.py) keeps working unchanged.
+        entry.update(sweep["serial"])
+    else:
+        entry.update(bench_acquire(workload, args, args.executor))
+    entries = [entry]
+    if args.service:
+        service_entry = _base_entry(args, resolved, args.executor)
+        service_entry["mode"] = "service"
+        service_entry["service"] = bench_service(workload, args)
+        entries.append(service_entry)
+    return entries
 
 
 def main() -> None:
@@ -178,8 +285,15 @@ def main() -> None:
     parser.add_argument(
         "--executor",
         default="serial",
-        choices=list(EXECUTORS),
-        help="executor for multi-chain walks (ignored when --chains 1)",
+        choices=[*EXECUTORS, "all"],
+        help="executor for multi-chain walks (ignored when --chains 1); "
+        "'all' sweeps every executor into one self-contained entry",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="additionally measure cold vs. warm requests through one "
+        "long-lived AcquisitionService (appends a mode='service' entry)",
     )
     parser.add_argument(
         "--scale", type=float, default=SCALE, help="TPC-H workload scale factor"
@@ -210,7 +324,7 @@ def main() -> None:
     entries = []
     try:
         for backend_name in backends:
-            entries.append(bench_backend(backend_name, args))
+            entries.extend(bench_backend(backend_name, args))
     finally:
         columnar_backend.set_backend(None)
 
@@ -223,13 +337,20 @@ def main() -> None:
     history.extend(entries)
     args.output.write_text(json.dumps(history, indent=2) + "\n")
 
-    for entry in entries:
-        print(f"--- backend: {entry['backend']}")
-        for key, value in entry.items():
-            if isinstance(value, float):
-                print(f"{key:>40}: {value:.4f}")
+    def show(mapping: dict, indent: str = "") -> None:
+        for key, value in mapping.items():
+            if isinstance(value, dict):
+                print(f"{indent}{key}:")
+                show(value, indent + "    ")
+            elif isinstance(value, float):
+                print(f"{indent}{key:>40}: {value:.4f}")
             else:
-                print(f"{key:>40}: {value}")
+                print(f"{indent}{key:>40}: {value}")
+
+    for entry in entries:
+        mode = " [service]" if entry.get("mode") == "service" else ""
+        print(f"--- backend: {entry['backend']}{mode}")
+        show(entry)
     print(f"\nwrote {args.output}")
 
 

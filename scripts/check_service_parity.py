@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Assert the service-layer determinism contract on a small TPC-H scenario.
+
+Serves a batch of three acquisition requests (Q1/Q2/Q3) through one
+``AcquisitionService`` — concurrently, with shared caches and derived
+per-request seeds — and replays the same requests as serial one-at-a-time
+``DANCE.acquire()`` calls with the same seeds on a cold middleware.  The two
+must agree bit-for-bit on every recommendation (target graph, correlation,
+quality, weight, price, SQL).  A warm repeat of the batch must agree with the
+cold one too.
+
+Used by the CI ``service-smoke`` job.  Run locally with::
+
+    PYTHONPATH=src python scripts/check_service_parity.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import DanceConfig, ServiceConfig
+from repro.core.dance import DANCE
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.pricing.models import EntropyPricingModel
+from repro.search.acquisition import SearchRuntime
+from repro.search.mcmc import MCMCConfig
+from repro.service import AcquisitionService, request_seed
+from repro.workloads.queries import queries_for
+from repro.workloads.tpch import tpch_workload
+
+SCALE = 0.2
+SAMPLING_RATE = 0.5
+ITERATIONS = 60
+BUDGET = 1000.0
+BATCH_WORKERS = 3
+
+
+def build_marketplace(workload) -> Marketplace:
+    pricing = EntropyPricingModel()
+    marketplace = Marketplace(default_pricing=pricing)
+    for name in workload.tables:
+        marketplace.host(
+            MarketplaceDataset(table=workload.dirty_or_clean(name), pricing=pricing)
+        )
+    return marketplace
+
+
+def fingerprint(result) -> tuple:
+    return (
+        tuple(result.target_graph.nodes),
+        tuple(tuple(sorted(edge)) for edge in result.target_graph.edges),
+        result.estimated_correlation,
+        result.estimated_quality,
+        result.estimated_join_informativeness,
+        result.estimated_price,
+        tuple(result.sql()),
+    )
+
+
+def main() -> int:
+    workload = tpch_workload(scale=SCALE, seed=0)
+    requests = [
+        AcquisitionRequest(
+            source_attributes=list(query.source_attributes),
+            target_attributes=list(query.target_attributes),
+            budget=BUDGET,
+        )
+        for query in queries_for(workload).values()
+    ]
+    config = DanceConfig(
+        sampling_rate=SAMPLING_RATE,
+        mcmc=MCMCConfig(iterations=ITERATIONS, seed=0),
+        service=ServiceConfig(max_batch_workers=BATCH_WORKERS),
+    )
+
+    with AcquisitionService(build_marketplace(workload), config) as service:
+        cold = service.acquire_batch(requests)
+        warm = service.acquire_batch(requests)
+    if not cold.ok:
+        print(f"FAIL: batch reported errors: {[str(i.error) for i in cold.errors()]}")
+        return 1
+    cold_prints = [fingerprint(item.result) for item in cold]
+    warm_prints = [fingerprint(item.result) for item in warm]
+
+    dance = DANCE(build_marketplace(workload), config)
+    dance.build_offline()
+    serial_prints = []
+    for index, request in enumerate(requests):
+        runtime = SearchRuntime(mcmc_seed=request_seed(0, index))
+        serial_prints.append(fingerprint(dance.acquire(request, runtime=runtime)))
+
+    failures = 0
+    for index, (batch_fp, serial_fp) in enumerate(zip(cold_prints, serial_prints)):
+        if batch_fp != serial_fp:
+            failures += 1
+            print(f"MISMATCH request {index}: batch {batch_fp} != serial {serial_fp}")
+    if warm_prints != cold_prints:
+        failures += 1
+        print("MISMATCH: warm batch differs from cold batch")
+
+    if failures:
+        print(f"\n{failures} service-parity failure(s)")
+        return 1
+    correlations = [fp[2] for fp in cold_prints]
+    print(
+        f"OK: batch of {len(requests)} (x{BATCH_WORKERS} workers, warm repeat) "
+        f"bit-identical to serial DANCE.acquire: correlations={correlations}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

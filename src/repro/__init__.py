@@ -88,6 +88,7 @@ from repro.marketplace.shopper import AcquisitionRequest, DataShopper
 from repro.quality.fd import FunctionalDependency
 from repro.relational.schema import Attribute, AttributeType, Schema
 from repro.relational.table import Table
+from repro.service import AcquisitionService, BatchResult, ServedRequest, request_seed
 
 __version__ = "1.0.0"
 
@@ -95,6 +96,10 @@ __all__ = [
     "DANCE",
     "build_dance",
     "DanceConfig",
+    "AcquisitionService",
+    "BatchResult",
+    "ServedRequest",
+    "request_seed",
     "AcquisitionResult",
     "AcquisitionRequest",
     "DataShopper",

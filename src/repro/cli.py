@@ -12,6 +12,12 @@ shell without writing Python:
     print the recommended SQL projection queries and the estimated metrics.
     ``--top-k`` switches to the ranked multi-option recommendation.
 
+``repro-dance batch``
+    Serve a JSON file of acquisition requests through one long-lived
+    :class:`~repro.service.AcquisitionService` — one offline phase, shared
+    caches, concurrent execution with deterministic per-request seeds — and
+    print one summary per request.
+
 ``repro-dance export-graph``
     Build the join graph from samples and export it to JSON and/or DOT.
 
@@ -26,7 +32,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.core.config import DanceConfig
+from repro.core.config import DanceConfig, ServiceConfig
 from repro.core.dance import DANCE
 from repro.exceptions import ReproError
 from repro.graph.export import join_graph_to_dot, write_dot, write_join_graph_json
@@ -36,12 +42,15 @@ from repro.pricing.models import EntropyPricingModel
 from repro.search.mcmc import EXECUTORS, MCMCConfig
 from repro.search.topk import ScoreWeights, top_k_acquisition
 from repro.marketplace.shopper import AcquisitionRequest
+from repro.service import AcquisitionService
 from repro.workloads.queries import queries_for
 from repro.workloads.tpce import tpce_workload
 from repro.workloads.tpch import tpch_workload
 
 
-def _build_marketplace(workload_name: str, scale: float, seed: int) -> tuple[Marketplace, object]:
+def _build_marketplace(
+    workload_name: str, scale: float, seed: int
+) -> tuple[Marketplace, object]:
     if workload_name == "tpch":
         workload = tpch_workload(scale=scale, seed=seed)
     elif workload_name == "tpce":
@@ -149,6 +158,80 @@ def cmd_acquire(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_batch_requests(path: Path, workload) -> list[AcquisitionRequest]:
+    """Read a JSON list of request specs into ``AcquisitionRequest`` objects.
+
+    Each entry either names a predefined workload query (``{"query": "Q1",
+    "budget": 100}``) or spells the attributes out (``{"source": [...],
+    "target": [...], "budget": 100, "alpha": 2.5, "beta": 0.8}``).
+    """
+    try:
+        specs = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReproError(f"cannot read batch requests from {path}: {error}") from error
+    if not isinstance(specs, list):
+        raise ReproError(f"{path} must hold a JSON list of request objects")
+    requests: list[AcquisitionRequest] = []
+    known = queries_for(workload)
+    for index, spec in enumerate(specs):
+        if not isinstance(spec, dict):
+            raise ReproError(f"request {index} in {path} is not a JSON object")
+        if "query" in spec:
+            name = spec["query"]
+            if name not in known:
+                raise ReproError(
+                    f"request {index}: unknown query {name!r} (expected {sorted(known)})"
+                )
+            query = known[name]
+            source = list(query.source_attributes)
+            target = list(query.target_attributes)
+        else:
+            source = list(spec.get("source", []))
+            target = list(spec.get("target", []))
+        requests.append(
+            AcquisitionRequest(
+                source_attributes=source,
+                target_attributes=target,
+                budget=float(spec.get("budget", 100.0)),
+                max_join_informativeness=float(spec.get("alpha", float("inf"))),
+                min_quality=float(spec.get("beta", 0.0)),
+            )
+        )
+    return requests
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    marketplace, workload = _build_marketplace(args.workload, args.scale, args.seed)
+    requests = _parse_batch_requests(args.requests, workload)
+    config = DanceConfig(
+        sampling_rate=args.sampling_rate,
+        mcmc=MCMCConfig(
+            iterations=args.mcmc_iterations,
+            seed=args.seed,
+            chains=args.chains,
+            executor=args.executor,
+        ),
+        num_landmarks=args.landmarks,
+        service=ServiceConfig(
+            seed=args.service_seed,
+            max_batch_workers=args.batch_workers,
+        ),
+    )
+    with AcquisitionService(marketplace, config) as service:
+        batch = service.acquire_batch(requests)
+        payload = {
+            "service": {
+                "seed": service.seed,
+                "batch_workers": config.service.max_batch_workers,
+                "requests": len(requests),
+                "errors": len(batch.errors()),
+            },
+            "results": batch.summary(),
+        }
+    print(json.dumps(payload, indent=2, default=str))
+    return 0 if batch.ok else 1
+
+
 def cmd_export_graph(args: argparse.Namespace) -> int:
     marketplace, _ = _build_marketplace(args.workload, args.scale, args.seed)
     dance = _build_dance(marketplace, args)
@@ -203,6 +286,31 @@ def build_parser() -> argparse.ArgumentParser:
     acquire.add_argument("--top-k", type=int, default=1, help="return the k best options")
     acquire.add_argument("--json", action="store_true")
     acquire.set_defaults(func=cmd_acquire)
+
+    batch = subparsers.add_parser(
+        "batch", help="serve a JSON file of requests through one acquisition service"
+    )
+    add_common(batch)
+    batch.add_argument(
+        "requests",
+        type=Path,
+        help="JSON file holding a list of request objects "
+        '({"query": "Q1", "budget": 100} or {"source": [...], "target": [...], '
+        '"budget": 100, "alpha": ..., "beta": ...})',
+    )
+    batch.add_argument(
+        "--batch-workers",
+        type=int,
+        default=4,
+        help="how many requests execute concurrently (results are identical either way)",
+    )
+    batch.add_argument(
+        "--service-seed",
+        type=int,
+        default=None,
+        help="service base seed for per-request seed derivation (default: --seed)",
+    )
+    batch.set_defaults(func=cmd_batch)
 
     export = subparsers.add_parser("export-graph", help="export the join graph")
     add_common(export)

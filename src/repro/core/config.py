@@ -4,10 +4,57 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.exceptions import SamplingError
+from repro.exceptions import ReproError, SamplingError
 from repro.relational import backend as relational_backend
 from repro.sampling.resampling import ResamplingPolicy
 from repro.search.mcmc import MCMCConfig
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the long-lived acquisition service (:mod:`repro.service`).
+
+    Attributes
+    ----------
+    seed:
+        Base seed of the service.  Per-request seeds are blake2b-derived from
+        it by batch index (request 0 keeps the base seed — the same recipe as
+        MCMC chain seeds), so a batch outcome depends only on
+        ``(seed, request order)``.  ``None`` (the default) inherits the MCMC
+        seed of the owning :class:`DanceConfig`.
+    max_batch_workers:
+        Thread fan-out for :meth:`repro.service.AcquisitionService.acquire_batch`
+        — how many requests execute concurrently.  ``1`` serves batches
+        serially (results are bit-identical either way).
+    chain_pool_workers:
+        Size of the persistent executor pool serving multi-chain MCMC walks;
+        ``None`` uses the chain scheduler's default (``min(chains, 8)``).
+    share_caches:
+        Whether the service keeps its evaluation memo and JI cache across
+        requests (on by default; disabling isolates every request, which is
+        only useful for measuring cache effectiveness).
+    cache_stripes:
+        Lock striping of the shared caches (see
+        :class:`repro.search.chains.LockStripedCache`).
+    """
+
+    seed: int | None = None
+    max_batch_workers: int = 4
+    chain_pool_workers: int | None = None
+    share_caches: bool = True
+    cache_stripes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_batch_workers < 1:
+            raise ReproError(
+                f"max_batch_workers must be >= 1, got {self.max_batch_workers}"
+            )
+        if self.chain_pool_workers is not None and self.chain_pool_workers < 1:
+            raise ReproError(
+                f"chain_pool_workers must be >= 1, got {self.chain_pool_workers}"
+            )
+        if self.cache_stripes < 1:
+            raise ReproError(f"cache_stripes must be >= 1, got {self.cache_stripes}")
 
 
 @dataclass
@@ -55,6 +102,11 @@ class DanceConfig:
         applied process-wide when the :class:`~repro.core.dance.DANCE`
         middleware is constructed (see :mod:`repro.relational.backend`).
         Both backends produce bit-identical results.
+    service:
+        Configuration of the long-lived acquisition service
+        (:class:`ServiceConfig`: batch fan-out, persistent pool size, shared
+        caches, per-request seed derivation).  Ignored by one-shot
+        :meth:`~repro.core.dance.DANCE.acquire` calls.
     """
 
     sampling_rate: float = 0.3
@@ -68,6 +120,7 @@ class DanceConfig:
     max_refinement_rounds: int = 2
     refinement_rate_multiplier: float = 2.0
     backend: str | None = None
+    service: ServiceConfig = field(default_factory=ServiceConfig)
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -104,4 +157,5 @@ class DanceConfig:
             max_refinement_rounds=self.max_refinement_rounds,
             refinement_rate_multiplier=self.refinement_rate_multiplier,
             backend=self.backend,
+            service=self.service,
         )

@@ -25,7 +25,7 @@ from repro.quality.fd import FunctionalDependency
 from repro.relational import backend as relational_backend
 from repro.relational.table import Table
 from repro.sampling.correlated import CorrelatedSampler
-from repro.search.acquisition import heuristic_acquisition
+from repro.search.acquisition import SearchRuntime, heuristic_acquisition
 
 
 class DANCE:
@@ -74,6 +74,7 @@ class DANCE:
         self._fds: list[FunctionalDependency] = []
         self._sample_cost = 0.0
         self._current_rate = self.config.sampling_rate
+        self._graph_version = 0
 
     # --------------------------------------------------------------- offline
     @property
@@ -94,26 +95,54 @@ class DANCE:
         """The FDs used for quality measurement (known plus discovered on samples)."""
         return list(self._fds)
 
-    def register_source_tables(self, tables: Sequence[Table]) -> None:
+    @property
+    def graph_version(self) -> int:
+        """Monotonic counter bumped whenever the join graph's tables change.
+
+        Long-lived callers (the acquisition service) key their derived caches
+        and worker-preloaded pools on this: a version bump means evaluation
+        memo entries and pool worker state may describe stale tables.
+        """
+        return self._graph_version
+
+    def register_source_tables(self, tables: Sequence[Table]) -> dict[str, object]:
         """Register the shopper's local instances; they join for free.
 
         When the offline phase has already run, the join graph is updated
         immediately so the new sources participate in subsequent acquisitions
         (previously they were silently absent until the next offline rebuild).
-        Genuinely new instances are added incrementally (reusing the graph's
-        cached JI weights); replacing an already-known instance falls back to
-        a full rebuild so the FDs collected from the old data are dropped too.
+        Genuinely new instances are added incrementally (only the edges
+        touching them are computed); replacing an already-known instance
+        rebuilds the graph so the FDs collected from the old data are dropped
+        too — but the rebuild reuses the prior graph's cached JI weights for
+        every instance pair whose samples did not change, so it only
+        recomputes the edges touching the replaced instances.
+
+        Returns a summary: which names were added vs. replaced, how the graph
+        was refreshed (``"deferred"`` before the offline phase,
+        ``"incremental"`` for pure additions, ``"rebuild"`` for
+        replacements), and how many I-edge weight maps were actually
+        recomputed.
         """
-        replacing = False
+        added: list[str] = []
+        replaced: list[str] = []
         for table in tables:
             if table.name in self._source_tables or table.name in self._samples:
-                replacing = True
+                replaced.append(table.name)
+            else:
+                added.append(table.name)
             self._source_tables[table.name] = table
+        summary: dict[str, object] = {"added": added, "replaced": replaced}
         if not tables or self._join_graph is None:
-            return
-        if replacing:
+            summary["mode"] = "deferred"
+            summary["edge_recomputes"] = 0
+            return summary
+        if replaced:
             self._rebuild_graph()
-            return
+            summary["mode"] = "rebuild"
+            summary["edge_recomputes"] = self._join_graph.edge_recomputes
+            return summary
+        recomputes_before = self._join_graph.edge_recomputes
         seen = {(fd.lhs, fd.rhs) for fd in self._fds}
         for table in tables:
             self._join_graph.add_instance(table, is_source=True)
@@ -121,6 +150,10 @@ class DANCE:
                 if (fd.lhs, fd.rhs) not in seen:
                     seen.add((fd.lhs, fd.rhs))
                     self._fds.append(fd)
+        self._graph_version += 1
+        summary["mode"] = "incremental"
+        summary["edge_recomputes"] = self._join_graph.edge_recomputes - recomputes_before
+        return summary
 
     def build_offline(self, *, sampling_rate: float | None = None) -> JoinGraph:
         """Run the offline phase: buy samples of every hosted instance, build the graph."""
@@ -141,13 +174,20 @@ class DANCE:
     def _rebuild_graph(self) -> None:
         tables: dict[str, Table] = dict(self._samples)
         tables.update(self._source_tables)
+        # Reusing the prior graph's JI cache makes the rebuild incremental:
+        # only pairs whose endpoint samples changed are recomputed (identity
+        # check inside JoinGraph), e.g. only the replaced source's edges after
+        # register_source_tables, or only hosted-instance edges after a
+        # refinement round re-buys samples (shopper tables never change).
         self._join_graph = JoinGraph(
             tables,
             pricing=self.marketplace.pricing,
             max_join_attribute_size=self.config.max_join_attribute_size,
             source_instances=tuple(self._source_tables),
+            reuse_cache_from=self._join_graph,
         )
         self._fds = self._collect_fds(tables)
+        self._graph_version += 1
 
     def _collect_fds(self, tables: Mapping[str, Table]) -> list[FunctionalDependency]:
         fds: list[FunctionalDependency] = []
@@ -169,7 +209,9 @@ class DANCE:
         return fds
 
     # ---------------------------------------------------------------- online
-    def acquire(self, request: AcquisitionRequest) -> AcquisitionResult:
+    def acquire(
+        self, request: AcquisitionRequest, *, runtime: SearchRuntime | None = None
+    ) -> AcquisitionResult:
         """Answer one acquisition request (the online phase, Algorithm 1 + Step 1).
 
         Runs the two-step heuristic search — landmark-based I-graph seeding,
@@ -185,6 +227,14 @@ class DANCE:
             ``A_S``/``A_T`` (source/target attributes), the budget ``B``, and
             the optional join-informativeness / quality constraints
             (``max_join_informativeness`` = α, ``min_quality`` = β).
+        runtime:
+            Optional :class:`~repro.search.acquisition.SearchRuntime` carrying
+            session-scoped state — shared caches, a persistent executor pool,
+            a per-request seed override, and a private re-sampling policy.
+            Supplied by the acquisition service (:mod:`repro.service`); when
+            given, iterative refinement is skipped unless
+            ``runtime.allow_refinement`` is set, because refinement mutates
+            shared middleware state.
 
         Returns
         -------
@@ -205,11 +255,14 @@ class DANCE:
         if self._join_graph is None:
             self.build_offline()
 
+        max_rounds = self.config.max_refinement_rounds
+        if runtime is not None and not runtime.allow_refinement:
+            max_rounds = 0
         rounds = 0
         last_error: InfeasibleAcquisitionError | None = None
-        while rounds <= self.config.max_refinement_rounds:
+        while rounds <= max_rounds:
             try:
-                result = self._search_once(request)
+                result = self._search_once(request, runtime=runtime)
             except InfeasibleAcquisitionError as error:
                 result = None
                 last_error = error
@@ -217,7 +270,7 @@ class DANCE:
                 result.refinement_rounds = rounds
                 return result
             rounds += 1
-            if rounds > self.config.max_refinement_rounds:
+            if rounds > max_rounds:
                 break
             # Buy more samples at a higher rate and retry (iterative refinement).
             next_rate = min(1.0, self._current_rate * self.config.refinement_rate_multiplier)
@@ -228,8 +281,21 @@ class DANCE:
             "no feasible acquisition satisfies the request constraints"
         )
 
-    def _search_once(self, request: AcquisitionRequest) -> AcquisitionResult | None:
-        self.config.resampling.reset()
+    def _search_once(
+        self, request: AcquisitionRequest, *, runtime: SearchRuntime | None = None
+    ) -> AcquisitionResult | None:
+        runtime = runtime or SearchRuntime()
+        # The runtime's private re-sampling policy (if any) replaces the
+        # config-owned one: reset() mutates the policy, which concurrent
+        # service requests must not share.
+        resampling = (
+            runtime.resampling if runtime.resampling is not None else self.config.resampling
+        )
+        resampling.reset()
+        seed = runtime.mcmc_seed if runtime.mcmc_seed is not None else self.config.mcmc.seed
+        mcmc_config = self.config.mcmc
+        if seed != mcmc_config.seed:
+            mcmc_config = replace(mcmc_config, seed=seed)
         heuristic = heuristic_acquisition(
             self.join_graph,
             request.source_attributes,
@@ -239,9 +305,13 @@ class DANCE:
             max_weight=request.max_join_informativeness,
             min_quality=request.min_quality,
             num_landmarks=self.config.num_landmarks,
-            mcmc_config=self.config.mcmc,
-            rng=self.config.mcmc.seed,
-            intermediate_hook=self.config.resampling if self.config.resampling.enabled else None,
+            mcmc_config=mcmc_config,
+            rng=seed,
+            intermediate_hook=resampling if resampling.enabled else None,
+            evaluation_cache=runtime.evaluation_cache,
+            ji_cache=runtime.ji_cache,
+            pool=runtime.pool,
+            pool_state=runtime.pool_state,
         )
         if not heuristic.feasible:
             return None

@@ -29,7 +29,9 @@ from repro.workloads.tpce import tpce_workload
 from repro.workloads.tpch import tpch_workload
 
 
-def load_workload(name: str, *, scale: float | None = None, seed: int = 0) -> GeneratedWorkload:
+def load_workload(
+    name: str, *, scale: float | None = None, seed: int = 0
+) -> GeneratedWorkload:
     """Generate the named workload at benchmark scale."""
     if name == "tpch":
         return tpch_workload(scale=scale if scale is not None else 0.2, seed=seed)

@@ -78,6 +78,21 @@ class JoinGraph:
     source_instances:
         Names of instances owned by the shopper (price 0; they appear in the
         graph so that join paths can start from them).
+    reuse_cache_from:
+        A previously built :class:`JoinGraph` whose cached JI weights are
+        carried over for every instance pair whose sample objects are *the
+        same objects* in both graphs (identity, not equality — the
+        conservative check that can never resurrect a stale weight).  Used by
+        the incremental refresh paths: rebuilding after a source-table
+        replacement only recomputes the edges that touch replaced instances,
+        and a refinement-round rebuild still reuses the source–source edges
+        (shopper tables do not change when DANCE buys more samples).
+
+    The counters ``ji_computations`` (join-informativeness values actually
+    computed, i.e. JI-cache misses) and ``edge_recomputes`` (I-edges whose
+    weight map needed at least one fresh JI computation) start at zero per
+    graph and make cache reuse assertable in tests and observable in
+    :meth:`describe`.
     """
 
     def __init__(
@@ -87,6 +102,7 @@ class JoinGraph:
         pricing: PricingModel | None = None,
         max_join_attribute_size: int = 2,
         source_instances: Iterable[str] = (),
+        reuse_cache_from: "JoinGraph | None" = None,
     ) -> None:
         if not isinstance(samples, Mapping):
             samples = {table.name: table for table in samples}
@@ -114,7 +130,31 @@ class JoinGraph:
         # both columnar backends (repro.relational.backend) and both produce
         # bit-identical weights.
         self._ji_cache: dict[tuple[str, str, frozenset[str]], float] = {}
+        self.ji_computations = 0
+        self.edge_recomputes = 0
+        # Bumped by every in-place structural mutation (add_instance), so
+        # holders of a pickled copy (persistent process-pool workers) can
+        # detect that object identity alone no longer proves equivalence.
+        self.revision = 0
+        if reuse_cache_from is not None:
+            self._seed_cache_from(reuse_cache_from)
         self._build()
+
+    def _seed_cache_from(self, prior: "JoinGraph") -> None:
+        """Adopt ``prior``'s JI weights for pairs whose samples are unchanged.
+
+        A cached weight is a pure function of the two endpoint samples and the
+        attribute set, so it stays valid exactly when both endpoint tables are
+        the same objects in both graphs (tables are immutable by convention).
+        """
+        for (left, right, attrs), weight in prior._ji_cache.items():
+            mine_left, mine_right = self._samples.get(left), self._samples.get(right)
+            if mine_left is None or mine_right is None:
+                continue
+            theirs_left = prior._samples.get(left)
+            theirs_right = prior._samples.get(right)
+            if mine_left is theirs_left and mine_right is theirs_right:
+                self._ji_cache[(left, right, attrs)] = weight
 
     # ------------------------------------------------------------------- build
     def _build(self) -> None:
@@ -138,9 +178,12 @@ class JoinGraph:
         """JI weight per candidate join attribute set (Property 4.1 weight sharing)."""
         weights: dict[frozenset[str], float] = {}
         limit = min(self.max_join_attribute_size, len(shared))
+        computed_before = self.ji_computations
         for size in range(1, limit + 1):
             for attrs in combinations(shared, size):
                 weights[frozenset(attrs)] = self.edge_weight(left.name, right.name, attrs)
+        if self.ji_computations != computed_before:
+            self.edge_recomputes += 1
         return weights
 
     def edge_weight(self, left: str, right: str, attrs: Iterable[str]) -> float:
@@ -154,6 +197,7 @@ class JoinGraph:
         key = (first, second, attr_set)
         cached = self._ji_cache.get(key)
         if cached is None:
+            self.ji_computations += 1
             left_table, right_table = self.sample(left), self.sample(right)
             if len(left_table) == 0 or len(right_table) == 0:
                 cached = 1.0
@@ -243,6 +287,7 @@ class JoinGraph:
         """
         name = table.name
         replacing = name in self._samples
+        self.revision += 1
         self._samples[name] = table
         if is_source:
             self.source_instances.add(name)
@@ -277,4 +322,6 @@ class JoinGraph:
             "num_as_vertices": self.num_as_vertices(),
             "source_instances": sorted(self.source_instances),
             "instances": {name: len(table) for name, table in self._samples.items()},
+            "ji_computations": self.ji_computations,
+            "edge_recomputes": self.edge_recomputes,
         }

@@ -95,7 +95,9 @@ class AttributeSetLattice:
         if not required_set <= self._attribute_set:
             return []
         return [
-            vertex for vertex in self.iter_vertices(max_size=max_size) if required_set <= vertex
+            vertex
+            for vertex in self.iter_vertices(max_size=max_size)
+            if required_set <= vertex
         ]
 
     # --------------------------------------------------------------- structure
@@ -132,7 +134,9 @@ class AttributeSetLattice:
         return len(subset) - self.min_size + 1
 
     # ----------------------------------------------------------------- pricing
-    def price_of(self, attribute_set: Iterable[str], table: Table, pricing: PricingModel) -> float:
+    def price_of(
+        self, attribute_set: Iterable[str], table: Table, pricing: PricingModel
+    ) -> float:
         """Price of the lattice vertex (projection of ``table`` onto the attribute set)."""
         subset = tuple(sorted(frozenset(attribute_set)))
         if frozenset(subset) not in self:

@@ -37,7 +37,9 @@ def correlation(
     if len(x_values) != len(y_values):
         raise ValueError("correlation requires aligned sequences")
     if x_type is AttributeType.NUMERICAL:
-        return cumulative_entropy(x_values) - conditional_cumulative_entropy(x_values, y_values)
+        return cumulative_entropy(x_values) - conditional_cumulative_entropy(
+            x_values, y_values
+        )
     return shannon_entropy(x_values) - conditional_entropy(x_values, y_values)
 
 

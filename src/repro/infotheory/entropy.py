@@ -146,7 +146,9 @@ def joint_entropy_of_codes(
     return entropy_of_counts(joint_code_counts(x_codes, y_codes, y_num_codes).values())
 
 
-def entropy_of_distribution(probabilities: Mapping[Hashable, float] | Iterable[float]) -> float:
+def entropy_of_distribution(
+    probabilities: Mapping[Hashable, float] | Iterable[float],
+) -> float:
     """Entropy of an explicit probability distribution (must sum to ~1)."""
     if isinstance(probabilities, Mapping):
         probs = list(probabilities.values())

@@ -23,7 +23,9 @@ from repro.pricing.models import PricingModel
 from repro.relational.table import Table
 
 
-def _attribute_subsets(names: Sequence[str], max_size: int | None = None) -> list[tuple[str, ...]]:
+def _attribute_subsets(
+    names: Sequence[str], max_size: int | None = None
+) -> list[tuple[str, ...]]:
     limit = len(names) if max_size is None else min(max_size, len(names))
     subsets: list[tuple[str, ...]] = []
     for size in range(1, limit + 1):

@@ -212,7 +212,9 @@ def _gather(table: Table, name: str, indices) -> list[Value]:
     return [None if i < 0 else column[i] for i in indices]
 
 
-def _joined_schema(left: Table, right: Table, join_attrs: Sequence[str]) -> tuple[Schema, list[str]]:
+def _joined_schema(
+    left: Table, right: Table, join_attrs: Sequence[str]
+) -> tuple[Schema, list[str]]:
     """Schema of the join result and the right-side attributes that are appended."""
     right_extra = [name for name in right.schema.names if name not in join_attrs]
     extra_attrs = []

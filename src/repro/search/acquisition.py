@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping, MutableMapping, Sequence
 
 from repro.exceptions import InfeasibleAcquisitionError, SearchError
 from repro.graph.join_graph import JoinGraph
@@ -19,8 +19,49 @@ from repro.graph.target import TargetGraph, TargetGraphEvaluation
 from repro.quality.fd import FunctionalDependency
 from repro.relational.table import Table
 from repro.search.candidates import build_initial_target_graph, terminal_instances
-from repro.search.chains import MultiChainResult
+from repro.search.chains import ChainPoolState, MultiChainResult
 from repro.search.mcmc import MCMCConfig, MCMCResult, mcmc_search
+
+
+@dataclass
+class SearchRuntime:
+    """Session-scoped execution context for one online search.
+
+    One-shot callers never build one: every field defaults to "behave exactly
+    like before".  The acquisition service (:mod:`repro.service`) threads a
+    runtime through :meth:`repro.core.dance.DANCE.acquire` to make the search
+    reuse session state instead of rebuilding its world per call:
+
+    ``evaluation_cache`` / ``ji_cache``
+        Externally-owned memo tables shared across all candidate I-graphs of
+        the request *and* across requests.  The evaluation memo is only valid
+        for a fixed ``(samples, source attrs, target attrs, fds, pricing)``
+        context — the service namespaces it per request signature; the JI
+        cache keys are structural and safe to share service-wide.
+    ``pool`` / ``pool_state``
+        A persistent executor serving every multi-chain ``mcmc_search`` call
+        (see :class:`~repro.search.chains.ChainScheduler`).
+    ``mcmc_seed``
+        Overrides the configured MCMC base seed (and the landmark-selection
+        seed) for this request — the service derives one per batch index.
+    ``resampling``
+        A private re-sampling policy instance replacing the shared
+        ``DanceConfig.resampling`` (whose ``reset()`` is a mutation unsafe
+        under concurrent requests).
+    ``allow_refinement``
+        Whether :meth:`DANCE.acquire` may fall back to buying more samples
+        and rebuilding the join graph.  Off for service requests: refinement
+        mutates shared session state, so the service exposes it as an
+        explicit, serialized operation instead.
+    """
+
+    evaluation_cache: MutableMapping | None = None
+    ji_cache: MutableMapping | None = None
+    pool: object | None = None
+    pool_state: ChainPoolState | None = None
+    mcmc_seed: int | None = None
+    resampling: object | None = None
+    allow_refinement: bool = False
 
 
 @dataclass
@@ -71,6 +112,10 @@ def heuristic_acquisition(
     evaluation_tables: Mapping[str, Table] | None = None,
     rng: random.Random | int | None = None,
     intermediate_hook=None,
+    evaluation_cache: MutableMapping | None = None,
+    ji_cache: MutableMapping | None = None,
+    pool=None,
+    pool_state: ChainPoolState | None = None,
 ) -> HeuristicResult:
     """Run Step 1 + Step 2 and return the best feasible target graph found.
 
@@ -105,6 +150,14 @@ def heuristic_acquisition(
         Randomness for landmark selection.
     intermediate_hook:
         Optional correlated re-sampling hook applied to intermediate joins.
+    evaluation_cache / ji_cache:
+        Optional externally-owned memo tables shared by *all* candidate
+        I-graphs of this request (previously each I-graph's walk started
+        cold).  A long-lived caller can keep them across requests too — see
+        :class:`SearchRuntime` for the validity contract.
+    pool / pool_state:
+        Optional persistent executor (plus process-pool state) serving every
+        multi-chain ``mcmc_search`` call instead of a fresh pool per call.
 
     Raises
     ------
@@ -162,6 +215,10 @@ def heuristic_acquisition(
             min_quality=min_quality,
             config=mcmc_config,
             intermediate_hook=intermediate_hook,
+            evaluation_cache=evaluation_cache,
+            ji_cache=ji_cache,
+            pool=pool,
+            pool_state=pool_state,
         )
         result = HeuristicResult(igraph=igraph, mcmc=mcmc)
         if fallback_result is None:

@@ -56,7 +56,11 @@ def terminal_instances(
         if not candidates:
             raise SearchError(f"target attribute {attribute!r} not found in any instance")
         # prefer an instance already chosen (fewer purchases), else the first
-        already = [name for name in candidates if name in target_terminals or name in source_terminals]
+        already = [
+            name
+            for name in candidates
+            if name in target_terminals or name in source_terminals
+        ]
         chosen = already[0] if already else candidates[0]
         if chosen not in target_terminals:
             target_terminals.append(chosen)
@@ -103,7 +107,9 @@ def candidate_paths(
                     paths.append(candidate)
                 continue
             try:
-                simple_paths = nx.all_simple_paths(graph, source, target, cutoff=max_path_length - 1)
+                simple_paths = nx.all_simple_paths(
+                    graph, source, target, cutoff=max_path_length - 1
+                )
             except nx.NodeNotFound:
                 continue
             for path in simple_paths:

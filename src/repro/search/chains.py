@@ -41,7 +41,7 @@ from __future__ import annotations
 import copy
 import hashlib
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
@@ -287,6 +287,116 @@ def _run_chain(payload: tuple) -> tuple[MCMCResult, dict, dict]:
     return result, evaluation_cache, ji_cache
 
 
+# Worker-side state of persistent process pools, keyed by state token.  A pool
+# built by :func:`process_chain_pool` preloads (join graph, fds) into every
+# worker once, at pool creation; chain payloads then reference tables by name
+# instead of re-pickling the graph and the sample tables on every
+# ``mcmc_search`` call (the dominant per-call cost of the process executor).
+_WORKER_STATE: dict[str, tuple] = {}
+
+
+def _load_worker_state(token: str, join_graph, fds) -> None:
+    """Process-pool initializer: stash the heavy shared objects once per worker."""
+    _WORKER_STATE[token] = (join_graph, tuple(fds))
+
+
+def _run_chain_from_state(payload: tuple) -> tuple[MCMCResult, dict, dict]:
+    """Run one chain against the preloaded worker state (light payload)."""
+    (
+        token,
+        table_names,
+        initial,
+        source_attributes,
+        target_attributes,
+        budget,
+        max_weight,
+        min_quality,
+        config,
+        intermediate_hook,
+    ) = payload
+    join_graph, fds = _WORKER_STATE[token]
+    tables = {name: join_graph.sample(name) for name in table_names}
+    return _run_chain(
+        (
+            join_graph,
+            initial,
+            tables,
+            source_attributes,
+            target_attributes,
+            fds,
+            budget,
+            max_weight,
+            min_quality,
+            config,
+            intermediate_hook,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class ChainPoolState:
+    """What a persistent process pool's workers were preloaded with.
+
+    ``token`` identifies the state inside the workers; ``join_graph`` is the
+    parent-side object the workers hold a pickled copy of, and ``revision``
+    the graph's mutation counter at pickling time.  The scheduler sends light
+    payloads only when the call's graph *is* this object at the *same
+    revision* (identity alone cannot detect in-place mutation via
+    ``JoinGraph.add_instance``) and every evaluation table *is* the graph's
+    own sample — any drift (a refreshed or mutated graph, caller-supplied
+    evaluation tables, different FDs) falls back to full payloads, so stale
+    worker state can never change a result.
+    """
+
+    token: str
+    join_graph: JoinGraph
+    revision: int = 0
+    fds: tuple[FunctionalDependency, ...] = ()
+
+    def covers(
+        self,
+        join_graph: JoinGraph,
+        tables: Mapping[str, Table],
+        fds: Sequence[FunctionalDependency],
+    ) -> bool:
+        if join_graph is not self.join_graph or tuple(fds) != self.fds:
+            return False
+        if join_graph.revision != self.revision:
+            return False
+        return all(
+            name in join_graph and tables[name] is join_graph.sample(name)
+            for name in tables
+        )
+
+
+def process_chain_pool(
+    join_graph: JoinGraph,
+    fds: Sequence[FunctionalDependency],
+    *,
+    token: str,
+    max_workers: int = _MAX_WORKERS,
+) -> tuple[ProcessPoolExecutor, ChainPoolState]:
+    """A persistent process pool with (join graph, fds) preloaded into workers.
+
+    Returns the pool and the :class:`ChainPoolState` to hand to
+    :class:`ChainScheduler`; the caller owns the pool's lifetime (the
+    scheduler never shuts down an external pool).  Recreate the pool whenever
+    the join graph is refreshed — the state only ``covers`` the exact graph
+    object it was built from, so a stale pool degrades to full payloads
+    rather than producing wrong results.
+    """
+    fds = tuple(fds)
+    pool = ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_load_worker_state,
+        initargs=(token, join_graph, fds),
+    )
+    state = ChainPoolState(
+        token=token, join_graph=join_graph, revision=join_graph.revision, fds=fds
+    )
+    return pool, state
+
+
 class ChainScheduler:
     """Runs ``chains`` independently-seeded MCMC walks under one executor.
 
@@ -299,7 +409,19 @@ class ChainScheduler:
         ``"serial"``, ``"thread"``, or ``"process"`` (see module docstring).
     max_workers:
         Pool size cap for the thread / process executors; defaults to
-        ``min(chains, 8)``.
+        ``min(chains, 8)``.  Ignored when an external ``pool`` is supplied.
+    pool:
+        An externally-owned :class:`concurrent.futures.Executor` serving the
+        thread / process chains.  The scheduler never shuts it down, so a
+        long-lived caller (the acquisition service) can amortise pool startup
+        across many ``mcmc_search`` calls.  ``None`` (the default) creates and
+        disposes a private pool per :meth:`run`, the one-shot behaviour.
+    pool_state:
+        The :class:`ChainPoolState` of a persistent process pool built by
+        :func:`process_chain_pool`.  When it covers the call's graph and
+        tables, chain payloads reference tables by name instead of pickling
+        the graph and samples per chain; otherwise full payloads are sent
+        (identical results, just slower).  Meaningless without ``pool``.
     """
 
     def __init__(
@@ -308,6 +430,8 @@ class ChainScheduler:
         executor: str = "serial",
         *,
         max_workers: int | None = None,
+        pool: Executor | None = None,
+        pool_state: ChainPoolState | None = None,
     ) -> None:
         if chains < 1:
             raise SearchError(f"chains must be >= 1, got {chains}")
@@ -316,6 +440,8 @@ class ChainScheduler:
         self.chains = chains
         self.executor = executor
         self.max_workers = max_workers
+        self.pool = pool
+        self.pool_state = pool_state
 
     def _pool_size(self) -> int:
         if self.max_workers is not None:
@@ -351,26 +477,49 @@ class ChainScheduler:
         """
         config = config or MCMCConfig()
         configs = _chain_configs(replace(config, chains=self.chains))
-        payloads = [
-            (
-                join_graph,
-                initial,
-                tables,
-                source_attributes,
-                target_attributes,
-                fds,
-                budget,
-                max_weight,
-                min_quality,
-                chain_config,
-                _chain_hook(intermediate_hook, index),
-            )
-            for index, chain_config in enumerate(configs)
-        ]
+        use_light = (
+            self.executor == "process"
+            and self.pool is not None
+            and self.pool_state is not None
+            and self.pool_state.covers(join_graph, tables, fds)
+        )
+        if use_light:
+            payloads = [
+                (
+                    self.pool_state.token,
+                    tuple(sorted(tables)),
+                    initial,
+                    source_attributes,
+                    target_attributes,
+                    budget,
+                    max_weight,
+                    min_quality,
+                    chain_config,
+                    _chain_hook(intermediate_hook, index),
+                )
+                for index, chain_config in enumerate(configs)
+            ]
+        else:
+            payloads = [
+                (
+                    join_graph,
+                    initial,
+                    tables,
+                    source_attributes,
+                    target_attributes,
+                    fds,
+                    budget,
+                    max_weight,
+                    min_quality,
+                    chain_config,
+                    _chain_hook(intermediate_hook, index),
+                )
+                for index, chain_config in enumerate(configs)
+            ]
 
         if self.executor == "process":
             chain_results, evaluation_cache, ji_cache = self._run_process(
-                payloads, evaluation_cache, ji_cache
+                payloads, evaluation_cache, ji_cache, light=use_light
             )
         else:
             chain_results, evaluation_cache, ji_cache = self._run_shared(
@@ -429,22 +578,35 @@ class ChainScheduler:
             )
 
         if self.executor == "thread" and self.chains > 1:
-            with ThreadPoolExecutor(max_workers=self._pool_size()) as pool:
-                chain_results = list(pool.map(run_one, payloads))
+            if self.pool is not None:
+                chain_results = list(self.pool.map(run_one, payloads))
+            else:
+                with ThreadPoolExecutor(max_workers=self._pool_size()) as pool:
+                    chain_results = list(pool.map(run_one, payloads))
         else:
             chain_results = [run_one(payload) for payload in payloads]
         return chain_results, evaluation_cache, ji_cache
 
-    def _run_process(self, payloads: list[tuple], evaluation_cache, ji_cache):
+    def _run_process(
+        self, payloads: list[tuple], evaluation_cache, ji_cache, *, light: bool = False
+    ):
         """Process execution: private caches per worker, merged afterwards."""
         merged_evaluations = evaluation_cache if evaluation_cache is not None else {}
         merged_ji = ji_cache if ji_cache is not None else {}
         chain_results: list[MCMCResult] = []
-        with ProcessPoolExecutor(max_workers=self._pool_size()) as pool:
-            for result, chain_evaluations, chain_ji in pool.map(_run_chain, payloads):
+        worker = _run_chain_from_state if light else _run_chain
+
+        def collect(outcomes) -> None:
+            for result, chain_evaluations, chain_ji in outcomes:
                 chain_results.append(result)
                 merged_evaluations.update(chain_evaluations)
                 merged_ji.update(chain_ji)
+
+        if self.pool is not None:
+            collect(self.pool.map(worker, payloads))
+        else:
+            with ProcessPoolExecutor(max_workers=self._pool_size()) as pool:
+                collect(pool.map(worker, payloads))
         return chain_results, merged_evaluations, merged_ji
 
 

@@ -228,6 +228,8 @@ def mcmc_search(
     intermediate_hook=None,
     evaluation_cache: "MutableMapping[tuple, TargetGraphEvaluation] | None" = None,
     ji_cache: "MutableMapping[tuple, float] | None" = None,
+    pool=None,
+    pool_state=None,
 ) -> "MCMCResult | MultiChainResult":
     """Algorithm 1: find the best feasible target graph by a Metropolis walk.
 
@@ -261,14 +263,25 @@ def mcmc_search(
         Optional externally-owned memo tables (any mapping supporting ``get``
         and item assignment, e.g. the lock-striped caches of
         :class:`~repro.search.chains.ChainScheduler`).  Sharing them across
-        chains never changes walk outcomes — only which chain pays for each
+        chains — or across searches and requests, as the acquisition service
+        does — never changes walk outcomes, only which walk pays for each
         (deterministic) evaluation.
+    pool / pool_state:
+        An externally-owned executor (and, for persistent process pools, its
+        :class:`~repro.search.chains.ChainPoolState`) serving the multi-chain
+        walks; ignored for ``chains=1``.  See
+        :class:`~repro.search.chains.ChainScheduler`.
     """
     config = config or MCMCConfig()
     if config.chains > 1:
         from repro.search.chains import ChainScheduler
 
-        return ChainScheduler(chains=config.chains, executor=config.executor).run(
+        return ChainScheduler(
+            chains=config.chains,
+            executor=config.executor,
+            pool=pool,
+            pool_state=pool_state,
+        ).run(
             join_graph,
             initial,
             tables,
@@ -345,7 +358,8 @@ def mcmc_search(
     for _ in range(config.iterations):
         result.iterations += 1
         proposal: TargetGraph | None = None
-        if config.projection_flip_probability > 0 and rng.random() < config.projection_flip_probability:
+        flip_probability = config.projection_flip_probability
+        if flip_probability > 0 and rng.random() < flip_probability:
             proposal = _propose_projection_flip(current, join_graph, wanted, rng)
         if proposal is None:
             proposal = _propose_edge_swap(current, join_graph, rng)

@@ -1,0 +1,34 @@
+"""The acquisition service layer: one hot marketplace, many requests.
+
+Everything below :class:`~repro.core.dance.DANCE` is a one-shot library —
+each ``acquire()`` call rebuilds its world (fresh caches per candidate
+I-graph, a fresh executor pool per ``mcmc_search`` call).  This package turns
+the online phase into a long-lived *session*:
+
+:class:`AcquisitionService`
+    Wraps one :class:`~repro.marketplace.market.Marketplace` plus its offline
+    phase and serves many :class:`~repro.marketplace.shopper.AcquisitionRequest`\\ s.
+    It owns the evaluation memo and JI cache (shared across all candidate
+    I-graphs of a request *and* across requests), a single persistent
+    thread / process executor pool serving every multi-chain ``mcmc_search``
+    call, and the thread fan-out for concurrent batches.
+
+:func:`request_seed` / :class:`ServedRequest` / :class:`BatchResult`
+    Deterministic per-request seed derivation (blake2b, the chain-seed
+    recipe) and the result types of a batch.
+
+Determinism contract: a batch of N requests is bit-identical to the same N
+requests served one at a time — shared caches hold only deterministic values,
+per-request seeds depend only on ``(service seed, batch index)``, and result
+ordering follows request order, never completion order.
+"""
+
+from repro.service.batch import BatchResult, ServedRequest, request_seed
+from repro.service.session import AcquisitionService
+
+__all__ = [
+    "AcquisitionService",
+    "BatchResult",
+    "ServedRequest",
+    "request_seed",
+]

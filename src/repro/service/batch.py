@@ -1,0 +1,95 @@
+"""Batch request/result types and per-request seed derivation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.result import AcquisitionResult
+from repro.exceptions import ReproError
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.search.chains import chain_seed
+
+
+def request_seed(service_seed: int, index: int) -> int:
+    """The deterministic MCMC base seed of batch request ``index``.
+
+    The same recipe as MCMC chain seeds (:func:`repro.search.chains.chain_seed`):
+    request 0 keeps the service seed — so a single ``acquire()`` call and a
+    batch of one are the same walk — and later requests hash
+    ``(service seed, index)`` through blake2b, stable across processes and
+    python versions.  Chain seeds then derive from the request seed, giving
+    every (request, chain) pair an independent, reproducible stream.
+    """
+    return chain_seed(service_seed, index)
+
+
+@dataclass
+class ServedRequest:
+    """One request's outcome inside a batch (or a single served call).
+
+    Exactly one of ``result`` / ``error`` is set.  ``error`` holds the
+    :class:`~repro.exceptions.ReproError` the search raised (typically
+    ``InfeasibleAcquisitionError`` — the service does not buy more samples
+    mid-batch; see :meth:`AcquisitionService.acquire_batch`).
+    """
+
+    index: int
+    request: AcquisitionRequest
+    seed: int
+    result: AcquisitionResult | None = None
+    error: ReproError | None = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def require_result(self) -> AcquisitionResult:
+        if self.result is None:
+            raise self.error or ReproError(f"request {self.index} produced no result")
+        return self.result
+
+    def summary(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "index": self.index,
+            "seed": self.seed,
+            "ok": self.ok,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.result is not None:
+            payload["result"] = self.result.summary()
+        if self.error is not None:
+            payload["error"] = str(self.error)
+        return payload
+
+
+@dataclass
+class BatchResult:
+    """Outcomes of one batch, in request order (never completion order)."""
+
+    items: list[ServedRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[ServedRequest]:
+        return iter(self.items)
+
+    def __getitem__(self, index: int) -> ServedRequest:
+        return self.items[index]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every request in the batch produced a result."""
+        return all(item.ok for item in self.items)
+
+    def results(self) -> list[AcquisitionResult | None]:
+        """Per-request results, ``None`` where the search failed."""
+        return [item.result for item in self.items]
+
+    def errors(self) -> list[ServedRequest]:
+        return [item for item in self.items if not item.ok]
+
+    def summary(self) -> list[dict[str, object]]:
+        return [item.summary() for item in self.items]

@@ -1,0 +1,408 @@
+"""The long-lived acquisition session: one hot marketplace, many requests.
+
+``DANCE.acquire()`` is a one-shot call: every invocation runs Step 2 with
+fresh caches per candidate I-graph and, for the thread/process executors,
+spins a fresh pool per ``mcmc_search`` call.  :class:`AcquisitionService`
+keeps one marketplace *hot* instead:
+
+* **Cache ownership.**  The service owns one JI cache (structural keys —
+  valid service-wide) and one evaluation memo *per request signature*
+  ``(source attrs, target attrs)`` — evaluations depend on the requested
+  attributes, so sharing them across different signatures would be wrong.
+  Both live in :class:`~repro.search.chains.LockStripedCache` instances and
+  are handed to every search through
+  :class:`~repro.search.acquisition.SearchRuntime`, so all candidate I-graphs
+  of one request and all requests of one session share work.
+* **Pool reuse.**  One persistent executor serves every multi-chain
+  ``mcmc_search`` call for the lifetime of the service.  Process pools are
+  built by :func:`repro.search.chains.process_chain_pool`, which preloads the
+  join graph and FDs into the workers once — chain payloads then reference
+  tables by name instead of re-pickling them per call.
+* **Batched concurrency.**  :meth:`AcquisitionService.acquire_batch` executes
+  a list of requests under a thread fan-out with deterministic per-request
+  seeds (:func:`~repro.service.batch.request_seed`), returning results
+  bit-identical to serving the requests one at a time.
+* **Incremental refresh.**  :meth:`register_source_tables` updates the join
+  graph through DANCE's incremental path (only edges touching changed
+  instances are recomputed) and invalidates exactly the session state the
+  change made stale: pure additions keep the caches (old structural keys
+  stay valid), replacements and offline rebuilds drop them.
+
+Thread-safety contract: concurrent *serving* calls are safe (that is the
+point of the batch API); management operations — ``register_source_tables``,
+``rebuild_offline``, ``close`` — must not overlap in-flight requests, exactly
+like schema changes on a live database are sequenced by the operator.
+
+Iterative refinement (buying more samples mid-request) mutates shared session
+state, so served requests run with refinement disabled; an infeasible request
+reports its error in the :class:`~repro.service.batch.ServedRequest` and the
+operator refreshes the session explicitly (``rebuild_offline`` at a higher
+sampling rate) when infeasibility persists.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Sequence
+
+from repro.core.config import DanceConfig
+from repro.core.dance import DANCE
+from repro.core.result import AcquisitionResult
+from repro.exceptions import ReproError
+from repro.graph.join_graph import JoinGraph
+from repro.marketplace.market import Marketplace
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.quality.fd import FunctionalDependency
+from repro.relational.table import Table
+from repro.search.acquisition import SearchRuntime
+from repro.search.chains import (
+    ChainPoolState,
+    LockStripedCache,
+    process_chain_pool,
+)
+from repro.service.batch import BatchResult, ServedRequest, request_seed
+
+_SERVICE_COUNTER = itertools.count()
+
+
+class AcquisitionService:
+    """Serves many acquisition requests over one offline phase.
+
+    Parameters
+    ----------
+    marketplace:
+        The marketplace to build the session on.
+    config:
+        The middleware configuration; ``config.service``
+        (:class:`~repro.core.config.ServiceConfig`) holds the session knobs —
+        base seed, batch fan-out, persistent pool size, cache sharing.
+    known_fds:
+        Forwarded to :class:`~repro.core.dance.DANCE`.
+    source_tables:
+        Shopper-owned instances registered before the offline phase.
+    build_offline:
+        Run the offline phase during construction (the default).  Pass
+        ``False`` to defer it; the first served request triggers it then.
+
+    Use as a context manager (or call :meth:`close`) to release the pools::
+
+        with AcquisitionService(marketplace, config) as service:
+            batch = service.acquire_batch(requests)
+    """
+
+    def __init__(
+        self,
+        marketplace: Marketplace,
+        config: DanceConfig | None = None,
+        *,
+        known_fds: Mapping[str, Sequence[FunctionalDependency]] | None = None,
+        source_tables: Sequence[Table] = (),
+        build_offline: bool = True,
+    ) -> None:
+        self._dance = DANCE(marketplace, config, known_fds=known_fds)
+        self.config = self._dance.config
+        service_config = self.config.service
+        self._seed = (
+            service_config.seed if service_config.seed is not None else self.config.mcmc.seed
+        )
+        self._service_id = next(_SERVICE_COUNTER)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._synced_version: int | None = None
+        self._ji_cache: LockStripedCache | None = None
+        self._evaluation_caches: dict[tuple, LockStripedCache] = {}
+        self._chain_pool = None
+        self._chain_pool_state: ChainPoolState | None = None
+        self._request_pool: ThreadPoolExecutor | None = None
+        self._requests_served = 0
+        self._batches_served = 0
+        self._errors = 0
+        self._cache_resets = 0
+        if source_tables:
+            self._dance.register_source_tables(list(source_tables))
+        if build_offline:
+            self._dance.build_offline()
+
+    # ----------------------------------------------------------------- access
+    @property
+    def dance(self) -> DANCE:
+        """The underlying middleware (treat as read-only while serving)."""
+        return self._dance
+
+    @property
+    def join_graph(self) -> JoinGraph:
+        return self._dance.join_graph
+
+    @property
+    def seed(self) -> int:
+        """The service base seed that per-request seeds derive from."""
+        return self._seed
+
+    # ---------------------------------------------------------------- serving
+    def acquire(
+        self, request: AcquisitionRequest, *, seed: int | None = None
+    ) -> AcquisitionResult:
+        """Serve one request against the hot session state.
+
+        Bit-identical to ``DANCE.acquire`` with the same seed *and refinement
+        disabled* on a cold middleware (shared caches hold only deterministic
+        values), but a warm repeat is served almost entirely from the
+        evaluation memo.  A request that is infeasible at the current
+        sampling rate raises ``InfeasibleAcquisitionError`` instead of
+        buying more samples — refresh the session with :meth:`rebuild_offline`
+        (see the module docstring).  ``seed`` defaults to the service base
+        seed, so a repeated identical call is a repeated identical walk.
+        """
+        item = self._serve_item(
+            request, index=0, seed=self._seed if seed is None else seed
+        )
+        self._count(item)
+        return item.require_result()
+
+    def acquire_batch(
+        self, requests: Sequence[AcquisitionRequest], *, seeds: Sequence[int] | None = None
+    ) -> BatchResult:
+        """Serve a batch of requests concurrently, deterministically.
+
+        Every request gets the blake2b-derived seed of its batch *index*
+        (``seeds`` overrides them positionally), runs under the thread
+        fan-out of ``ServiceConfig.max_batch_workers``, and lands in the
+        result at its request position — so the batch outcome is
+        bit-identical to serving the same requests one at a time in order,
+        whatever the fan-out or executor.  Requests that fail (infeasible
+        constraints, unknown attributes) report their error on their
+        :class:`~repro.service.batch.ServedRequest` without affecting the
+        rest of the batch.
+        """
+        requests = list(requests)
+        if seeds is not None:
+            seeds = list(seeds)
+            if len(seeds) != len(requests):
+                raise ReproError(
+                    f"got {len(seeds)} seeds for {len(requests)} requests"
+                )
+        else:
+            seeds = [request_seed(self._seed, index) for index in range(len(requests))]
+
+        if not requests:
+            return BatchResult(items=[])
+        pool = self._ensure_request_pool()
+        if pool is None:
+            items = [
+                self._serve_item(request, index=index, seed=seeds[index])
+                for index, request in enumerate(requests)
+            ]
+        else:
+            items = list(
+                pool.map(
+                    lambda pair: self._serve_item(pair[1], index=pair[0], seed=seeds[pair[0]]),
+                    enumerate(requests),
+                )
+            )
+        batch = BatchResult(items=items)
+        with self._lock:
+            self._batches_served += 1
+        for item in items:
+            self._count(item)
+        return batch
+
+    def _serve_item(
+        self, request: AcquisitionRequest, *, index: int, seed: int
+    ) -> ServedRequest:
+        runtime = self._runtime_for(request, seed)
+        item = ServedRequest(index=index, request=request, seed=seed)
+        start = time.perf_counter()
+        try:
+            item.result = self._dance.acquire(request, runtime=runtime)
+        except ReproError as error:
+            item.error = error
+        item.elapsed_seconds = time.perf_counter() - start
+        return item
+
+    def _count(self, item: ServedRequest) -> None:
+        with self._lock:
+            self._requests_served += 1
+            if not item.ok:
+                self._errors += 1
+
+    # ------------------------------------------------------- session plumbing
+    def _runtime_for(self, request: AcquisitionRequest, seed: int) -> SearchRuntime:
+        """The session-scoped runtime of one request (caches, pool, seed)."""
+        with self._lock:
+            if self._closed:
+                raise ReproError("the acquisition service has been closed")
+            if self._dance._join_graph is None:
+                # Deferred offline phase: build it once, under the lock, so
+                # concurrent first requests cannot each buy a sample set.
+                self._dance.build_offline()
+            self._sync_locked()
+            share = self.config.service.share_caches
+            evaluation_cache = (
+                self._evaluation_cache_locked(request) if share else LockStripedCache()
+            )
+            ji_cache = self._ji_cache if share else LockStripedCache()
+            pool, pool_state = self._chain_pool_locked()
+        return SearchRuntime(
+            evaluation_cache=evaluation_cache,
+            ji_cache=ji_cache,
+            pool=pool,
+            pool_state=pool_state,
+            mcmc_seed=seed,
+            resampling=copy.deepcopy(self.config.resampling),
+            allow_refinement=False,
+        )
+
+    def _sync_locked(self) -> None:
+        """Re-derive session state after a join-graph change (caller holds the lock).
+
+        Any version bump means sample tables may have been replaced, which
+        invalidates evaluation memo entries (they were computed on the old
+        tables) and the process pool's preloaded worker state.  Structural
+        additions bump the version too: the old cache entries would still be
+        valid, but a pool preloaded without the new instance must not serve
+        graphs that contain it, and a full reset keeps the invalidation rule
+        simple and obviously correct.
+        """
+        version = self._dance.graph_version
+        if version == self._synced_version:
+            return
+        if self._synced_version is not None:
+            self._cache_resets += 1
+        self._synced_version = version
+        stripes = self.config.service.cache_stripes
+        self._ji_cache = LockStripedCache(stripes)
+        self._evaluation_caches = {}
+        self._dispose_chain_pool_locked()
+
+    def _evaluation_cache_locked(self, request: AcquisitionRequest) -> LockStripedCache:
+        """The evaluation memo of one request signature (caller holds the lock).
+
+        Evaluations depend on the source/target attribute sets (correlation is
+        measured between them), so the memo is namespaced by
+        ``(source_attributes, target_attributes)``; budgets and α/β
+        constraints are applied *to* evaluations, never baked into them, so
+        requests differing only in constraints share a namespace.
+        """
+        key = (request.source_attributes, request.target_attributes)
+        cache = self._evaluation_caches.get(key)
+        if cache is None:
+            cache = LockStripedCache(self.config.service.cache_stripes)
+            self._evaluation_caches[key] = cache
+        return cache
+
+    def _chain_pool_locked(self):
+        """The persistent executor for multi-chain walks (caller holds the lock)."""
+        mcmc = self.config.mcmc
+        if mcmc.chains <= 1 or mcmc.executor == "serial":
+            return None, None
+        if self._chain_pool is None:
+            workers = self.config.service.chain_pool_workers
+            if workers is None:
+                workers = min(mcmc.chains, 8)
+            if mcmc.executor == "process":
+                token = f"acquisition-service-{self._service_id}-v{self._synced_version}"
+                self._chain_pool, self._chain_pool_state = process_chain_pool(
+                    self._dance.join_graph,
+                    self._dance.fds,
+                    token=token,
+                    max_workers=workers,
+                )
+            else:
+                self._chain_pool = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix=f"acquisition-service-{self._service_id}-chain",
+                )
+                self._chain_pool_state = None
+        return self._chain_pool, self._chain_pool_state
+
+    def _ensure_request_pool(self) -> ThreadPoolExecutor | None:
+        with self._lock:
+            if self._closed:
+                raise ReproError("the acquisition service has been closed")
+            workers = self.config.service.max_batch_workers
+            if workers <= 1:
+                return None
+            if self._request_pool is None:
+                self._request_pool = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix=f"acquisition-service-{self._service_id}-batch",
+                )
+            return self._request_pool
+
+    def _dispose_chain_pool_locked(self) -> None:
+        if self._chain_pool is not None:
+            self._chain_pool.shutdown(wait=True)
+            self._chain_pool = None
+            self._chain_pool_state = None
+
+    # ------------------------------------------------------------- management
+    def register_source_tables(self, tables: Sequence[Table]) -> dict[str, object]:
+        """Register shopper instances on the live session (incremental refresh).
+
+        Forwards to :meth:`DANCE.register_source_tables` — pure additions
+        update the join graph in place, recomputing only the edges that touch
+        the new instances — then invalidates the session caches and pools the
+        change made stale.  Returns DANCE's refresh summary (mode, added /
+        replaced names, edge recompute count).  Must not overlap in-flight
+        requests.
+        """
+        with self._lock:
+            summary = self._dance.register_source_tables(tables)
+            if self._dance._join_graph is not None:
+                self._sync_locked()
+        return summary
+
+    def rebuild_offline(self, *, sampling_rate: float | None = None) -> JoinGraph:
+        """Re-run the offline phase (e.g. at a higher sampling rate) and resync.
+
+        The rebuild itself is incremental where possible: DANCE reuses cached
+        JI weights for instance pairs whose samples did not change (source
+        tables never change when samples are re-bought).  Must not overlap
+        in-flight requests.
+        """
+        with self._lock:
+            graph = self._dance.build_offline(sampling_rate=sampling_rate)
+            self._sync_locked()
+        return graph
+
+    def close(self) -> None:
+        """Shut down the pools.  Idempotent; the service refuses new requests after."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._dispose_chain_pool_locked()
+            if self._request_pool is not None:
+                self._request_pool.shutdown(wait=True)
+                self._request_pool = None
+
+    def __enter__(self) -> "AcquisitionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- summaries
+    def describe(self) -> dict[str, object]:
+        with self._lock:
+            evaluation_entries = sum(
+                len(cache) for cache in self._evaluation_caches.values()
+            )
+            return {
+                "seed": self._seed,
+                "requests_served": self._requests_served,
+                "batches_served": self._batches_served,
+                "errors": self._errors,
+                "cache_resets": self._cache_resets,
+                "graph_version": self._dance.graph_version,
+                "evaluation_cache_groups": len(self._evaluation_caches),
+                "evaluation_cache_entries": evaluation_entries,
+                "ji_cache_entries": 0 if self._ji_cache is None else len(self._ji_cache),
+                "chain_pool": None if self._chain_pool is None else self.config.mcmc.executor,
+                "batch_workers": self.config.service.max_batch_workers,
+                "dance": self._dance.describe(),
+            }

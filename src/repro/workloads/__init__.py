@@ -20,7 +20,12 @@ functional dependencies, and injectable inconsistency.
     A generic random "galaxy schema" generator used by property-based tests.
 """
 
-from repro.workloads.schema_spec import ColumnSpec, TableSpec, WorkloadBuilder, GeneratedWorkload
+from repro.workloads.schema_spec import (
+    ColumnSpec,
+    GeneratedWorkload,
+    TableSpec,
+    WorkloadBuilder,
+)
 from repro.workloads.tpch import tpch_workload, TPCH_TABLE_NAMES
 from repro.workloads.tpce import tpce_workload, TPCE_TABLE_NAMES
 from repro.workloads.queries import AcquisitionQuery, tpch_queries, tpce_queries

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import random
 
-from repro.workloads.schema_spec import ColumnSpec, GeneratedWorkload, TableSpec, WorkloadBuilder
+from repro.workloads.schema_spec import (
+    ColumnSpec,
+    GeneratedWorkload,
+    TableSpec,
+    WorkloadBuilder,
+)
 
 
 def random_galaxy_workload(

@@ -13,7 +13,12 @@ the row counts are laptop-scale and controlled by a ``scale`` knob.
 
 from __future__ import annotations
 
-from repro.workloads.schema_spec import ColumnSpec, GeneratedWorkload, TableSpec, WorkloadBuilder
+from repro.workloads.schema_spec import (
+    ColumnSpec,
+    GeneratedWorkload,
+    TableSpec,
+    WorkloadBuilder,
+)
 
 TPCE_TABLE_NAMES: tuple[str, ...] = (
     "exchange",

@@ -16,7 +16,12 @@ to the paper's reported target graphs.
 
 from __future__ import annotations
 
-from repro.workloads.schema_spec import ColumnSpec, GeneratedWorkload, TableSpec, WorkloadBuilder
+from repro.workloads.schema_spec import (
+    ColumnSpec,
+    GeneratedWorkload,
+    TableSpec,
+    WorkloadBuilder,
+)
 
 TPCH_TABLE_NAMES: tuple[str, ...] = (
     "region",

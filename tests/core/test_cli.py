@@ -108,3 +108,65 @@ class TestExportGraphCommand:
         assert code == 0
         assert json_path.exists()
         assert dot_path.read_text().startswith("graph")
+
+
+class TestBatchCommand:
+    def write_requests(self, tmp_path, specs):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(specs))
+        return str(path)
+
+    def test_batch_of_queries_and_explicit_attributes(self, tmp_path, capsys):
+        path = self.write_requests(
+            tmp_path,
+            [
+                {"query": "Q1", "budget": 1000},
+                {"source": ["totalprice"], "target": ["rname"], "budget": 1000},
+            ],
+        )
+        assert main(["batch", path, "--batch-workers", "2", *BASE_ARGS]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["service"]["requests"] == 2
+        assert payload["service"]["errors"] == 0
+        assert [item["index"] for item in payload["results"]] == [0, 1]
+        assert all(item["ok"] for item in payload["results"])
+        assert "estimated_correlation" in json.dumps(payload["results"][0])
+
+    def test_batch_matches_serial_acquire(self, tmp_path, capsys):
+        """Request 0 keeps the base seed, so it matches `acquire --query Q1`."""
+        path = self.write_requests(tmp_path, [{"query": "Q1", "budget": 1000}])
+        assert main(["batch", path, *BASE_ARGS]) == 0
+        batch_payload = json.loads(capsys.readouterr().out)
+        assert main(["acquire", "--query", "Q1", "--budget", "1000", "--json", *BASE_ARGS]) == 0
+        acquire_payload = json.loads(capsys.readouterr().out)
+        batch_result = batch_payload["results"][0]["result"]
+        assert (
+            batch_result["estimated_correlation"]
+            == acquire_payload["estimated_correlation"]
+        )
+        assert batch_result["queries"] == acquire_payload["queries"]
+
+    def test_failed_requests_reported_with_nonzero_exit(self, tmp_path, capsys):
+        path = self.write_requests(
+            tmp_path,
+            [
+                {"query": "Q1", "budget": 1000},
+                {"source": [], "target": ["no_such_attr"], "budget": 10},
+            ],
+        )
+        assert main(["batch", path, *BASE_ARGS]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["service"]["errors"] == 1
+        assert payload["results"][1]["ok"] is False
+        assert "error" in payload["results"][1]
+
+    def test_rejects_malformed_request_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["batch", str(path), *BASE_ARGS]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_rejects_unknown_query_name(self, tmp_path, capsys):
+        path = self.write_requests(tmp_path, [{"query": "Q9", "budget": 10}])
+        assert main(["batch", path, *BASE_ARGS]) == 1
+        assert "unknown query" in capsys.readouterr().err

@@ -142,7 +142,9 @@ class TestEvaluation:
         assert evaluation.join_rows == 40
 
     def test_satisfies_constraints(self):
-        evaluation = TargetGraphEvaluation(correlation=2.0, quality=0.8, weight=1.0, price=10.0)
+        evaluation = TargetGraphEvaluation(
+            correlation=2.0, quality=0.8, weight=1.0, price=10.0
+        )
         assert evaluation.satisfies(max_weight=1.5, min_quality=0.5, budget=10.0)
         assert not evaluation.satisfies(max_weight=0.5)
         assert not evaluation.satisfies(min_quality=0.9)

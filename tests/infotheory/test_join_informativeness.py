@@ -83,7 +83,9 @@ class TestJoinInformativeness:
         good_pair = Table.from_rows(
             "good", ["age", "pop"], [("[35,40]", 1), ("[20,25]", 2), ("[55,60]", 3)]
         )
-        assert join_informativeness(detail, aggregate) > join_informativeness(detail, good_pair)
+        assert join_informativeness(detail, aggregate) > join_informativeness(
+            detail, good_pair
+        )
 
     def test_explicit_join_attributes(self):
         # on j: all left rows match the single right "a" row -> JI 0

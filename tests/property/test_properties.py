@@ -86,8 +86,14 @@ class TestEntropyProperties:
         x, y = pair
         assert 0.0 <= join_informativeness_from_pairs(x, y) <= 1.0
 
-    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=2, max_size=40),
-           st.lists(symbols, min_size=2, max_size=40))
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        ),
+        st.lists(symbols, min_size=2, max_size=40),
+    )
     def test_conditional_cumulative_entropy_not_exceeding_marginal(self, xs, ys):
         n = min(len(xs), len(ys))
         xs, ys = xs[:n], ys[:n]
@@ -122,7 +128,11 @@ class TestJoinProperties:
         inner = inner_join(left, right)
         outer = full_outer_join(left, right)
         assert len(outer) >= len(inner)
-        assert len(outer) >= max(len(left), len(right)) - 1e-9 if (left_rows or right_rows) else True
+        assert (
+            len(outer) >= max(len(left), len(right)) - 1e-9
+            if (left_rows or right_rows)
+            else True
+        )
 
     @given(table_rows, table_rows)
     @settings(max_examples=40)
@@ -140,7 +150,11 @@ class TestJoinProperties:
 
 # ------------------------------------------------------------------- sampling
 class TestSamplingProperties:
-    @given(table_rows, st.floats(min_value=0.1, max_value=1.0), st.integers(min_value=0, max_value=5))
+    @given(
+        table_rows,
+        st.floats(min_value=0.1, max_value=1.0),
+        st.integers(min_value=0, max_value=5),
+    )
     @settings(max_examples=40)
     def test_sample_is_subset_of_table(self, rows, rate, seed):
         table = Table.from_rows("t", ["k", "a"], rows)

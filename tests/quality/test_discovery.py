@@ -69,6 +69,8 @@ class TestDiscovery:
 
 class TestCountPerTable:
     def test_counts(self, employee_table, zip_table):
-        counts = count_afds_per_table([employee_table, zip_table], max_violation=0.0, max_lhs_size=1)
+        counts = count_afds_per_table(
+            [employee_table, zip_table], max_violation=0.0, max_lhs_size=1
+        )
         assert set(counts) == {"employees", "d1_zip"}
         assert counts["employees"] > 0

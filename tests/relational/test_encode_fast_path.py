@@ -1,0 +1,139 @@
+"""Property tests for the vectorised dictionary-encoding fast path.
+
+``_encode_numpy`` must be bit-identical to the reference dict loop
+(``_encode_python``) wherever it applies — same codes, same first-occurrence
+value order, same python value types — and must decline (return ``None``)
+whenever the two could disagree (mixed types, bools, ``None``, NaN,
+beyond-int64 ints, tuples, strings).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import backend
+from repro.relational.table import Table, _encode, _encode_numpy, _encode_python
+
+pytestmark = pytest.mark.skipif(
+    not backend.numpy_available(), reason="numpy is not installed"
+)
+
+
+@pytest.fixture(autouse=True)
+def numpy_backend():
+    with backend.use_backend("numpy"):
+        yield
+
+
+def as_list(codes) -> list[int]:
+    return codes.tolist() if backend.is_array(codes) else list(codes)
+
+
+def assert_bit_identical(values) -> None:
+    reference = _encode_python(values)
+    encoded = _encode(values)
+    assert as_list(encoded.codes) == as_list(reference.codes)
+    assert encoded.values == reference.values
+    assert list(map(type, encoded.values)) == list(map(type, reference.values))
+
+
+class TestParityProperties:
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62)))
+    @settings(max_examples=200, deadline=None)
+    def test_int_columns(self, values):
+        assert_bit_identical(values)
+
+    @given(st.lists(st.integers(min_value=-20, max_value=20)))
+    @settings(max_examples=100, deadline=None)
+    def test_dense_int_columns_use_the_bucket_path(self, values):
+        assert_bit_identical(values)
+        if values:
+            assert _encode_numpy(values) is not None
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=True, width=64),
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_float_columns(self, values):
+        assert_bit_identical(values)
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=-100, max_value=100),
+                st.floats(allow_nan=True),
+                st.text(max_size=4),
+                st.booleans(),
+                st.none(),
+                st.tuples(st.integers(), st.integers()),
+            )
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_mixed_columns(self, values):
+        """The dispatcher always matches the reference, fast path or not."""
+        assert_bit_identical(values)
+
+
+class TestFastPathScope:
+    def test_declines_bools(self):
+        assert _encode_numpy([True, False, True]) is None
+
+    def test_declines_bool_contaminated_ints(self):
+        assert _encode_numpy([True, 1, 2]) is None
+
+    def test_declines_nan(self):
+        assert _encode_numpy([float("nan"), 1.0]) is None
+
+    def test_declines_none(self):
+        assert _encode_numpy([None, 1]) is None
+
+    def test_declines_strings(self):
+        assert _encode_numpy(["a", "b"]) is None
+
+    def test_declines_beyond_int64(self):
+        assert _encode_numpy([2**70, 1]) is None
+
+    def test_declines_empty(self):
+        assert _encode_numpy([]) is None
+
+    def test_handles_negative_zero_like_the_dict_loop(self):
+        assert_bit_identical([-0.0, 0.0, 1.0, -0.0])
+
+    def test_wide_ints_use_the_sort_path(self):
+        values = [10**12, -(10**12), 10**12, 0]
+        assert _encode_numpy(values) is not None
+        assert_bit_identical(values)
+
+    def test_python_backend_keeps_the_dict_loop_container(self):
+        with backend.use_backend("python"):
+            encoding = _encode([1, 2, 1])
+        assert isinstance(encoding.codes, list)
+
+
+class TestTableIntegration:
+    def test_table_encoding_matches_across_backends(self):
+        rows = [(i % 7, float(i % 5) / 2, f"s{i % 3}") for i in range(200)]
+        with backend.use_backend("python"):
+            python_table = Table.from_rows("t", ["k", "v", "s"], rows)
+            python_encodings = {
+                name: (
+                    as_list(python_table.encoded(name).codes),
+                    python_table.encoded(name).values,
+                )
+                for name in ("k", "v", "s")
+            }
+        numpy_table = Table.from_rows("t", ["k", "v", "s"], rows)
+        for name in ("k", "v", "s"):
+            encoding = numpy_table.encoded(name)
+            assert (as_list(encoding.codes), encoding.values) == python_encodings[name]
+
+    def test_key_entropy_identical_across_paths(self):
+        rows = [(i % 7, i % 4) for i in range(500)]
+        with backend.use_backend("python"):
+            reference = Table.from_rows("t", ["a", "b"], rows).key_entropy(["a", "b"])
+        assert Table.from_rows("t", ["a", "b"], rows).key_entropy(["a", "b"]) == reference

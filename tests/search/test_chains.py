@@ -375,3 +375,120 @@ class TestHeuristicIntegration:
         assert (
             result.best_evaluation.correlation >= single.best_evaluation.correlation
         )
+
+
+class TestPersistentPools:
+    """External executor pools: reused across runs, never shut down, bit-identical."""
+
+    def run_with_pool(self, setup, *, executor, pool, pool_state=None, seed=0):
+        join_graph, initial, tables, fds = setup
+        scheduler = ChainScheduler(
+            chains=3, executor=executor, pool=pool, pool_state=pool_state
+        )
+        return scheduler.run(
+            join_graph,
+            initial,
+            tables,
+            ["measure"],
+            ["label"],
+            fds,
+            budget=1e9,
+            config=MCMCConfig(iterations=40, seed=seed),
+        )
+
+    def test_external_thread_pool_is_reused_and_bit_identical(self, setup):
+        from concurrent.futures import ThreadPoolExecutor
+
+        reference = run_multi(setup, chains=3, executor="thread", iterations=40)
+        pool = ThreadPoolExecutor(max_workers=3)
+        try:
+            first = self.run_with_pool(setup, executor="thread", pool=pool)
+            second = self.run_with_pool(setup, executor="thread", pool=pool)
+        finally:
+            pool.shutdown()
+        assert first.chain_correlations == reference.chain_correlations
+        assert second.chain_correlations == reference.chain_correlations
+
+    def test_external_process_pool_with_light_payloads(self, setup):
+        from repro.search.chains import process_chain_pool
+
+        join_graph, _, tables, fds = setup
+        reference = run_multi(setup, chains=3, executor="process", iterations=40)
+        pool, state = process_chain_pool(
+            join_graph, fds, token="test-pool", max_workers=2
+        )
+        try:
+            assert state.covers(join_graph, tables, fds)
+            first = self.run_with_pool(
+                setup, executor="process", pool=pool, pool_state=state
+            )
+            second = self.run_with_pool(
+                setup, executor="process", pool=pool, pool_state=state
+            )
+        finally:
+            pool.shutdown()
+        assert first.chain_correlations == reference.chain_correlations
+        assert second.chain_correlations == reference.chain_correlations
+
+    def test_stale_pool_state_falls_back_to_full_payloads(self, setup):
+        from repro.search.chains import process_chain_pool
+
+        join_graph, _, tables, fds = setup
+        reference = run_multi(setup, chains=3, executor="process", iterations=40)
+        other_graph = JoinGraph(
+            [tables["facts"], tables["dims"]], source_instances=["facts"]
+        )
+        pool, state = process_chain_pool(
+            other_graph, fds, token="stale-pool", max_workers=2
+        )
+        try:
+            # The state covers a different graph object: heavy payloads go out,
+            # the preloaded worker state is ignored, results stay identical.
+            assert not state.covers(join_graph, tables, fds)
+            result = self.run_with_pool(
+                setup, executor="process", pool=pool, pool_state=state
+            )
+        finally:
+            pool.shutdown()
+        assert result.chain_correlations == reference.chain_correlations
+
+    def test_in_place_graph_mutation_invalidates_coverage(self, setup):
+        """Identity alone cannot detect add_instance; the revision counter must."""
+        from repro.search.chains import process_chain_pool
+
+        join_graph, _, tables, fds = setup
+        pool, state = process_chain_pool(
+            join_graph, fds, token="mutation-pool", max_workers=2
+        )
+        try:
+            assert state.covers(join_graph, tables, fds)
+            extra = Table.from_rows(
+                "extra", ["bad_key", "bonus"], [(i % 3, float(i)) for i in range(6)]
+            )
+            join_graph.add_instance(extra)
+            # Same object, but mutated: workers hold a pre-mutation pickle, so
+            # light payloads must be refused...
+            assert not state.covers(join_graph, tables, fds)
+            # ...and the run still works (and stays correct) via full payloads.
+            result = self.run_with_pool(
+                setup, executor="process", pool=pool, pool_state=state
+            )
+        finally:
+            pool.shutdown()
+        reference = run_multi(setup, chains=3, executor="process", iterations=40)
+        assert result.chain_correlations == reference.chain_correlations
+
+    def test_state_does_not_cover_foreign_tables(self, setup):
+        from repro.search.chains import process_chain_pool
+
+        join_graph, _, tables, fds = setup
+        pool, state = process_chain_pool(
+            join_graph, fds, token="cover-pool", max_workers=1
+        )
+        pool.shutdown()
+        foreign = {
+            name: Table.from_rows(name, table.schema, list(table.iter_rows()))
+            for name, table in tables.items()
+        }
+        assert not state.covers(join_graph, foreign, fds)
+        assert not state.covers(join_graph, tables, [])

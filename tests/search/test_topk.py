@@ -40,7 +40,9 @@ class TestScoreWeights:
         weights = ScoreWeights(
             correlation_weight=2.0, quality_weight=1.0, weight_penalty=1.0, price_penalty=1.0
         )
-        evaluation = TargetGraphEvaluation(correlation=3.0, quality=0.5, weight=1.0, price=10.0)
+        evaluation = TargetGraphEvaluation(
+            correlation=3.0, quality=0.5, weight=1.0, price=10.0
+        )
         score = weights.score(evaluation, budget=20.0, max_weight=2.0)
         assert score == pytest.approx(2.0 * 3.0 + 0.5 - 1.0 * 0.5 - 1.0 * 0.5)
 

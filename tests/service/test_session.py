@@ -1,0 +1,257 @@
+"""Tests for the long-lived acquisition service (``repro.service``).
+
+The contracts under test: a served request is bit-identical to a one-shot
+``DANCE.acquire`` with the same seed; warm repeats are served from the shared
+caches; session state is invalidated exactly when the join graph changes; and
+failures stay per-request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DanceConfig, ServiceConfig
+from repro.core.dance import DANCE
+from repro.exceptions import InfeasibleAcquisitionError, ReproError
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.pricing.models import EntropyPricingModel
+from repro.relational.table import Table
+from repro.search.chains import chain_seed
+from repro.search.mcmc import MCMCConfig
+from repro.service import AcquisitionService, request_seed
+
+
+def small_marketplace() -> Marketplace:
+    pricing = EntropyPricingModel()
+    marketplace = Marketplace(default_pricing=pricing)
+    facts = Table.from_rows(
+        "facts",
+        ["good_key", "bad_key", "measure"],
+        [(i % 10, i % 3, float(i % 8) * 10 + i % 3) for i in range(64)],
+    )
+    dims = Table.from_rows(
+        "dims",
+        ["good_key", "bad_key", "label"],
+        [(i, i % 2, f"lbl{i}") for i in range(8)],
+    )
+    extra = Table.from_rows(
+        "extra",
+        ["bad_key", "bonus"],
+        [(i % 3, float(i)) for i in range(12)],
+    )
+    for table in (facts, dims, extra):
+        marketplace.host(MarketplaceDataset(table=table, pricing=pricing))
+    return marketplace
+
+
+def config(**service_kwargs) -> DanceConfig:
+    return DanceConfig(
+        sampling_rate=1.0,
+        mcmc=MCMCConfig(iterations=40, seed=0),
+        service=ServiceConfig(**service_kwargs),
+    )
+
+
+REQUEST = AcquisitionRequest(
+    source_attributes=["measure"], target_attributes=["label"], budget=1e9
+)
+
+
+class TestRequestSeed:
+    def test_request_zero_keeps_base_seed(self):
+        assert request_seed(7, 0) == 7
+
+    def test_same_recipe_as_chain_seeds(self):
+        assert request_seed(7, 3) == chain_seed(7, 3)
+
+    def test_distinct_across_indices(self):
+        seeds = [request_seed(0, index) for index in range(32)]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestSingleRequest:
+    def test_matches_one_shot_dance_with_same_seed(self):
+        with AcquisitionService(small_marketplace(), config()) as service:
+            served = service.acquire(REQUEST)
+        dance = DANCE(small_marketplace(), config())
+        dance.build_offline()
+        one_shot = dance.acquire(REQUEST)
+        assert served.estimated_correlation == one_shot.estimated_correlation
+        assert served.sql() == one_shot.sql()
+
+    def test_warm_repeat_hits_the_shared_caches(self):
+        with AcquisitionService(small_marketplace(), config()) as service:
+            cold = service.acquire(REQUEST)
+            assert cold.mcmc_cache_hit_rate < 1.0
+            warm = service.acquire(REQUEST)
+            assert warm.mcmc_cache_hit_rate == 1.0
+            assert warm.estimated_correlation == cold.estimated_correlation
+            assert warm.sql() == cold.sql()
+
+    def test_seed_override_is_deterministic(self):
+        with AcquisitionService(small_marketplace(), config()) as service:
+            other = service.acquire(REQUEST, seed=request_seed(0, 5))
+            again = service.acquire(REQUEST, seed=request_seed(0, 5))
+        assert other.estimated_correlation == again.estimated_correlation
+        assert other.sql() == again.sql()
+
+    def test_share_caches_off_still_deterministic(self):
+        with AcquisitionService(
+            small_marketplace(), config(share_caches=False)
+        ) as service:
+            first = service.acquire(REQUEST)
+            second = service.acquire(REQUEST)
+        assert first.estimated_correlation == second.estimated_correlation
+
+
+class TestBatch:
+    def test_batch_results_in_request_order_with_derived_seeds(self):
+        requests = [REQUEST, REQUEST.with_budget(1e8), REQUEST]
+        with AcquisitionService(small_marketplace(), config()) as service:
+            batch = service.acquire_batch(requests)
+        assert [item.index for item in batch] == [0, 1, 2]
+        assert [item.seed for item in batch] == [request_seed(0, i) for i in range(3)]
+        assert batch.ok
+        assert all(item.elapsed_seconds >= 0.0 for item in batch)
+
+    def test_empty_batch(self):
+        with AcquisitionService(small_marketplace(), config()) as service:
+            batch = service.acquire_batch([])
+        assert len(batch) == 0
+        assert batch.ok
+
+    def test_failures_stay_per_request(self):
+        bad = AcquisitionRequest(
+            source_attributes=["measure"],
+            target_attributes=["no_such_attribute"],
+            budget=1e9,
+        )
+        with AcquisitionService(small_marketplace(), config()) as service:
+            batch = service.acquire_batch([REQUEST, bad, REQUEST])
+        assert batch[0].ok and batch[2].ok
+        assert not batch[1].ok
+        assert isinstance(batch[1].error, InfeasibleAcquisitionError)
+        assert not batch.ok
+        assert [item.index for item in batch.errors()] == [1]
+        with pytest.raises(InfeasibleAcquisitionError):
+            batch[1].require_result()
+
+    def test_explicit_seeds_override_derivation(self):
+        with AcquisitionService(small_marketplace(), config()) as service:
+            batch = service.acquire_batch([REQUEST, REQUEST], seeds=[11, 11])
+            assert (
+                batch[0].result.estimated_correlation
+                == batch[1].result.estimated_correlation
+            )
+            with pytest.raises(ReproError):
+                service.acquire_batch([REQUEST], seeds=[1, 2])
+
+    def test_summary_is_json_friendly(self):
+        import json
+
+        with AcquisitionService(small_marketplace(), config()) as service:
+            batch = service.acquire_batch([REQUEST])
+        payload = json.dumps(batch.summary(), default=str)
+        assert "estimated_correlation" in payload
+
+
+class TestSessionLifecycle:
+    def test_refinement_is_disabled_for_served_requests(self):
+        """An infeasible request must error, not mutate the shared session."""
+        impossible = AcquisitionRequest(
+            source_attributes=["measure"], target_attributes=["label"], budget=0.0
+        )
+        marketplace = small_marketplace()
+        with AcquisitionService(marketplace, config()) as service:
+            cost_before = service.dance.sample_cost
+            batch = service.acquire_batch([impossible])
+            assert not batch[0].ok
+            assert service.dance.sample_cost == cost_before
+
+    def test_register_source_tables_refreshes_incrementally(self):
+        with AcquisitionService(small_marketplace(), config()) as service:
+            service.acquire(REQUEST)
+            graph = service.join_graph
+            source = Table.from_rows(
+                "myshop", ["bad_key", "score"], [(i % 3, i) for i in range(9)]
+            )
+            summary = service.register_source_tables([source])
+            assert summary["mode"] == "incremental"
+            assert service.join_graph is graph  # updated in place, not rebuilt
+            touching = [
+                edge
+                for edge in service.join_graph.edges()
+                if "myshop" in (edge.left, edge.right)
+            ]
+            assert summary["edge_recomputes"] == len(touching)
+            # The new source participates in subsequent requests.
+            widened = AcquisitionRequest(
+                source_attributes=["score"], target_attributes=["label"], budget=1e9
+            )
+            assert service.acquire(widened).estimated_correlation is not None
+
+    def test_graph_change_resets_session_caches(self):
+        with AcquisitionService(small_marketplace(), config()) as service:
+            service.acquire(REQUEST)
+            assert service.describe()["evaluation_cache_entries"] > 0
+            service.rebuild_offline(sampling_rate=1.0)
+            description = service.describe()
+            assert description["evaluation_cache_entries"] == 0
+            assert description["cache_resets"] == 1
+            # And the service still serves correctly after the reset.
+            assert service.acquire(REQUEST).mcmc_cache_hit_rate < 1.0
+
+    def test_close_is_idempotent_and_final(self):
+        service = AcquisitionService(small_marketplace(), config())
+        service.acquire(REQUEST)
+        service.close()
+        service.close()
+        with pytest.raises(ReproError):
+            service.acquire(REQUEST)
+        with pytest.raises(ReproError):
+            service.acquire_batch([REQUEST])
+
+    def test_deferred_offline_phase_builds_on_first_request(self):
+        service = AcquisitionService(
+            small_marketplace(), config(), build_offline=False
+        )
+        try:
+            result = service.acquire(REQUEST)
+            assert result.estimated_correlation == pytest.approx(
+                result.estimated_correlation
+            )
+        finally:
+            service.close()
+
+    def test_describe_counts_requests(self):
+        with AcquisitionService(small_marketplace(), config()) as service:
+            service.acquire(REQUEST)
+            service.acquire_batch([REQUEST, REQUEST])
+            description = service.describe()
+        assert description["requests_served"] == 3
+        assert description["batches_served"] == 1
+        assert description["errors"] == 0
+        assert description["ji_cache_entries"] > 0
+
+
+class TestServiceConfigValidation:
+    def test_rejects_bad_batch_workers(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(max_batch_workers=0)
+
+    def test_rejects_bad_chain_pool_workers(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(chain_pool_workers=0)
+
+    def test_rejects_bad_stripes(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(cache_stripes=0)
+
+    def test_service_seed_defaults_to_mcmc_seed(self):
+        marketplace = small_marketplace()
+        with AcquisitionService(
+            marketplace, DanceConfig(sampling_rate=1.0, mcmc=MCMCConfig(seed=123))
+        ) as service:
+            assert service.seed == 123

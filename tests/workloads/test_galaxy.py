@@ -41,7 +41,9 @@ class TestGalaxyWorkload:
             assert workload.fds[name]
 
     def test_dirty_rate_creates_dirty_variants(self):
-        workload = random_galaxy_workload(num_tables=4, rows_per_table=60, seed=1, dirty_rate=0.3)
+        workload = random_galaxy_workload(
+            num_tables=4, rows_per_table=60, seed=1, dirty_rate=0.3
+        )
         assert workload.dirty_tables
 
     def test_deterministic(self):

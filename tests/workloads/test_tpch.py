@@ -52,7 +52,9 @@ class TestStructure:
 
     def test_bridge_attribute_toggle(self):
         with_bridge = tpch_workload(scale=0.05, dirty_rate=0.0)
-        without_bridge = tpch_workload(scale=0.05, dirty_rate=0.0, include_bridge_attribute=False)
+        without_bridge = tpch_workload(
+            scale=0.05, dirty_rate=0.0, include_bridge_attribute=False
+        )
         assert "h_segment" in with_bridge.table("customer").schema
         assert "h_segment" not in without_bridge.table("customer").schema
         assert "h_segment" not in without_bridge.table("supplier").schema
