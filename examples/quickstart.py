@@ -58,11 +58,14 @@ def main() -> None:
 
     # ------------------------------------------------------------- online phase
     print("\nSubmitting the acquisition request "
-          "(source: totalprice, target: rname, budget 60)...")
+          "(source: totalprice, target: rname, budget 100)...")
+    # The budget leaves headroom over the sample-based price estimate: full
+    # tables carry more entropy than their samples, so the billed price of
+    # the recommended projections runs above the estimate.
     request = AcquisitionRequest(
         source_attributes=["totalprice"],
         target_attributes=["rname"],
-        budget=60.0,
+        budget=100.0,
         max_join_informativeness=4.0,
         min_quality=0.0,
     )

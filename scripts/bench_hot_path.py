@@ -20,7 +20,9 @@ whose ``"executors"`` map holds the per-executor timings (with a computed
 ``executor_parity`` flag).  ``--service`` additionally appends a
 service-mode entry (``repro/service``): cold vs. warm request latency through
 one long-lived ``AcquisitionService`` plus a concurrent batch, parity-checked
-against the cold run.  ``--scale`` / ``--iterations`` / ``--sampling-rate``
+against the cold run, with the warm request measured both with and without
+the session's Step-1 memo (``step1_memo_speedup``) and the service's latency
+percentiles recorded.  ``--scale`` / ``--iterations`` / ``--sampling-rate``
 shrink the scenario for smoke runs (e.g. in CI).  Run with::
 
     PYTHONPATH=src python scripts/bench_hot_path.py [--output BENCH_hotpath.json]
@@ -154,21 +156,31 @@ def bench_service(workload, args: argparse.Namespace) -> dict[str, object]:
     The *cold* number is the first ``acquire()`` of Q1 on a fresh session
     (empty caches, pools not yet spun up); the *warm* number repeats the
     identical request against the now-hot session — same seed, bit-identical
-    result, served almost entirely from the shared evaluation memo.  The
-    batch number serves all queries concurrently through the batch API.
+    result, served almost entirely from the shared evaluation memo and the
+    Step-1 memo (which skips the landmark/Steiner search).  The same
+    cold/warm pair is measured again with the Step-1 memo disabled
+    (``ServiceConfig(step1_memo=False)``) to isolate its contribution; the
+    two services must agree bit-for-bit.  The batch number serves all
+    queries concurrently through the batch API; the service's latency
+    percentiles are recorded alongside.
     """
     marketplace = _marketplace_for(workload)
     executor = args.executor if args.executor != "all" else "thread"
-    config = DanceConfig(
-        sampling_rate=args.sampling_rate,
-        mcmc=MCMCConfig(
-            iterations=args.iterations, seed=0, chains=args.chains, executor=executor
-        ),
-        service=ServiceConfig(max_batch_workers=4),
-    )
+
+    def service_config(step1_memo: bool) -> DanceConfig:
+        return DanceConfig(
+            sampling_rate=args.sampling_rate,
+            mcmc=MCMCConfig(
+                iterations=args.iterations, seed=0, chains=args.chains, executor=executor
+            ),
+            service=ServiceConfig(max_batch_workers=4, step1_memo=step1_memo),
+        )
+
     requests = _requests_for(workload)
     results: dict[str, object] = {}
-    with AcquisitionService(marketplace, config, build_offline=False) as service:
+    with AcquisitionService(
+        marketplace, service_config(step1_memo=True), build_offline=False
+    ) as service:
         start = time.perf_counter()
         service.dance.build_offline()
         results["offline_seconds"] = time.perf_counter() - start
@@ -176,14 +188,15 @@ def bench_service(workload, args: argparse.Namespace) -> dict[str, object]:
         start = time.perf_counter()
         cold = service.acquire(requests[0])
         cold_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        warm = service.acquire(requests[0])
-        warm_seconds = time.perf_counter() - start
+        # Warm repeats are all served from the session caches, so best-of
+        # timing just removes scheduler noise from the small numbers.
+        warm, warm_seconds = _best_of(JOIN_REPEATS, service.acquire, requests[0])
 
         start = time.perf_counter()
         batch = service.acquire_batch(requests)
         batch_seconds = time.perf_counter() - start
 
+        metrics = service.metrics()
         results.update(
             {
                 "cold_request_seconds": cold_seconds,
@@ -200,8 +213,33 @@ def bench_service(workload, args: argparse.Namespace) -> dict[str, object]:
                     item.result.estimated_correlation if item.ok else None
                     for item in batch
                 ],
+                "step1_memo": metrics["step1_memo"],
+                "latency_p50_seconds": metrics["latency"]["p50_seconds"],
+                "latency_p95_seconds": metrics["latency"]["p95_seconds"],
+                "latency_p99_seconds": metrics["latency"]["p99_seconds"],
             }
         )
+
+    # Same warm request with the Step-1 memo off: isolates how much of the
+    # warm-path win comes from skipping the landmark/Steiner search.
+    with AcquisitionService(
+        _marketplace_for(workload), service_config(step1_memo=False)
+    ) as service:
+        cold_off = service.acquire(requests[0])
+        warm_off, warm_off_seconds = _best_of(JOIN_REPEATS, service.acquire, requests[0])
+    results.update(
+        {
+            "warm_request_seconds_memo_off": warm_off_seconds,
+            "step1_memo_speedup": (
+                warm_off_seconds / warm_seconds if warm_seconds else None
+            ),
+            "step1_memo_parity": (
+                warm_off.estimated_correlation == warm.estimated_correlation
+                and cold_off.estimated_correlation == cold.estimated_correlation
+                and warm_off.sql() == warm.sql()
+            ),
+        }
+    )
     return results
 
 

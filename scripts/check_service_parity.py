@@ -7,15 +7,23 @@ per-request seeds — and replays the same requests as serial one-at-a-time
 ``DANCE.acquire()`` calls with the same seeds on a cold middleware.  The two
 must agree bit-for-bit on every recommendation (target graph, correlation,
 quality, weight, price, SQL).  A warm repeat of the batch must agree with the
-cold one too.
+cold one too (and, via the session's Step-1 memo, skip the landmark/Steiner
+search while doing so).
+
+``--queue`` additionally runs the admission-saturation smoke: a bounded queue
+under the ``block`` policy must serve the identical batch (backpressure never
+changes results), and a saturated queue under ``reject`` must shed requests
+with ``AdmissionRejectedError`` while leaving every *served* request
+bit-identical — then recover fully once the queue drains.
 
 Used by the CI ``service-smoke`` job.  Run locally with::
 
-    PYTHONPATH=src python scripts/check_service_parity.py
+    PYTHONPATH=src python scripts/check_service_parity.py [--queue]
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from pathlib import Path
 
@@ -65,7 +73,86 @@ def fingerprint(result) -> tuple:
     )
 
 
+def check_queue(workload, requests, reference_prints) -> int:
+    """The admission-saturation smoke (``--queue``)."""
+    from repro.exceptions import AdmissionRejectedError
+
+    failures = 0
+
+    # Block policy: a queue bound smaller than the batch back-pressures the
+    # submitter but must serve the identical batch.
+    config = DanceConfig(
+        sampling_rate=SAMPLING_RATE,
+        mcmc=MCMCConfig(iterations=ITERATIONS, seed=0),
+        service=ServiceConfig(
+            max_batch_workers=BATCH_WORKERS, max_queue_depth=1, admission="block"
+        ),
+    )
+    with AcquisitionService(build_marketplace(workload), config) as service:
+        bounded = service.acquire_batch(requests)
+        queue = service.metrics()["queue"]
+    if not bounded.ok:
+        failures += 1
+        print("FAIL[queue]: bounded block-policy batch reported errors")
+    elif [fingerprint(item.result) for item in bounded] != reference_prints:
+        failures += 1
+        print("MISMATCH[queue]: block-policy bounded batch differs from unbounded")
+    if queue["rejected"] != 0 or queue["admitted"] != len(requests):
+        failures += 1
+        print(f"FAIL[queue]: unexpected block-policy counters: {queue}")
+
+    # Reject policy: saturate the queue (hold its only slot), shed the whole
+    # batch, then drain and verify full recovery with bit-identical results.
+    config = DanceConfig(
+        sampling_rate=SAMPLING_RATE,
+        mcmc=MCMCConfig(iterations=ITERATIONS, seed=0),
+        service=ServiceConfig(
+            max_batch_workers=BATCH_WORKERS, max_queue_depth=1, admission="reject"
+        ),
+    )
+    with AcquisitionService(build_marketplace(workload), config) as service:
+        service._admission.admit()  # occupy the single slot
+        try:
+            shed = service.acquire_batch(requests)
+        finally:
+            service._admission.release()
+        if shed.ok or any(item.ok for item in shed):
+            failures += 1
+            print("FAIL[queue]: saturated reject-policy batch served requests")
+        if not all(isinstance(item.error, AdmissionRejectedError) for item in shed):
+            failures += 1
+            print("FAIL[queue]: shed requests did not report AdmissionRejectedError")
+        # Drained queue: serial requests admit one at a time, so none can be
+        # shed, and each must reproduce the unbounded batch bit-for-bit.
+        recovered_prints = [
+            fingerprint(service.acquire(request, seed=request_seed(0, index)))
+            for index, request in enumerate(requests)
+        ]
+        rejected = service.metrics()["queue"]["rejected"]
+    if recovered_prints != reference_prints:
+        failures += 1
+        print("MISMATCH[queue]: post-saturation requests differ from unbounded batch")
+    if rejected != len(requests):
+        failures += 1
+        print(f"FAIL[queue]: expected {len(requests)} rejections, counted {rejected}")
+
+    if not failures:
+        print(
+            f"OK[queue]: block policy bit-identical under depth 1; reject policy "
+            f"shed {len(requests)} and recovered bit-identically"
+        )
+    return failures
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--queue",
+        action="store_true",
+        help="additionally run the admission-saturation smoke (block + reject policies)",
+    )
+    args = parser.parse_args()
+
     workload = tpch_workload(scale=SCALE, seed=0)
     requests = [
         AcquisitionRequest(
@@ -84,6 +171,7 @@ def main() -> int:
     with AcquisitionService(build_marketplace(workload), config) as service:
         cold = service.acquire_batch(requests)
         warm = service.acquire_batch(requests)
+        step1 = service.metrics()["step1_memo"]
     if not cold.ok:
         print(f"FAIL: batch reported errors: {[str(i.error) for i in cold.errors()]}")
         return 1
@@ -105,6 +193,15 @@ def main() -> int:
     if warm_prints != cold_prints:
         failures += 1
         print("MISMATCH: warm batch differs from cold batch")
+    if step1["hits"] < len(requests):
+        failures += 1
+        print(
+            f"FAIL: warm repeat did not hit the Step-1 memo "
+            f"(expected >= {len(requests)} hits, got {step1})"
+        )
+
+    if args.queue:
+        failures += check_queue(workload, requests, cold_prints)
 
     if failures:
         print(f"\n{failures} service-parity failure(s)")
@@ -112,7 +209,8 @@ def main() -> int:
     correlations = [fp[2] for fp in cold_prints]
     print(
         f"OK: batch of {len(requests)} (x{BATCH_WORKERS} workers, warm repeat) "
-        f"bit-identical to serial DANCE.acquire: correlations={correlations}"
+        f"bit-identical to serial DANCE.acquire: correlations={correlations}; "
+        f"step1 memo hits={step1['hits']}"
     )
     return 0
 

@@ -15,8 +15,14 @@ shell without writing Python:
 ``repro-dance batch``
     Serve a JSON file of acquisition requests through one long-lived
     :class:`~repro.service.AcquisitionService` — one offline phase, shared
-    caches, concurrent execution with deterministic per-request seeds — and
-    print one summary per request.
+    caches, concurrent execution with deterministic per-request seeds,
+    bounded admission (``--queue-depth`` / ``--admission``) — and print one
+    summary per request plus the service metrics.
+
+``repro-dance metrics``
+    Serve requests the same way but print only the operational metrics dump:
+    latency histogram with p50/p95/p99, cache hit-rate trend, queue
+    depth/rejection counters, Step-1 memo accounting.
 
 ``repro-dance export-graph``
     Build the join graph from samples and export it to JSON and/or DOT.
@@ -195,15 +201,15 @@ def _parse_batch_requests(path: Path, workload) -> list[AcquisitionRequest]:
                 budget=float(spec.get("budget", 100.0)),
                 max_join_informativeness=float(spec.get("alpha", float("inf"))),
                 min_quality=float(spec.get("beta", 0.0)),
+                shopper=spec.get("shopper"),
             )
         )
     return requests
 
 
-def cmd_batch(args: argparse.Namespace) -> int:
-    marketplace, workload = _build_marketplace(args.workload, args.scale, args.seed)
-    requests = _parse_batch_requests(args.requests, workload)
-    config = DanceConfig(
+def _service_config(args: argparse.Namespace) -> DanceConfig:
+    """The service-mode configuration shared by ``batch`` and ``metrics``."""
+    return DanceConfig(
         sampling_rate=args.sampling_rate,
         mcmc=MCMCConfig(
             iterations=args.mcmc_iterations,
@@ -215,21 +221,63 @@ def cmd_batch(args: argparse.Namespace) -> int:
         service=ServiceConfig(
             seed=args.service_seed,
             max_batch_workers=args.batch_workers,
+            max_queue_depth=args.queue_depth,
+            admission=args.admission,
         ),
     )
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    marketplace, workload = _build_marketplace(args.workload, args.scale, args.seed)
+    requests = _parse_batch_requests(args.requests, workload)
+    config = _service_config(args)
     with AcquisitionService(marketplace, config) as service:
         batch = service.acquire_batch(requests)
+        metrics = service.metrics()
         payload = {
             "service": {
                 "seed": service.seed,
                 "batch_workers": config.service.max_batch_workers,
+                "queue_depth": config.service.max_queue_depth,
+                "admission": config.service.admission,
                 "requests": len(requests),
                 "errors": len(batch.errors()),
+                "rejected": metrics["queue"]["rejected"],
+                "latency_p50_seconds": metrics["latency"]["p50_seconds"],
+                "latency_p95_seconds": metrics["latency"]["p95_seconds"],
             },
             "results": batch.summary(),
+            "metrics": metrics,
         }
     print(json.dumps(payload, indent=2, default=str))
     return 0 if batch.ok else 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Serve requests through one service and dump only the metrics."""
+    marketplace, workload = _build_marketplace(args.workload, args.scale, args.seed)
+    if args.requests is not None:
+        batches = [_parse_batch_requests(args.requests, workload)]
+    else:
+        # Default traffic: the predefined workload queries as one batch,
+        # served twice — the repeat reuses the per-index seeds, so the dump
+        # shows warm-path behaviour (hit-rate trend up, Step-1 memo hits).
+        base = [
+            AcquisitionRequest(
+                source_attributes=list(query.source_attributes),
+                target_attributes=list(query.target_attributes),
+                budget=args.budget,
+            )
+            for query in queries_for(workload).values()
+        ]
+        batches = [base, base]
+    config = _service_config(args)
+    with AcquisitionService(marketplace, config) as service:
+        outcomes = [service.acquire_batch(batch) for batch in batches]
+        payload = service.metrics()
+    print(json.dumps(payload, indent=2, default=str))
+    # Same contract as `batch`: non-zero exit when any request failed.
+    return 0 if all(outcome.ok for outcome in outcomes) else 1
 
 
 def cmd_export_graph(args: argparse.Namespace) -> int:
@@ -287,6 +335,32 @@ def build_parser() -> argparse.ArgumentParser:
     acquire.add_argument("--json", action="store_true")
     acquire.set_defaults(func=cmd_acquire)
 
+    def add_service_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--batch-workers",
+            type=int,
+            default=4,
+            help="how many requests execute concurrently (results are identical either way)",
+        )
+        sub.add_argument(
+            "--service-seed",
+            type=int,
+            default=None,
+            help="service base seed for per-request seed derivation (default: --seed)",
+        )
+        sub.add_argument(
+            "--queue-depth",
+            type=int,
+            default=None,
+            help="bound on admitted (queued + executing) requests; default: unbounded",
+        )
+        sub.add_argument(
+            "--admission",
+            choices=("block", "reject"),
+            default="block",
+            help="full-queue policy: block the submitter or reject the request",
+        )
+
     batch = subparsers.add_parser(
         "batch", help="serve a JSON file of requests through one acquisition service"
     )
@@ -296,21 +370,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         help="JSON file holding a list of request objects "
         '({"query": "Q1", "budget": 100} or {"source": [...], "target": [...], '
-        '"budget": 100, "alpha": ..., "beta": ...})',
+        '"budget": 100, "alpha": ..., "beta": ..., "shopper": "alice"})',
     )
-    batch.add_argument(
-        "--batch-workers",
-        type=int,
-        default=4,
-        help="how many requests execute concurrently (results are identical either way)",
-    )
-    batch.add_argument(
-        "--service-seed",
-        type=int,
-        default=None,
-        help="service base seed for per-request seed derivation (default: --seed)",
-    )
+    add_service_options(batch)
     batch.set_defaults(func=cmd_batch)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="serve requests through one acquisition service and dump its metrics",
+    )
+    add_common(metrics)
+    metrics.add_argument(
+        "requests",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="optional JSON request file (default: the predefined workload queries, twice)",
+    )
+    metrics.add_argument(
+        "--budget", type=float, default=100.0, help="budget of the default requests"
+    )
+    add_service_options(metrics)
+    metrics.set_defaults(func=cmd_metrics)
 
     export = subparsers.add_parser("export-graph", help="export the join graph")
     add_common(export)

@@ -36,6 +36,25 @@ class ServiceConfig:
     cache_stripes:
         Lock striping of the shared caches (see
         :class:`repro.search.chains.LockStripedCache`).
+    max_queue_depth:
+        Bound on how many requests may be admitted (queued + executing) at
+        once.  ``None`` (the default) admits everything — the pre-traffic-layer
+        behaviour.  Admission never changes a served request's result, only
+        whether/when it runs.
+    admission:
+        What happens to a request arriving at a full queue: ``"block"``
+        (default) applies backpressure — the submitting caller waits for a
+        slot; ``"reject"`` sheds load — the request fails immediately with
+        :class:`~repro.exceptions.AdmissionRejectedError` (raised by
+        ``acquire``, recorded on the batch item by ``acquire_batch``).
+    metrics_window:
+        Size of the sliding window behind the service metrics (latency
+        percentiles, cache hit-rate trend; see :mod:`repro.service.metrics`).
+    step1_memo:
+        Whether the service memoises Step 1 (``minimal_weight_igraphs``) per
+        ``(terminal set, alpha, num_landmarks, landmark seed, graph
+        version)`` so warm requests skip the landmark/Steiner search.  On by
+        default; results are bit-identical either way.
     """
 
     seed: int | None = None
@@ -43,6 +62,10 @@ class ServiceConfig:
     chain_pool_workers: int | None = None
     share_caches: bool = True
     cache_stripes: int = 16
+    max_queue_depth: int | None = None
+    admission: str = "block"
+    metrics_window: int = 256
+    step1_memo: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch_workers < 1:
@@ -55,6 +78,19 @@ class ServiceConfig:
             )
         if self.cache_stripes < 1:
             raise ReproError(f"cache_stripes must be >= 1, got {self.cache_stripes}")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ReproError(
+                f"max_queue_depth must be >= 1 (or None for unbounded), "
+                f"got {self.max_queue_depth}"
+            )
+        if self.admission not in ("block", "reject"):
+            raise ReproError(
+                f"admission must be 'block' or 'reject', got {self.admission!r}"
+            )
+        if self.metrics_window < 1:
+            raise ReproError(
+                f"metrics_window must be >= 1, got {self.metrics_window}"
+            )
 
 
 @dataclass

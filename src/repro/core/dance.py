@@ -18,6 +18,7 @@ from repro.core.config import DanceConfig
 from repro.core.result import AcquisitionResult, queries_for_target_graph
 from repro.exceptions import InfeasibleAcquisitionError
 from repro.graph.join_graph import JoinGraph
+from repro.graph.landmarks import derive_landmark_seed
 from repro.marketplace.market import Marketplace
 from repro.marketplace.shopper import AcquisitionRequest
 from repro.quality.discovery import discover_afds
@@ -306,10 +307,13 @@ class DANCE:
             min_quality=request.min_quality,
             num_landmarks=self.config.num_landmarks,
             mcmc_config=mcmc_config,
-            rng=seed,
+            # Landmark selection gets its own blake2b-derived stream so Step 1
+            # never replays the MCMC proposal draws seeded from the same base.
+            landmark_seed=derive_landmark_seed(seed),
             intermediate_hook=resampling if resampling.enabled else None,
             evaluation_cache=runtime.evaluation_cache,
             ji_cache=runtime.ji_cache,
+            step1_cache=runtime.step1_cache,
             pool=runtime.pool,
             pool_state=runtime.pool_state,
         )

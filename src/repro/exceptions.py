@@ -56,6 +56,10 @@ class GraphConstructionError(ReproError):
     """The join graph cannot be constructed from the given samples."""
 
 
+class AdmissionRejectedError(ReproError):
+    """The service's bounded admission queue is full and the policy is ``reject``."""
+
+
 class SearchError(ReproError):
     """The online search cannot run with the provided request."""
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.graph.join_graph import JoinGraph
+from repro.graph.landmarks import derive_landmark_seed
 from repro.marketplace.dataset import MarketplaceDataset
 from repro.marketplace.market import Marketplace
 from repro.pricing.models import EntropyPricingModel, PricingModel
@@ -105,7 +106,10 @@ class ExperimentSetup:
             min_quality=min_quality,
             max_igraphs=4,
             mcmc_config=self.mcmc_config,
-            rng=self.mcmc_config.seed,
+            # The same landmark-seed derivation as DANCE._search_once, so the
+            # experiment harness and the middleware pick identical landmarks
+            # (and the landmark stream never replays the proposal stream).
+            landmark_seed=derive_landmark_seed(self.mcmc_config.seed),
             intermediate_hook=intermediate_hook,
         )
 

@@ -18,7 +18,12 @@
 from repro.graph.lattice import AttributeSetLattice
 from repro.graph.join_graph import JoinGraph, IEdge
 from repro.graph.target import TargetGraph, TargetGraphEvaluation, enumerate_covering_sets
-from repro.graph.landmarks import LandmarkIndex
+from repro.graph.landmarks import (
+    LandmarkIndex,
+    canonical_landmark_seed,
+    derive_landmark_seed,
+    resolve_landmark_seed,
+)
 from repro.graph.steiner import minimal_weight_igraph, minimal_weight_igraphs
 from repro.graph.export import (
     join_graph_to_dict,
@@ -39,6 +44,9 @@ __all__ = [
     "TargetGraphEvaluation",
     "enumerate_covering_sets",
     "LandmarkIndex",
+    "canonical_landmark_seed",
+    "derive_landmark_seed",
+    "resolve_landmark_seed",
     "minimal_weight_igraph",
     "minimal_weight_igraphs",
 ]

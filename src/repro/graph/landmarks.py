@@ -11,6 +11,7 @@ time logarithmic in the number of vertices (just a minimum over landmarks).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Sequence
 
@@ -19,29 +20,91 @@ import networkx as nx
 from repro.exceptions import SearchError
 
 
+def canonical_landmark_seed(rng: int | None) -> int:
+    """Normalize Step-1 randomness to an explicit integer landmark seed.
+
+    Step 1's output must depend only on declared inputs — the memoisation key
+    of the acquisition service is ``(terminal set, alpha, num_landmarks,
+    landmark seed, graph version)``.  A caller-owned mutable
+    ``random.Random`` breaks that: the landmarks drawn would depend on every
+    prior draw from the shared stream, so such values are rejected rather
+    than silently consumed.  ``None`` maps to the documented default seed 0.
+    """
+    if rng is None:
+        return 0
+    if isinstance(rng, random.Random):
+        raise SearchError(
+            "Step 1 takes an integer landmark seed, not a mutable random.Random: "
+            "a shared stream would make the landmark choice depend on prior draws"
+        )
+    if isinstance(rng, int):
+        return rng
+    raise SearchError(f"landmark seed must be an int or None, got {type(rng).__name__}")
+
+
+def resolve_landmark_seed(rng: int | None, landmark_seed: int | None) -> int:
+    """Resolve the two seed keywords of a Step-1 entry point to one integer.
+
+    Every layer that accepts both the explicit ``landmark_seed`` and the
+    legacy ``rng`` keyword (``LandmarkIndex``, ``minimal_weight_igraphs``,
+    ``heuristic_acquisition``) applies this single rule: the two are mutually
+    exclusive, and ``rng`` is normalized through
+    :func:`canonical_landmark_seed`.
+    """
+    if landmark_seed is not None and rng is not None:
+        raise SearchError("pass either landmark_seed or rng, not both")
+    if landmark_seed is None:
+        return canonical_landmark_seed(rng)
+    return landmark_seed
+
+
+def derive_landmark_seed(base_seed: int) -> int:
+    """The canonical landmark seed derived from a search base seed.
+
+    Domain-tagged blake2b, the same recipe as
+    :func:`repro.search.chains.chain_seed` /
+    :func:`repro.service.batch.request_seed` — stable across processes and
+    Python versions, and independent of the MCMC proposal stream seeded from
+    the same base (two fresh ``random.Random(seed)`` instances would replay
+    identical draws).
+    """
+    digest = hashlib.blake2b(
+        f"landmarks:{base_seed}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
 class LandmarkIndex:
-    """Pre-computed shortest paths from every vertex to a set of landmark vertices."""
+    """Pre-computed shortest paths from every vertex to a set of landmark vertices.
+
+    Landmark selection is seeded by ``landmark_seed`` (an explicit integer;
+    the legacy ``rng`` keyword accepts an int or ``None`` and is normalized
+    through :func:`canonical_landmark_seed`), so the index depends only on
+    ``(graph, num_landmarks, landmark_seed)``.
+    """
 
     def __init__(
         self,
         graph: nx.Graph,
         *,
         num_landmarks: int = 4,
-        rng: random.Random | int | None = None,
+        rng: int | None = None,
+        landmark_seed: int | None = None,
         weight: str = "weight",
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise SearchError("cannot build a landmark index on an empty graph")
         if num_landmarks < 1:
             raise SearchError(f"num_landmarks must be >= 1, got {num_landmarks}")
-        if isinstance(rng, int) or rng is None:
-            rng = random.Random(0 if rng is None else rng)
+        self.landmark_seed = landmark_seed = resolve_landmark_seed(rng, landmark_seed)
 
         self._graph = graph
         self._weight = weight
         nodes = sorted(graph.nodes)
         k = min(num_landmarks, len(nodes))
-        self.landmarks: tuple[str, ...] = tuple(rng.sample(nodes, k))
+        self.landmarks: tuple[str, ...] = tuple(
+            random.Random(landmark_seed).sample(nodes, k)
+        )
 
         # distances[l][v] and paths[l][v]: shortest path from landmark l to v.
         self._distances: dict[str, dict[str, float]] = {}

@@ -10,7 +10,6 @@ feasible target graph and the search reports infeasibility.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -18,7 +17,7 @@ import networkx as nx
 
 from repro.exceptions import InfeasibleAcquisitionError, SearchError
 from repro.graph.join_graph import JoinGraph
-from repro.graph.landmarks import LandmarkIndex
+from repro.graph.landmarks import LandmarkIndex, resolve_landmark_seed
 
 
 @dataclass(frozen=True)
@@ -61,7 +60,8 @@ def minimal_weight_igraphs(
     *,
     num_landmarks: int = 4,
     max_weight: float = float("inf"),
-    rng: random.Random | int | None = None,
+    rng: int | None = None,
+    landmark_seed: int | None = None,
 ) -> list[IGraph]:
     """Find candidate minimal-weight I-layer subgraphs containing all terminals.
 
@@ -71,6 +71,14 @@ def minimal_weight_igraphs(
     returned ordered by total weight (lightest first), de-duplicated by vertex
     set.  Step 2 of the online search explores the AS-layer of the lightest
     few of these.
+
+    The result is a pure function of ``(terminal set, max_weight,
+    num_landmarks, landmark_seed, join graph)`` — landmark selection is seeded
+    by the explicit ``landmark_seed`` (the legacy ``rng`` keyword accepts an
+    int or ``None``, normalized through
+    :func:`repro.graph.landmarks.canonical_landmark_seed`; a mutable
+    ``random.Random`` is rejected).  This purity is what lets the acquisition
+    service memoise Step 1 across warm requests.
 
     Raises
     ------
@@ -83,13 +91,14 @@ def minimal_weight_igraphs(
     unknown = [name for name in terminal_instances if name not in join_graph]
     if unknown:
         raise SearchError(f"terminal instances not in the join graph: {unknown}")
+    landmark_seed = resolve_landmark_seed(rng, landmark_seed)
 
     graph = join_graph.igraph
     terminals = sorted(set(terminal_instances))
     if len(terminals) == 1:
         return [IGraph((terminals[0],), (), 0.0)]
 
-    index = LandmarkIndex(graph, num_landmarks=num_landmarks, rng=rng)
+    index = LandmarkIndex(graph, num_landmarks=num_landmarks, landmark_seed=landmark_seed)
 
     candidates: dict[tuple[str, ...], IGraph] = {}
     candidate_landmarks = list(index.landmarks)
@@ -144,7 +153,8 @@ def minimal_weight_igraph(
     *,
     num_landmarks: int = 4,
     max_weight: float = float("inf"),
-    rng: random.Random | int | None = None,
+    rng: int | None = None,
+    landmark_seed: int | None = None,
 ) -> IGraph:
     """The single lightest I-graph (see :func:`minimal_weight_igraphs`)."""
     return minimal_weight_igraphs(
@@ -153,6 +163,7 @@ def minimal_weight_igraph(
         num_landmarks=num_landmarks,
         max_weight=max_weight,
         rng=rng,
+        landmark_seed=landmark_seed,
     )[0]
 
 

@@ -28,6 +28,11 @@ class AcquisitionRequest:
         ``alpha`` — upper bound on the total JI weight of the target graph.
     min_quality:
         ``beta`` — lower bound on the quality of the joined result.
+    shopper:
+        Optional identity of the submitting shopper.  The acquisition
+        service's batch API uses it for round-robin admission fairness (one
+        shopper's burst cannot starve another's requests); it never affects
+        the search itself.
     """
 
     source_attributes: tuple[str, ...]
@@ -35,6 +40,7 @@ class AcquisitionRequest:
     budget: float
     max_join_informativeness: float = float("inf")
     min_quality: float = 0.0
+    shopper: str | None = None
 
     def __init__(
         self,
@@ -43,6 +49,7 @@ class AcquisitionRequest:
         budget: float,
         max_join_informativeness: float = float("inf"),
         min_quality: float = 0.0,
+        shopper: str | None = None,
     ) -> None:
         if not target_attributes:
             raise SearchError("an acquisition request needs at least one target attribute")
@@ -57,6 +64,7 @@ class AcquisitionRequest:
         object.__setattr__(self, "budget", float(budget))
         object.__setattr__(self, "max_join_informativeness", float(max_join_informativeness))
         object.__setattr__(self, "min_quality", float(min_quality))
+        object.__setattr__(self, "shopper", shopper)
 
     def with_budget(self, budget: float) -> "AcquisitionRequest":
         """The same request under a different budget (used by budget-ratio sweeps)."""
@@ -66,6 +74,7 @@ class AcquisitionRequest:
             budget,
             self.max_join_informativeness,
             self.min_quality,
+            self.shopper,
         )
 
 
@@ -115,6 +124,7 @@ class DataShopper:
             budget=self.budget.remaining,
             max_join_informativeness=max_join_informativeness,
             min_quality=min_quality,
+            shopper=self.name,
         )
 
     def purchase(

@@ -8,12 +8,12 @@ evaluation, and the I-graph size (the quantity reported in Figure 5(b)).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Mapping, MutableMapping, Sequence
 
 from repro.exceptions import InfeasibleAcquisitionError, SearchError
 from repro.graph.join_graph import JoinGraph
+from repro.graph.landmarks import resolve_landmark_seed
 from repro.graph.steiner import IGraph, minimal_weight_igraphs
 from repro.graph.target import TargetGraph, TargetGraphEvaluation
 from repro.quality.fd import FunctionalDependency
@@ -41,9 +41,17 @@ class SearchRuntime:
     ``pool`` / ``pool_state``
         A persistent executor serving every multi-chain ``mcmc_search`` call
         (see :class:`~repro.search.chains.ChainScheduler`).
+    ``step1_cache``
+        Session-scoped memo for Step 1 (``minimal_weight_igraphs``), keyed on
+        ``(terminal set, alpha, num_landmarks, landmark seed, graph
+        revision)``.  Step 1 is a pure function of that key, so warm requests
+        skip the landmark/Steiner search entirely; the service invalidates
+        the memo off ``DANCE.graph_version`` like its other caches.
     ``mcmc_seed``
-        Overrides the configured MCMC base seed (and the landmark-selection
-        seed) for this request — the service derives one per batch index.
+        Overrides the configured MCMC base seed for this request — the
+        service derives one per batch index.  The landmark-selection seed is
+        blake2b-derived from it
+        (:func:`repro.graph.landmarks.derive_landmark_seed`).
     ``resampling``
         A private re-sampling policy instance replacing the shared
         ``DanceConfig.resampling`` (whose ``reset()`` is a mutation unsafe
@@ -57,6 +65,7 @@ class SearchRuntime:
 
     evaluation_cache: MutableMapping | None = None
     ji_cache: MutableMapping | None = None
+    step1_cache: MutableMapping | None = None
     pool: object | None = None
     pool_state: ChainPoolState | None = None
     mcmc_seed: int | None = None
@@ -110,10 +119,12 @@ def heuristic_acquisition(
     max_igraphs: int = 3,
     mcmc_config: MCMCConfig | None = None,
     evaluation_tables: Mapping[str, Table] | None = None,
-    rng: random.Random | int | None = None,
+    rng: int | None = None,
+    landmark_seed: int | None = None,
     intermediate_hook=None,
     evaluation_cache: MutableMapping | None = None,
     ji_cache: MutableMapping | None = None,
+    step1_cache: MutableMapping | None = None,
     pool=None,
     pool_state: ChainPoolState | None = None,
 ) -> HeuristicResult:
@@ -146,8 +157,13 @@ def heuristic_acquisition(
     evaluation_tables:
         Tables to evaluate candidates on; defaults to the samples inside the
         join graph (the normal DANCE setting).
-    rng:
-        Randomness for landmark selection.
+    rng / landmark_seed:
+        The landmark-selection seed of Step 1.  ``landmark_seed`` is the
+        explicit integer form; the legacy ``rng`` keyword accepts an int or
+        ``None`` and is normalized through
+        :func:`repro.graph.landmarks.canonical_landmark_seed` (mutable
+        ``random.Random`` streams are rejected — Step-1 output must depend
+        only on declared inputs).
     intermediate_hook:
         Optional correlated re-sampling hook applied to intermediate joins.
     evaluation_cache / ji_cache:
@@ -155,6 +171,12 @@ def heuristic_acquisition(
         I-graphs of this request (previously each I-graph's walk started
         cold).  A long-lived caller can keep them across requests too — see
         :class:`SearchRuntime` for the validity contract.
+    step1_cache:
+        Optional externally-owned memo for Step 1's candidate I-graphs, keyed
+        on ``(terminal set, max_weight, num_landmarks, landmark seed, graph
+        revision)`` — all of Step 1's declared inputs — so a warm request
+        skips the landmark/Steiner search entirely.  Only successful
+        candidate lists are memoised; infeasibility always re-raises fresh.
     pool / pool_state:
         Optional persistent executor (plus process-pool state) serving every
         multi-chain ``mcmc_search`` call instead of a fresh pool per call.
@@ -179,13 +201,34 @@ def heuristic_acquisition(
     if not terminals:
         raise InfeasibleAcquisitionError("no instance covers the requested attributes")
 
-    igraphs = minimal_weight_igraphs(
-        join_graph,
-        terminals,
-        num_landmarks=num_landmarks,
-        max_weight=max_weight,
-        rng=rng,
-    )[: max(1, max_igraphs)]
+    landmark_seed = resolve_landmark_seed(rng, landmark_seed)
+    step1_key = None
+    candidates: tuple[IGraph, ...] | None = None
+    if step1_cache is not None:
+        # Every declared input of Step 1; the graph dimension is covered by the
+        # revision counter (in-place mutation) plus the owner invalidating the
+        # whole memo on DANCE.graph_version bumps (graph replacement).
+        step1_key = (
+            tuple(sorted(set(terminals))),
+            float(max_weight),
+            num_landmarks,
+            landmark_seed,
+            join_graph.revision,
+        )
+        candidates = step1_cache.get(step1_key)
+    if candidates is None:
+        candidates = tuple(
+            minimal_weight_igraphs(
+                join_graph,
+                terminals,
+                num_landmarks=num_landmarks,
+                max_weight=max_weight,
+                landmark_seed=landmark_seed,
+            )
+        )
+        if step1_cache is not None:
+            step1_cache[step1_key] = candidates
+    igraphs = list(candidates)[: max(1, max_igraphs)]
 
     best_result: HeuristicResult | None = None
     fallback_result: HeuristicResult | None = None

@@ -18,7 +18,6 @@ that extension on top of the existing search machinery:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -114,7 +113,7 @@ def top_k_acquisition(
     mcmc_config: MCMCConfig | None = None,
     restarts: int = 3,
     evaluation_tables: Mapping[str, Table] | None = None,
-    rng: random.Random | int | None = None,
+    rng: int | None = None,
 ) -> list[RankedOption]:
     """Return up to ``k`` feasible acquisition options ranked by score.
 

@@ -17,18 +17,35 @@ the online phase into a long-lived *session*:
     Deterministic per-request seed derivation (blake2b, the chain-seed
     recipe) and the result types of a batch.
 
+:class:`AdmissionQueue` / :func:`fair_order` (:mod:`repro.service.admission`)
+    The traffic layer: a bounded admission queue with block/reject
+    backpressure and per-shopper round-robin submission fairness.
+
+:class:`ServiceMetrics` / :class:`LatencyHistogram` (:mod:`repro.service.metrics`)
+    Per-request latency percentiles, cache hit-rate trends over a sliding
+    window, and the counting cache behind the Step-1 memo.
+
 Determinism contract: a batch of N requests is bit-identical to the same N
 requests served one at a time — shared caches hold only deterministic values,
 per-request seeds depend only on ``(service seed, batch index)``, and result
-ordering follows request order, never completion order.
+ordering follows request order, never completion order.  Admission, fairness
+and the Step-1 memo decide whether/when/how cheaply a request runs, never
+what it computes.
 """
 
+from repro.service.admission import AdmissionQueue, fair_order
 from repro.service.batch import BatchResult, ServedRequest, request_seed
+from repro.service.metrics import CountingCache, LatencyHistogram, ServiceMetrics
 from repro.service.session import AcquisitionService
 
 __all__ = [
     "AcquisitionService",
+    "AdmissionQueue",
     "BatchResult",
+    "CountingCache",
+    "LatencyHistogram",
     "ServedRequest",
+    "ServiceMetrics",
+    "fair_order",
     "request_seed",
 ]

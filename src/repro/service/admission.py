@@ -1,0 +1,133 @@
+"""Bounded request admission for the acquisition service (the traffic layer).
+
+The service's batch API fans requests out over a thread pool; without a bound,
+a burst of requests lands entirely in the executor's unbounded internal queue
+and the service has no way to shed or slow load.  :class:`AdmissionQueue`
+bounds how many requests may be *admitted* — queued or executing — at once,
+with two policies for a full queue:
+
+``block``
+    Backpressure: the submitting caller waits until a slot frees.  Every
+    request is eventually served, so a bounded blocked batch is bit-identical
+    to an unbounded one.
+``reject``
+    Load shedding: the request fails immediately with
+    :class:`~repro.exceptions.AdmissionRejectedError`.  Which requests are
+    shed under overload depends on timing by nature; the requests that *are*
+    served remain bit-identical to serial execution (their seeds derive from
+    the batch index, never from admission order).
+
+:func:`fair_order` supplies the second half of the traffic layer: round-robin
+interleaving of a batch across its shoppers, so one shopper's 50-request burst
+cannot starve another shopper's 2 requests behind it in the batch.  Fairness
+only permutes *submission* order — seeds and result positions follow the
+original request index, so the batch outcome stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Sequence
+
+from repro.exceptions import ReproError
+
+
+class AdmissionQueue:
+    """A counting gate over admitted (queued + executing) requests.
+
+    ``max_depth=None`` means unbounded — every ``admit`` succeeds — but the
+    traffic counters are still maintained, so the metrics surface does not
+    depend on whether a bound is configured.  All methods are thread-safe.
+    """
+
+    def __init__(self, max_depth: int | None = None, policy: str = "block") -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ReproError(f"max_depth must be >= 1 or None, got {max_depth}")
+        if policy not in ("block", "reject"):
+            raise ReproError(f"policy must be 'block' or 'reject', got {policy!r}")
+        self.max_depth = max_depth
+        self.policy = policy
+        self._slot_freed = threading.Condition(threading.Lock())
+        self._depth = 0
+        self._peak_depth = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._blocked_seconds = 0.0
+
+    def admit(self) -> bool:
+        """Take one slot.  Returns ``False`` iff the queue is full under ``reject``.
+
+        Under ``block`` this waits (backpressure on the submitter) until a
+        slot frees, so it only ever returns ``True``.
+        """
+        with self._slot_freed:
+            if self.max_depth is not None and self._depth >= self.max_depth:
+                if self.policy == "reject":
+                    self._rejected += 1
+                    return False
+                start = time.perf_counter()
+                while self._depth >= self.max_depth:
+                    self._slot_freed.wait()
+                self._blocked_seconds += time.perf_counter() - start
+            self._depth += 1
+            self._admitted += 1
+            self._peak_depth = max(self._peak_depth, self._depth)
+            return True
+
+    def release(self) -> None:
+        """Free the slot of a finished request."""
+        with self._slot_freed:
+            if self._depth <= 0:
+                raise ReproError("release() without a matching admit()")
+            self._depth -= 1
+            self._slot_freed.notify()
+
+    @property
+    def depth(self) -> int:
+        """Currently admitted (queued + executing) requests."""
+        with self._slot_freed:
+            return self._depth
+
+    def snapshot(self) -> dict[str, object]:
+        with self._slot_freed:
+            return {
+                "max_depth": self.max_depth,
+                "policy": self.policy,
+                "depth": self._depth,
+                "peak_depth": self._peak_depth,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "blocked_seconds": self._blocked_seconds,
+            }
+
+
+def fair_order(shoppers: Sequence[str | None]) -> list[int]:
+    """Round-robin submission order of a batch across its shoppers.
+
+    Groups the batch indices by shopper (``None`` is one group of its own,
+    covering anonymous requests) and interleaves the groups round-robin,
+    preserving each shopper's internal order.  Groups rotate in order of
+    first appearance, so the result is a pure function of the input:
+
+    >>> fair_order(["a", "a", "a", "b", "b"])
+    [0, 3, 1, 4, 2]
+
+    A batch with at most one distinct shopper keeps its original order.
+    """
+    groups: dict[str | None, deque[int]] = {}
+    for index, shopper in enumerate(shoppers):
+        groups.setdefault(shopper, deque()).append(index)
+    if len(groups) <= 1:
+        return list(range(len(shoppers)))
+    order: list[int] = []
+    queues = list(groups.values())
+    while queues:
+        remaining = []
+        for queue in queues:
+            order.append(queue.popleft())
+            if queue:
+                remaining.append(queue)
+        queues = remaining
+    return order

@@ -46,9 +46,20 @@ class ServedRequest:
         return self.result is not None
 
     def require_result(self) -> AcquisitionResult:
-        if self.result is None:
-            raise self.error or ReproError(f"request {self.index} produced no result")
-        return self.result
+        if self.result is not None:
+            return self.result
+        if self.error is None:
+            raise ReproError(f"request {self.index} produced no result")
+        # Never re-raise the stored exception object: raising mutates its
+        # __traceback__, so two callers across threads would race on one
+        # shared traceback chain.  Raise a fresh instance of the same
+        # ReproError subclass (callers keep catching the specific type),
+        # chained to the stored original.
+        try:
+            fresh = type(self.error)(str(self.error))
+        except TypeError:
+            fresh = ReproError(str(self.error))
+        raise fresh from self.error
 
     def summary(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -57,6 +68,8 @@ class ServedRequest:
             "ok": self.ok,
             "elapsed_seconds": self.elapsed_seconds,
         }
+        if self.request.shopper is not None:
+            payload["shopper"] = self.request.shopper
         if self.result is not None:
             payload["result"] = self.result.summary()
         if self.error is not None:

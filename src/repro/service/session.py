@@ -22,6 +22,25 @@ keeps one marketplace *hot* instead:
   a list of requests under a thread fan-out with deterministic per-request
   seeds (:func:`~repro.service.batch.request_seed`), returning results
   bit-identical to serving the requests one at a time.
+* **Bounded admission.**  Every request passes the service's
+  :class:`~repro.service.admission.AdmissionQueue` before it reaches a worker
+  (``ServiceConfig(max_queue_depth=, admission=)``): a full queue either
+  blocks the submitter (backpressure) or sheds the request
+  (:class:`~repro.exceptions.AdmissionRejectedError`).  Batches are submitted
+  in per-shopper round-robin order (:func:`~repro.service.admission.fair_order`)
+  so one shopper's burst cannot starve another's requests.  Admission only
+  decides whether/when a request runs — never what it computes.
+* **Step-1 memo.**  ``minimal_weight_igraphs`` is a pure function of
+  ``(terminal set, alpha, num_landmarks, landmark seed, graph version)``, so
+  the service memoises it per that key
+  (``ServiceConfig(step1_memo=True)``); warm requests skip the
+  landmark/Steiner search entirely.  Invalidated off ``graph_version`` like
+  the other session caches.
+* **Metrics.**  Per-request latency histograms with p50/p95/p99, the
+  evaluation-cache hit-rate trend over a sliding window, queue
+  depth/rejection counters and an in-flight gauge
+  (:mod:`repro.service.metrics`), surfaced through :meth:`describe` /
+  :meth:`metrics`, the CLI ``metrics`` command and the ``batch`` summary.
 * **Incremental refresh.**  :meth:`register_source_tables` updates the join
   graph through DANCE's incremental path (only edges touching changed
   instances are recomputed) and invalidates exactly the session state the
@@ -52,7 +71,7 @@ from typing import Mapping, Sequence
 from repro.core.config import DanceConfig
 from repro.core.dance import DANCE
 from repro.core.result import AcquisitionResult
-from repro.exceptions import ReproError
+from repro.exceptions import AdmissionRejectedError, ReproError
 from repro.graph.join_graph import JoinGraph
 from repro.marketplace.market import Marketplace
 from repro.marketplace.shopper import AcquisitionRequest
@@ -64,7 +83,9 @@ from repro.search.chains import (
     LockStripedCache,
     process_chain_pool,
 )
+from repro.service.admission import AdmissionQueue, fair_order
 from repro.service.batch import BatchResult, ServedRequest, request_seed
+from repro.service.metrics import CountingCache, ServiceMetrics
 
 _SERVICE_COUNTER = itertools.count()
 
@@ -115,13 +136,19 @@ class AcquisitionService:
         self._synced_version: int | None = None
         self._ji_cache: LockStripedCache | None = None
         self._evaluation_caches: dict[tuple, LockStripedCache] = {}
+        self._step1_memo: CountingCache | None = None
         self._chain_pool = None
         self._chain_pool_state: ChainPoolState | None = None
         self._request_pool: ThreadPoolExecutor | None = None
         self._requests_served = 0
         self._batches_served = 0
         self._errors = 0
+        self._in_flight = 0
         self._cache_resets = 0
+        self._admission = AdmissionQueue(
+            service_config.max_queue_depth, service_config.admission
+        )
+        self._metrics = ServiceMetrics(window=service_config.metrics_window)
         if source_tables:
             self._dance.register_source_tables(list(source_tables))
         if build_offline:
@@ -151,15 +178,28 @@ class AcquisitionService:
         Bit-identical to ``DANCE.acquire`` with the same seed *and refinement
         disabled* on a cold middleware (shared caches hold only deterministic
         values), but a warm repeat is served almost entirely from the
-        evaluation memo.  A request that is infeasible at the current
-        sampling rate raises ``InfeasibleAcquisitionError`` instead of
-        buying more samples — refresh the session with :meth:`rebuild_offline`
-        (see the module docstring).  ``seed`` defaults to the service base
-        seed, so a repeated identical call is a repeated identical walk.
+        evaluation memo (and skips Step 1 via the session's Step-1 memo).  A
+        request that is infeasible at the current sampling rate raises
+        ``InfeasibleAcquisitionError`` instead of buying more samples —
+        refresh the session with :meth:`rebuild_offline` (see the module
+        docstring).  ``seed`` defaults to the service base seed, so a
+        repeated identical call is a repeated identical walk.
+
+        Raises :class:`~repro.exceptions.AdmissionRejectedError` when the
+        admission queue is full under the ``reject`` policy; under ``block``
+        the call waits for a slot instead.
         """
-        item = self._serve_item(
-            request, index=0, seed=self._seed if seed is None else seed
-        )
+        if not self._admission.admit():
+            raise AdmissionRejectedError(
+                "admission queue is full "
+                f"(max_queue_depth={self.config.service.max_queue_depth})"
+            )
+        try:
+            item = self._serve_item(
+                request, index=0, seed=self._seed if seed is None else seed
+            )
+        finally:
+            self._admission.release()
         self._count(item)
         return item.require_result()
 
@@ -177,6 +217,16 @@ class AcquisitionService:
         constraints, unknown attributes) report their error on their
         :class:`~repro.service.batch.ServedRequest` without affecting the
         rest of the batch.
+
+        Requests are *submitted* in per-shopper round-robin order
+        (:func:`~repro.service.admission.fair_order` over
+        ``request.shopper``), and each submission passes the bounded
+        admission queue first: under the ``block`` policy a full queue
+        back-pressures this call, under ``reject`` the overflowing item
+        fails with :class:`~repro.exceptions.AdmissionRejectedError` on its
+        batch slot.  Neither fairness nor admission changes any served
+        result — seeds and result positions follow the original request
+        index.
         """
         requests = list(requests)
         if seeds is not None:
@@ -191,36 +241,90 @@ class AcquisitionService:
         if not requests:
             return BatchResult(items=[])
         pool = self._ensure_request_pool()
+        order = fair_order([request.shopper for request in requests])
+        items: list[ServedRequest | None] = [None] * len(requests)
         if pool is None:
-            items = [
-                self._serve_item(request, index=index, seed=seeds[index])
-                for index, request in enumerate(requests)
-            ]
+            for index in order:
+                if not self._admission.admit():
+                    items[index] = self._rejected_item(requests[index], index, seeds[index])
+                    continue
+                try:
+                    items[index] = self._serve_item(
+                        requests[index], index=index, seed=seeds[index]
+                    )
+                finally:
+                    self._admission.release()
         else:
-            items = list(
-                pool.map(
-                    lambda pair: self._serve_item(pair[1], index=pair[0], seed=seeds[pair[0]]),
-                    enumerate(requests),
-                )
-            )
+            futures = {}
+            for index in order:
+                if not self._admission.admit():
+                    items[index] = self._rejected_item(requests[index], index, seeds[index])
+                    continue
+                try:
+                    futures[index] = pool.submit(
+                        self._serve_admitted, requests[index], index, seeds[index]
+                    )
+                except BaseException:
+                    self._admission.release()
+                    raise
+            for index, future in futures.items():
+                items[index] = future.result()
         batch = BatchResult(items=items)
         with self._lock:
             self._batches_served += 1
         for item in items:
-            self._count(item)
+            # Rejected items never executed: they appear in the admission
+            # queue's `rejected` counter, not in requests_served/errors —
+            # the same accounting a rejected single acquire() gets.
+            if not isinstance(item.error, AdmissionRejectedError):
+                self._count(item)
         return batch
+
+    def _serve_admitted(
+        self, request: AcquisitionRequest, index: int, seed: int
+    ) -> ServedRequest:
+        """Worker-side wrapper: always give the admission slot back."""
+        try:
+            return self._serve_item(request, index=index, seed=seed)
+        finally:
+            self._admission.release()
+
+    def _rejected_item(
+        self, request: AcquisitionRequest, index: int, seed: int
+    ) -> ServedRequest:
+        return ServedRequest(
+            index=index,
+            request=request,
+            seed=seed,
+            error=AdmissionRejectedError(
+                f"request {index} rejected: admission queue full "
+                f"(max_queue_depth={self.config.service.max_queue_depth})"
+            ),
+        )
 
     def _serve_item(
         self, request: AcquisitionRequest, *, index: int, seed: int
     ) -> ServedRequest:
         runtime = self._runtime_for(request, seed)
         item = ServedRequest(index=index, request=request, seed=seed)
+        with self._lock:
+            self._in_flight += 1
         start = time.perf_counter()
         try:
             item.result = self._dance.acquire(request, runtime=runtime)
         except ReproError as error:
             item.error = error
-        item.elapsed_seconds = time.perf_counter() - start
+        finally:
+            item.elapsed_seconds = time.perf_counter() - start
+            with self._lock:
+                self._in_flight -= 1
+            self._metrics.record_request(
+                item.elapsed_seconds,
+                ok=item.ok,
+                cache_hit_rate=(
+                    item.result.mcmc_cache_hit_rate if item.result is not None else None
+                ),
+            )
         return item
 
     def _count(self, item: ServedRequest) -> None:
@@ -245,10 +349,12 @@ class AcquisitionService:
                 self._evaluation_cache_locked(request) if share else LockStripedCache()
             )
             ji_cache = self._ji_cache if share else LockStripedCache()
+            step1_cache = self._step1_memo if self.config.service.step1_memo else None
             pool, pool_state = self._chain_pool_locked()
         return SearchRuntime(
             evaluation_cache=evaluation_cache,
             ji_cache=ji_cache,
+            step1_cache=step1_cache,
             pool=pool,
             pool_state=pool_state,
             mcmc_seed=seed,
@@ -276,6 +382,12 @@ class AcquisitionService:
         stripes = self.config.service.cache_stripes
         self._ji_cache = LockStripedCache(stripes)
         self._evaluation_caches = {}
+        # The Step-1 memo is keyed on the graph revision too, but a *new*
+        # graph object restarts its revision counter, so the version bump
+        # must drop the memo outright (same rule as the evaluation memos).
+        self._step1_memo = (
+            CountingCache(stripes) if self.config.service.step1_memo else None
+        )
         self._dispose_chain_pool_locked()
 
     def _evaluation_cache_locked(self, request: AcquisitionRequest) -> LockStripedCache:
@@ -387,7 +499,33 @@ class AcquisitionService:
         self.close()
 
     # -------------------------------------------------------------- summaries
+    def metrics(self) -> dict[str, object]:
+        """The operational metrics dump (CLI ``metrics``, ``batch`` summary).
+
+        Per-request latency (lifetime histogram buckets, p50/p95/p99 over the
+        sliding window), the evaluation-cache hit-rate trend, the admission
+        queue's counters (depth, peak, rejections, blocked time), the
+        in-flight gauge, and the Step-1 memo's hit accounting.
+        """
+        with self._lock:
+            in_flight = self._in_flight
+            step1: dict[str, object] = {"enabled": self.config.service.step1_memo}
+            if self.config.service.step1_memo:
+                # Stable schema even before the first request syncs the
+                # session (the memo is created lazily in _sync_locked).
+                step1.update(
+                    self._step1_memo.snapshot()
+                    if self._step1_memo is not None
+                    else {"entries": 0, "hits": 0, "misses": 0}
+                )
+        payload = self._metrics.snapshot()
+        payload["in_flight"] = in_flight
+        payload["queue"] = self._admission.snapshot()
+        payload["step1_memo"] = step1
+        return payload
+
     def describe(self) -> dict[str, object]:
+        metrics = self.metrics()
         with self._lock:
             evaluation_entries = sum(
                 len(cache) for cache in self._evaluation_caches.values()
@@ -397,12 +535,17 @@ class AcquisitionService:
                 "requests_served": self._requests_served,
                 "batches_served": self._batches_served,
                 "errors": self._errors,
+                "in_flight": self._in_flight,
                 "cache_resets": self._cache_resets,
                 "graph_version": self._dance.graph_version,
                 "evaluation_cache_groups": len(self._evaluation_caches),
                 "evaluation_cache_entries": evaluation_entries,
                 "ji_cache_entries": 0 if self._ji_cache is None else len(self._ji_cache),
+                "step1_memo_entries": (
+                    0 if self._step1_memo is None else len(self._step1_memo)
+                ),
                 "chain_pool": None if self._chain_pool is None else self.config.mcmc.executor,
                 "batch_workers": self.config.service.max_batch_workers,
+                "metrics": metrics,
                 "dance": self._dance.describe(),
             }

@@ -170,3 +170,74 @@ class TestBatchCommand:
         path = self.write_requests(tmp_path, [{"query": "Q9", "budget": 10}])
         assert main(["batch", path, *BASE_ARGS]) == 1
         assert "unknown query" in capsys.readouterr().err
+
+    def test_bounded_queue_and_shoppers(self, tmp_path, capsys):
+        path = self.write_requests(
+            tmp_path,
+            [
+                {"query": "Q1", "budget": 1000, "shopper": "alice"},
+                {"query": "Q2", "budget": 1000, "shopper": "bob"},
+            ],
+        )
+        code = main(
+            ["batch", path, "--queue-depth", "4", "--admission", "block", *BASE_ARGS]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["service"]["queue_depth"] == 4
+        assert payload["service"]["admission"] == "block"
+        assert payload["service"]["rejected"] == 0
+        assert payload["service"]["latency_p50_seconds"] > 0
+        assert [item["shopper"] for item in payload["results"]] == ["alice", "bob"]
+        assert payload["metrics"]["queue"]["admitted"] == 2
+        assert payload["metrics"]["latency"]["count"] == 2
+
+    def test_batch_summary_includes_metrics(self, tmp_path, capsys):
+        path = self.write_requests(tmp_path, [{"query": "Q1", "budget": 1000}])
+        assert main(["batch", path, *BASE_ARGS]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["metrics"]
+        assert metrics["requests"] == 1
+        assert metrics["step1_memo"]["enabled"] is True
+        assert "p95_seconds" in metrics["latency"]
+        assert "trend" in metrics["cache_hit_rate"]
+
+
+class TestMetricsCommand:
+    def test_default_traffic_dump(self, capsys):
+        assert main(["metrics", "--budget", "1000", *BASE_ARGS]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests"] == 6  # three workload queries, served twice
+        assert payload["errors"] == 0
+        assert payload["in_flight"] == 0
+        assert payload["latency"]["count"] == 6
+        assert payload["latency"]["p99_seconds"] is not None
+        assert payload["queue"]["policy"] == "block"
+        assert payload["step1_memo"]["enabled"] is True
+
+    def test_requests_file_and_reject_policy(self, tmp_path, capsys):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps([{"query": "Q1", "budget": 1000}]))
+        code = main(
+            [
+                "metrics",
+                str(path),
+                "--queue-depth", "2",
+                "--admission", "reject",
+                *BASE_ARGS,
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests"] == 1
+        assert payload["queue"]["max_depth"] == 2
+        assert payload["queue"]["policy"] == "reject"
+
+    def test_nonzero_exit_when_requests_fail(self, tmp_path, capsys):
+        path = tmp_path / "requests.json"
+        path.write_text(
+            json.dumps([{"source": [], "target": ["no_such_attr"], "budget": 10}])
+        )
+        assert main(["metrics", str(path), *BASE_ARGS]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1

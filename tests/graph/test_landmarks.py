@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+import random
+
 import networkx as nx
 import pytest
 
 from repro.exceptions import SearchError
-from repro.graph.landmarks import LandmarkIndex
+from repro.graph.landmarks import (
+    LandmarkIndex,
+    canonical_landmark_seed,
+    derive_landmark_seed,
+)
 
 
 @pytest.fixture
@@ -42,6 +48,58 @@ class TestConstruction:
     def test_deterministic_with_seed(self, weighted_graph):
         first = LandmarkIndex(weighted_graph, num_landmarks=3, rng=7)
         second = LandmarkIndex(weighted_graph, num_landmarks=3, rng=7)
+        assert first.landmarks == second.landmarks
+
+
+class TestSeedNormalization:
+    """Step-1 output must depend only on declared inputs (the memo contract)."""
+
+    def test_canonical_seed_maps_none_to_zero(self):
+        assert canonical_landmark_seed(None) == 0
+        assert canonical_landmark_seed(17) == 17
+
+    def test_mutable_random_stream_rejected(self, weighted_graph):
+        with pytest.raises(SearchError, match="prior draws"):
+            canonical_landmark_seed(random.Random(0))
+        with pytest.raises(SearchError):
+            LandmarkIndex(weighted_graph, rng=random.Random(0))
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(SearchError):
+            canonical_landmark_seed("seven")
+
+    def test_landmark_seed_keyword_equals_int_rng(self, weighted_graph):
+        by_rng = LandmarkIndex(weighted_graph, num_landmarks=3, rng=7)
+        by_seed = LandmarkIndex(weighted_graph, num_landmarks=3, landmark_seed=7)
+        assert by_rng.landmarks == by_seed.landmarks
+        assert by_seed.landmark_seed == 7
+
+    def test_default_seed_is_declared_not_silent(self, weighted_graph):
+        explicit = LandmarkIndex(weighted_graph, num_landmarks=3, landmark_seed=0)
+        implicit = LandmarkIndex(weighted_graph, num_landmarks=3)
+        assert implicit.landmarks == explicit.landmarks
+        assert implicit.landmark_seed == 0
+
+    def test_both_seed_forms_rejected_together(self, weighted_graph):
+        with pytest.raises(SearchError, match="not both"):
+            LandmarkIndex(weighted_graph, rng=1, landmark_seed=2)
+
+    def test_derived_seed_is_stable_and_domain_tagged(self):
+        assert derive_landmark_seed(0) == derive_landmark_seed(0)
+        # Distinct from the base seed and across bases: the landmark stream
+        # never replays the MCMC proposal stream seeded from the same base.
+        assert derive_landmark_seed(0) != 0
+        assert derive_landmark_seed(0) != derive_landmark_seed(1)
+
+    def test_index_ignores_prior_draws_entirely(self, weighted_graph):
+        """Two indexes built mid-way through unrelated randomness agree."""
+        random.seed(123)
+        random.random()
+        first = LandmarkIndex(weighted_graph, num_landmarks=3, landmark_seed=9)
+        random.seed(456)
+        for _ in range(10):
+            random.random()
+        second = LandmarkIndex(weighted_graph, num_landmarks=3, landmark_seed=9)
         assert first.landmarks == second.landmarks
 
 

@@ -73,6 +73,27 @@ class TestMinimalWeightIGraph:
         second = minimal_weight_igraph(chain_graph, ["orders", "regions"], rng=5)
         assert first == second
 
+    def test_landmark_seed_keyword_equals_int_rng(self, chain_graph):
+        by_rng = minimal_weight_igraph(chain_graph, ["orders", "regions"], rng=5)
+        by_seed = minimal_weight_igraph(
+            chain_graph, ["orders", "regions"], landmark_seed=5
+        )
+        assert by_rng == by_seed
+
+    def test_mutable_random_stream_rejected(self, chain_graph):
+        import random
+
+        with pytest.raises(SearchError, match="prior draws"):
+            minimal_weight_igraph(
+                chain_graph, ["orders", "regions"], rng=random.Random(0)
+            )
+
+    def test_both_seed_forms_rejected_together(self, chain_graph):
+        with pytest.raises(SearchError, match="not both"):
+            minimal_weight_igraph(
+                chain_graph, ["orders", "regions"], rng=1, landmark_seed=2
+            )
+
 
 class TestJoinOrder:
     def test_order_keeps_prefixes_connected(self, chain_graph):

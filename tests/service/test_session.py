@@ -236,6 +236,131 @@ class TestSessionLifecycle:
         assert description["ji_cache_entries"] > 0
 
 
+class TestRequireResultIsolation:
+    def test_raises_fresh_exception_chained_to_original(self):
+        bad = AcquisitionRequest(
+            source_attributes=["measure"],
+            target_attributes=["no_such_attribute"],
+            budget=1e9,
+        )
+        with AcquisitionService(small_marketplace(), config()) as service:
+            batch = service.acquire_batch([bad])
+        item = batch[0]
+        traceback_before = item.error.__traceback__
+        raised = []
+        for _ in range(2):
+            with pytest.raises(InfeasibleAcquisitionError) as excinfo:
+                item.require_result()
+            raised.append(excinfo.value)
+        # Fresh instance per call — never the stored object, whose traceback
+        # two callers across threads would otherwise race on.
+        assert raised[0] is not item.error
+        assert raised[1] is not item.error
+        assert raised[0] is not raised[1]
+        assert raised[0].__cause__ is item.error
+        assert str(raised[0]) == str(item.error)
+        # The stored original's traceback is untouched by the re-raises.
+        assert item.error.__traceback__ is traceback_before
+
+    def test_no_result_no_error_still_repro_error(self):
+        from repro.service import ServedRequest
+
+        item = ServedRequest(index=3, request=REQUEST, seed=0)
+        with pytest.raises(ReproError, match="request 3 produced no result"):
+            item.require_result()
+
+
+class TestInFlightGauge:
+    def test_in_flight_visible_during_a_request(self):
+        with AcquisitionService(small_marketplace(), config()) as service:
+            seen: list[int] = []
+            original = service._dance.acquire
+
+            def spy(request, *, runtime=None):
+                seen.append(service.describe()["in_flight"])
+                return original(request, runtime=runtime)
+
+            service._dance.acquire = spy
+            service.acquire(REQUEST)
+        assert seen == [1]
+        assert service.describe()["in_flight"] == 0
+
+    def test_in_flight_decrements_on_failure(self):
+        bad = AcquisitionRequest(
+            source_attributes=["measure"],
+            target_attributes=["no_such_attribute"],
+            budget=1e9,
+        )
+        with AcquisitionService(small_marketplace(), config()) as service:
+            service.acquire_batch([bad])
+            assert service.describe()["in_flight"] == 0
+
+
+class TestStep1Memo:
+    def count_step1_calls(self, monkeypatch):
+        import repro.search.acquisition as acquisition_module
+
+        calls = []
+        original = acquisition_module.minimal_weight_igraphs
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(acquisition_module, "minimal_weight_igraphs", counting)
+        return calls
+
+    def test_warm_request_skips_step1(self, monkeypatch):
+        calls = self.count_step1_calls(monkeypatch)
+        with AcquisitionService(small_marketplace(), config()) as service:
+            cold = service.acquire(REQUEST)
+            after_cold = len(calls)
+            warm = service.acquire(REQUEST)
+            assert len(calls) == after_cold  # Step 1 never re-ran
+            assert warm.estimated_correlation == cold.estimated_correlation
+            assert warm.sql() == cold.sql()
+            memo = service.metrics()["step1_memo"]
+            assert memo["enabled"] is True
+            assert memo["hits"] >= 1
+
+    def test_memo_disabled_reruns_step1_with_identical_results(self, monkeypatch):
+        calls = self.count_step1_calls(monkeypatch)
+        with AcquisitionService(
+            small_marketplace(), config(step1_memo=False)
+        ) as service:
+            cold = service.acquire(REQUEST)
+            after_cold = len(calls)
+            warm = service.acquire(REQUEST)
+            assert len(calls) > after_cold  # no memo: Step 1 re-ran
+            assert warm.estimated_correlation == cold.estimated_correlation
+            assert service.metrics()["step1_memo"] == {"enabled": False}
+
+    def test_memo_invalidated_by_register_source_tables(self, monkeypatch):
+        calls = self.count_step1_calls(monkeypatch)
+        with AcquisitionService(small_marketplace(), config()) as service:
+            service.acquire(REQUEST)
+            entries_before = service.describe()["step1_memo_entries"]
+            assert entries_before >= 1
+            source = Table.from_rows(
+                "myshop", ["bad_key", "score"], [(i % 3, i) for i in range(9)]
+            )
+            summary = service.register_source_tables([source])
+            assert summary["mode"] == "incremental"  # graph_version bumped
+            assert service.describe()["step1_memo_entries"] == 0
+            before_retry = len(calls)
+            service.acquire(REQUEST)
+            assert len(calls) > before_retry  # memo was dropped: Step 1 re-ran
+
+    def test_memo_invalidated_by_rebuild_offline(self):
+        with AcquisitionService(small_marketplace(), config()) as service:
+            service.acquire(REQUEST)
+            assert service.describe()["step1_memo_entries"] >= 1
+            service.rebuild_offline(sampling_rate=1.0)
+            assert service.describe()["step1_memo_entries"] == 0
+            # And the service still serves identically-seeded requests.
+            assert service.acquire(REQUEST).estimated_correlation is not None
+
+
 class TestServiceConfigValidation:
     def test_rejects_bad_batch_workers(self):
         with pytest.raises(ReproError):
@@ -248,6 +373,18 @@ class TestServiceConfigValidation:
     def test_rejects_bad_stripes(self):
         with pytest.raises(ReproError):
             ServiceConfig(cache_stripes=0)
+
+    def test_rejects_bad_queue_depth(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(max_queue_depth=0)
+
+    def test_rejects_unknown_admission_policy(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(admission="fifo")
+
+    def test_rejects_bad_metrics_window(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(metrics_window=0)
 
     def test_service_seed_defaults_to_mcmc_seed(self):
         marketplace = small_marketplace()
