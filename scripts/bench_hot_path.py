@@ -22,7 +22,11 @@ service-mode entry (``repro/service``): cold vs. warm request latency through
 one long-lived ``AcquisitionService`` plus a concurrent batch, parity-checked
 against the cold run, with the warm request measured both with and without
 the session's Step-1 memo (``step1_memo_speedup``) and the service's latency
-percentiles recorded.  ``--scale`` / ``--iterations`` / ``--sampling-rate``
+percentiles recorded.  ``--catalog`` appends a mode='storage' entry
+(``repro/storage``): a cold build-offline + first request + ``persist()`` to a
+throwaway sqlite catalog versus a warm ``Marketplace.open()`` + build-offline
+(asserting zero JI recomputes) + first request, parity-checked against the
+cold run.  ``--scale`` / ``--iterations`` / ``--sampling-rate``
 shrink the scenario for smoke runs (e.g. in CI).  Run with::
 
     PYTHONPATH=src python scripts/bench_hot_path.py [--output BENCH_hotpath.json]
@@ -30,6 +34,7 @@ shrink the scenario for smoke runs (e.g. in CI).  Run with::
                                                     [--chains N]
                                                     [--executor serial|thread|process|all]
                                                     [--service]
+                                                    [--catalog]
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -243,6 +249,70 @@ def bench_service(workload, args: argparse.Namespace) -> dict[str, object]:
     return results
 
 
+def bench_storage(workload, args: argparse.Namespace) -> dict[str, object]:
+    """Cold build + persist vs. warm ``Marketplace.open()`` restart (PR 6).
+
+    The *cold* side builds the offline join graph from scratch, serves the
+    first request, and persists the whole marketplace (tables, encodings,
+    offline state) to a throwaway sqlite catalog.  The *warm* side reopens
+    that catalog, rebuilds the offline phase — which must adopt every
+    persisted JI weight, i.e. recompute **zero** edges — and serves the same
+    first request; results must agree bit-for-bit with the cold run.
+    """
+    executor = args.executor if args.executor != "all" else "serial"
+    config = DanceConfig(
+        sampling_rate=args.sampling_rate,
+        mcmc=MCMCConfig(
+            iterations=args.iterations, seed=0, chains=args.chains, executor=executor
+        ),
+    )
+    request = _requests_for(workload)[0]
+    results: dict[str, object] = {"storage_kind": "sqlite"}
+    with tempfile.TemporaryDirectory() as scratch:
+        catalog = Path(scratch) / "marketplace.catalog"
+
+        dance = DANCE(_marketplace_for(workload), config)
+        start = time.perf_counter()
+        dance.build_offline()
+        results["cold_offline_seconds"] = time.perf_counter() - start
+        start = time.perf_counter()
+        cold = dance.acquire(request)
+        results["cold_request_seconds"] = time.perf_counter() - start
+        start = time.perf_counter()
+        dance.persist(catalog)
+        results["persist_seconds"] = time.perf_counter() - start
+        results["catalog_bytes"] = catalog.stat().st_size
+        results["cold_ji_computations"] = dance.join_graph.ji_computations
+        results["cold_edge_recomputes"] = dance.join_graph.edge_recomputes
+
+        start = time.perf_counter()
+        warm_dance = DANCE(Marketplace.open(catalog), config)
+        warm_dance.build_offline()
+        results["warm_open_offline_seconds"] = time.perf_counter() - start
+        results["warm_ji_computations"] = warm_dance.join_graph.ji_computations
+        results["warm_edge_recomputes"] = warm_dance.join_graph.edge_recomputes
+        if warm_dance.join_graph.edge_recomputes != 0:
+            raise AssertionError(
+                "warm restart recomputed "
+                f"{warm_dance.join_graph.edge_recomputes} I-edges; expected 0"
+            )
+        start = time.perf_counter()
+        warm = warm_dance.acquire(request)
+        results["warm_request_seconds"] = time.perf_counter() - start
+        warm_dance.marketplace.storage.close()
+
+    results["warm_parity"] = (
+        warm.estimated_correlation == cold.estimated_correlation
+        and warm.sql() == cold.sql()
+    )
+    results["offline_speedup"] = (
+        results["cold_offline_seconds"] / results["warm_open_offline_seconds"]
+        if results["warm_open_offline_seconds"]
+        else None
+    )
+    return results
+
+
 def _base_entry(args: argparse.Namespace, resolved_backend: str, executor: str) -> dict:
     return {
         "label": args.label,
@@ -294,6 +364,11 @@ def bench_backend(backend_name: str, args: argparse.Namespace) -> list[dict[str,
         service_entry["mode"] = "service"
         service_entry["service"] = bench_service(workload, args)
         entries.append(service_entry)
+    if args.catalog:
+        storage_entry = _base_entry(args, resolved, args.executor)
+        storage_entry["mode"] = "storage"
+        storage_entry["storage"] = bench_storage(workload, args)
+        entries.append(storage_entry)
     return entries
 
 
@@ -332,6 +407,12 @@ def main() -> None:
         action="store_true",
         help="additionally measure cold vs. warm requests through one "
         "long-lived AcquisitionService (appends a mode='service' entry)",
+    )
+    parser.add_argument(
+        "--catalog",
+        action="store_true",
+        help="additionally measure a cold build+persist vs. warm "
+        "Marketplace.open() restart (appends a mode='storage' entry)",
     )
     parser.add_argument(
         "--scale", type=float, default=SCALE, help="TPC-H workload scale factor"
@@ -386,7 +467,7 @@ def main() -> None:
                 print(f"{indent}{key:>40}: {value}")
 
     for entry in entries:
-        mode = " [service]" if entry.get("mode") == "service" else ""
+        mode = f" [{entry['mode']}]" if "mode" in entry else ""
         print(f"--- backend: {entry['backend']}{mode}")
         show(entry)
     print(f"\nwrote {args.output}")

@@ -29,6 +29,7 @@ DOCUMENTED_PATHS = [
     "examples/quickstart.py",
     "scripts/bench_hot_path.py",
     "scripts/run_experiments.py",
+    "scripts/check_storage_parity.py",
     "docs/ARCHITECTURE.md",
     "BENCH_hotpath.json",
 ]

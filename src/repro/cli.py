@@ -5,7 +5,12 @@ shell without writing Python:
 
 ``repro-dance catalog``
     Generate a workload, host it on the in-process marketplace, and print the
-    (free) schema-level catalog.
+    (free) schema-level catalog.  Subactions manage persistent catalogs
+    (:mod:`repro.storage`): ``catalog init --catalog PATH`` persists the
+    marketplace to disk, ``catalog persist`` additionally runs the offline
+    phase and stores JI edge weights for warm restarts, ``catalog inspect``
+    prints a stored catalog's summary, and plain ``catalog`` (``show``) reads
+    from ``--catalog`` when the file exists.
 
 ``repro-dance acquire``
     Run the full offline + online pipeline for one acquisition request and
@@ -17,7 +22,10 @@ shell without writing Python:
     :class:`~repro.service.AcquisitionService` — one offline phase, shared
     caches, concurrent execution with deterministic per-request seeds,
     bounded admission (``--queue-depth`` / ``--admission``) — and print one
-    summary per request plus the service metrics.
+    summary per request plus the service metrics.  ``--catalog PATH`` makes
+    the service persistent: an existing catalog is opened instead of
+    regenerating the workload (warm offline phase, restored session caches),
+    and the session is checkpointed back after serving.
 
 ``repro-dance metrics``
     Serve requests the same way but print only the operational metrics dump:
@@ -54,22 +62,45 @@ from repro.workloads.tpce import tpce_workload
 from repro.workloads.tpch import tpch_workload
 
 
-def _build_marketplace(
-    workload_name: str, scale: float, seed: int
-) -> tuple[Marketplace, object]:
+def _build_workload(workload_name: str, scale: float, seed: int):
     if workload_name == "tpch":
-        workload = tpch_workload(scale=scale, seed=seed)
-    elif workload_name == "tpce":
-        workload = tpce_workload(scale=scale, seed=seed)
-    else:
-        raise ReproError(f"unknown workload {workload_name!r} (expected 'tpch' or 'tpce')")
+        return tpch_workload(scale=scale, seed=seed)
+    if workload_name == "tpce":
+        return tpce_workload(scale=scale, seed=seed)
+    raise ReproError(f"unknown workload {workload_name!r} (expected 'tpch' or 'tpce')")
+
+
+def _host_workload(workload) -> Marketplace:
     pricing = EntropyPricingModel()
     marketplace = Marketplace(default_pricing=pricing)
     for name in workload.tables:
         marketplace.host(
             MarketplaceDataset(table=workload.dirty_or_clean(name), pricing=pricing)
         )
-    return marketplace, workload
+    return marketplace
+
+
+def _build_marketplace(
+    workload_name: str, scale: float, seed: int
+) -> tuple[Marketplace, object]:
+    workload = _build_workload(workload_name, scale, seed)
+    return _host_workload(workload), workload
+
+
+def _service_marketplace(args: argparse.Namespace) -> tuple[Marketplace, object]:
+    """The (marketplace, workload) pair for service-mode commands.
+
+    With ``--catalog`` pointing at an existing file, the marketplace opens
+    from the catalog (lazy tables, persisted offline state) instead of being
+    regenerated; the workload object is still built for request/query-name
+    resolution.  A missing catalog file is not an error — the service
+    checkpoint after serving creates it.
+    """
+    workload = _build_workload(args.workload, args.scale, args.seed)
+    catalog = getattr(args, "catalog", None)
+    if catalog is not None and Path(catalog).exists():
+        return Marketplace.open(catalog), workload
+    return _host_workload(workload), workload
 
 
 def _build_dance(marketplace: Marketplace, args: argparse.Namespace) -> DANCE:
@@ -90,7 +121,37 @@ def _build_dance(marketplace: Marketplace, args: argparse.Namespace) -> DANCE:
 
 # ------------------------------------------------------------------- commands
 def cmd_catalog(args: argparse.Namespace) -> int:
-    marketplace, _ = _build_marketplace(args.workload, args.scale, args.seed)
+    action = args.action
+    if action in ("init", "persist") and args.catalog is None:
+        print(
+            f"error: 'catalog {action}' requires --catalog PATH", file=sys.stderr
+        )
+        return 2
+    if action == "inspect":
+        from repro.storage import open_backend
+
+        if args.catalog is None:
+            print("error: 'catalog inspect' requires --catalog PATH", file=sys.stderr)
+            return 2
+        with open_backend(args.catalog) as backend:
+            print(json.dumps(backend.describe(), indent=2))
+        return 0
+    if action in ("init", "persist"):
+        marketplace, _ = _build_marketplace(args.workload, args.scale, args.seed)
+        if action == "persist":
+            # Offline phase included: the catalog carries JI edge weights and
+            # FDs, so the next open + build_offline recomputes zero edges.
+            dance = _build_dance(marketplace, args)
+            backend = dance.persist(args.catalog, kind=args.storage)
+        else:
+            backend = marketplace.persist(args.catalog, kind=args.storage)
+        print(json.dumps(backend.describe(), indent=2))
+        return 0
+    # action == "show"
+    if args.catalog is not None and Path(args.catalog).exists():
+        marketplace = Marketplace.open(args.catalog)
+    else:
+        marketplace, _ = _build_marketplace(args.workload, args.scale, args.seed)
     entries = marketplace.catalog()
     if args.json:
         print(json.dumps(entries, indent=2))
@@ -223,16 +284,23 @@ def _service_config(args: argparse.Namespace) -> DanceConfig:
             max_batch_workers=args.batch_workers,
             max_queue_depth=args.queue_depth,
             admission=args.admission,
+            catalog_path=(
+                None if getattr(args, "catalog", None) is None else str(args.catalog)
+            ),
         ),
     )
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    marketplace, workload = _build_marketplace(args.workload, args.scale, args.seed)
+    marketplace, workload = _service_marketplace(args)
     requests = _parse_batch_requests(args.requests, workload)
     config = _service_config(args)
     with AcquisitionService(marketplace, config) as service:
         batch = service.acquire_batch(requests)
+        if args.catalog is not None:
+            # Checkpoint the warmed session (offline state + caches) so the
+            # next `batch --catalog` run restarts warm.
+            service.persist()
         metrics = service.metrics()
         payload = {
             "service": {
@@ -255,7 +323,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Serve requests through one service and dump only the metrics."""
-    marketplace, workload = _build_marketplace(args.workload, args.scale, args.seed)
+    marketplace, workload = _service_marketplace(args)
     if args.requests is not None:
         batches = [_parse_batch_requests(args.requests, workload)]
     else:
@@ -274,6 +342,8 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     config = _service_config(args)
     with AcquisitionService(marketplace, config) as service:
         outcomes = [service.acquire_batch(batch) for batch in batches]
+        if args.catalog is not None:
+            service.persist()
         payload = service.metrics()
     print(json.dumps(payload, indent=2, default=str))
     # Same contract as `batch`: non-zero exit when any request failed.
@@ -317,9 +387,30 @@ def build_parser() -> argparse.ArgumentParser:
                          default="serial", help="how multi-chain walks execute")
         sub.add_argument("--landmarks", type=int, default=4)
 
-    catalog = subparsers.add_parser("catalog", help="print the marketplace catalog")
+    catalog = subparsers.add_parser(
+        "catalog", help="print the marketplace catalog / manage persistent catalogs"
+    )
+    catalog.add_argument(
+        "action",
+        nargs="?",
+        choices=("show", "init", "persist", "inspect"),
+        default="show",
+        help="show the catalog (default), persist the marketplace to --catalog "
+        "(init: tables only; persist: plus the offline phase for warm "
+        "restarts), or inspect a stored catalog file",
+    )
     add_common(catalog)
     catalog.add_argument("--json", action="store_true")
+    catalog.add_argument(
+        "--catalog", type=Path, default=None, help="catalog file to read or write"
+    )
+    catalog.add_argument(
+        "--storage",
+        choices=("sqlite", "duckdb"),
+        default=None,
+        help="storage backend for init/persist (default sqlite; duckdb falls "
+        "back to sqlite with a warning when not installed)",
+    )
     catalog.set_defaults(func=cmd_catalog)
 
     acquire = subparsers.add_parser("acquire", help="run one acquisition request")
@@ -359,6 +450,13 @@ def build_parser() -> argparse.ArgumentParser:
             choices=("block", "reject"),
             default="block",
             help="full-queue policy: block the submitter or reject the request",
+        )
+        sub.add_argument(
+            "--catalog",
+            type=Path,
+            default=None,
+            help="persistent catalog file: opened when it exists (warm "
+            "restart), checkpointed after serving",
         )
 
     batch = subparsers.add_parser(

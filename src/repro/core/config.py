@@ -55,6 +55,12 @@ class ServiceConfig:
         ``(terminal set, alpha, num_landmarks, landmark seed, graph
         version)`` so warm requests skip the landmark/Steiner search.  On by
         default; results are bit-identical either way.
+    catalog_path:
+        Path of the service's persistent catalog (see :mod:`repro.storage`).
+        When set, the service restores its session caches (JI cache, Step-1
+        memo) from the catalog at startup and checkpoints marketplace, graph,
+        and caches back to it after ``register_source_tables``.  ``None``
+        (the default) keeps the service fully in-memory.
     """
 
     seed: int | None = None
@@ -66,6 +72,7 @@ class ServiceConfig:
     admission: str = "block"
     metrics_window: int = 256
     step1_memo: bool = True
+    catalog_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_workers < 1:
@@ -138,6 +145,15 @@ class DanceConfig:
         applied process-wide when the :class:`~repro.core.dance.DANCE`
         middleware is constructed (see :mod:`repro.relational.backend`).
         Both backends produce bit-identical results.
+    storage:
+        Default catalog storage backend kind for
+        :meth:`~repro.core.dance.DANCE.persist`: ``"memory"``, ``"sqlite"``,
+        or ``"duckdb"`` (``duckdb`` degrades to sqlite with a
+        ``RuntimeWarning`` when the module is not importable, mirroring the
+        numpy fallback above).  ``None`` (the default) infers the kind from
+        the persist target — sqlite for paths, memory otherwise.  All
+        backends store byte-identical payloads and serve bit-identical
+        acquisitions.
     service:
         Configuration of the long-lived acquisition service
         (:class:`ServiceConfig`: batch fan-out, persistent pool size, shared
@@ -156,12 +172,17 @@ class DanceConfig:
     max_refinement_rounds: int = 2
     refinement_rate_multiplier: float = 2.0
     backend: str | None = None
+    storage: str | None = None
     service: ServiceConfig = field(default_factory=ServiceConfig)
 
     def __post_init__(self) -> None:
         if self.backend is not None:
             # Normalises aliases and raises early on unknown backend names.
             self.backend = relational_backend.normalize(self.backend)
+        if self.storage is not None:
+            from repro.storage import normalize_kind
+
+            self.storage = normalize_kind(self.storage)
         if not 0.0 < self.sampling_rate <= 1.0:
             raise SamplingError(
                 f"sampling_rate must be in (0, 1], got {self.sampling_rate}"
@@ -193,5 +214,6 @@ class DanceConfig:
             max_refinement_rounds=self.max_refinement_rounds,
             refinement_rate_multiplier=self.refinement_rate_multiplier,
             backend=self.backend,
+            storage=self.storage,
             service=self.service,
         )

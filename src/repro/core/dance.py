@@ -11,12 +11,14 @@ retries, exactly as described in Section 2.1 of the paper.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
 
 from repro.core.config import DanceConfig
 from repro.core.result import AcquisitionResult, queries_for_target_graph
-from repro.exceptions import InfeasibleAcquisitionError
+from repro.exceptions import InfeasibleAcquisitionError, StorageError
 from repro.graph.join_graph import JoinGraph
 from repro.graph.landmarks import derive_landmark_seed
 from repro.marketplace.market import Marketplace
@@ -180,15 +182,133 @@ class DANCE:
         # check inside JoinGraph), e.g. only the replaced source's edges after
         # register_source_tables, or only hosted-instance edges after a
         # refinement round re-buys samples (shopper tables never change).
+        # The *first* build in a process has no prior graph to reuse; when the
+        # marketplace carries a catalog with persisted offline state, JI
+        # weights (and, when every table is unchanged, discovered FDs) are
+        # adopted from there instead — a warm restart recomputes zero edges.
+        preload_ji = adopted_fds = None
+        if self._join_graph is None:
+            preload_ji, adopted_fds = self._offline_preload(tables)
         self._join_graph = JoinGraph(
             tables,
             pricing=self.marketplace.pricing,
             max_join_attribute_size=self.config.max_join_attribute_size,
             source_instances=tuple(self._source_tables),
             reuse_cache_from=self._join_graph,
+            preload_ji=preload_ji,
         )
-        self._fds = self._collect_fds(tables)
+        self._fds = (
+            list(adopted_fds) if adopted_fds is not None else self._collect_fds(tables)
+        )
         self._graph_version += 1
+
+    def _offline_preload(
+        self, tables: Mapping[str, Table]
+    ) -> tuple[dict | None, list[FunctionalDependency] | None]:
+        """Offline-phase state adoptable from the marketplace's catalog.
+
+        Returns ``(preload_ji, fds)``: JI weights valid for the current
+        tables (persisted weights whose endpoint fingerprints match the
+        tables about to enter the graph — sampling is deterministic, so an
+        unchanged source instance reproduces an unchanged sample), and the
+        persisted FD list when *every* table is unchanged and the AFD
+        parameters match (``None`` otherwise — FDs are deduplicated across
+        tables, so partial adoption is not sound).  Unreadable offline state
+        degrades to a cold build with a ``RuntimeWarning``; it never fails
+        the build.
+        """
+        storage = self.marketplace.storage
+        if storage is None:
+            return None, None
+        from repro.storage import NS_OFFLINE
+        from repro.storage import serialize as _serialize
+
+        try:
+            payload = storage.get(NS_OFFLINE, "state")
+            if payload is None:
+                return None, None
+            state = _serialize.loads(payload)
+            if not isinstance(state, dict):
+                raise StorageError("offline state is not a mapping")
+            current = _serialize.fingerprint_tables(tables)
+            preload = _serialize.ji_weights_from_spec(
+                state.get("ji", ()), state.get("fingerprints", {}), current
+            )
+        except StorageError as error:
+            warnings.warn(
+                f"ignoring unreadable offline state in the catalog: {error}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None, None
+        fds = None
+        if (
+            state.get("fingerprints") == current
+            and tuple(state.get("afd_params", ()))
+            == (self.config.afd_max_violation, self.config.afd_max_lhs_size)
+            and sorted(state.get("known_names", ())) == sorted(self._known_fds)
+            and isinstance(state.get("fds"), list)
+        ):
+            fds = state["fds"]
+        return (preload or None), fds
+
+    def persist(
+        self,
+        path: str | Path | None = None,
+        *,
+        kind: str | None = None,
+        extra: "Callable | None" = None,
+    ) -> object:
+        """Checkpoint marketplace *and* offline phase into one catalog.
+
+        Persists the marketplace (tables, encodings, pricing, revenues) plus
+        the offline state this middleware derived from it: per-sample content
+        fingerprints, every cached JI edge weight, and the discovered FDs —
+        everything a fresh process needs for :meth:`build_offline` on the
+        reopened catalog to recompute **zero** JI edges.  ``kind`` defaults to
+        ``config.storage``; the write is atomic (see
+        :meth:`repro.marketplace.market.Marketplace.persist`).  ``extra`` runs
+        inside the same atomic write (used by the acquisition service to add
+        its session caches).  Returns the attached backend.
+        """
+        from repro.storage import META_OFFLINE, NS_OFFLINE
+        from repro.storage import serialize as _serialize
+
+        def write_offline(backend) -> None:
+            if self._join_graph is not None:
+                graph = self._join_graph
+                state = {
+                    "fingerprints": _serialize.fingerprint_tables(graph._samples),
+                    "ji": _serialize.ji_weights_to_spec(graph._ji_cache),
+                    "fds": list(self._fds),
+                    "known_names": sorted(self._known_fds),
+                    "afd_params": (
+                        self.config.afd_max_violation,
+                        self.config.afd_max_lhs_size,
+                    ),
+                    "sampling": {
+                        "rate": self._current_rate,
+                        "seed": self.config.sampling_seed,
+                    },
+                    "sample_cost": self._sample_cost,
+                    "revision": graph.revision,
+                }
+                backend.put(NS_OFFLINE, "state", _serialize.dumps(state))
+                backend.put_meta(
+                    META_OFFLINE,
+                    {
+                        "num_instances": len(graph),
+                        "ji_entries": len(graph._ji_cache),
+                        "num_fds": len(self._fds),
+                        "sampling_rate": self._current_rate,
+                    },
+                )
+            if extra is not None:
+                extra(backend)
+
+        return self.marketplace.persist(
+            path, kind=kind or self.config.storage, extra=write_offline
+        )
 
     def _collect_fds(self, tables: Mapping[str, Table]) -> list[FunctionalDependency]:
         fds: list[FunctionalDependency] = []

@@ -60,6 +60,17 @@ class AdmissionRejectedError(ReproError):
     """The service's bounded admission queue is full and the policy is ``reject``."""
 
 
+class StorageError(ReproError):
+    """A catalog storage backend cannot open, read, or write a catalog.
+
+    Every storage failure — a missing catalog file, a corrupt or
+    foreign-format database, a schema-version mismatch, an undecodable blob —
+    surfaces as this type (never as a raw ``sqlite3``/``duckdb`` exception),
+    so callers of :meth:`repro.marketplace.market.Marketplace.open` can handle
+    storage problems at one boundary.
+    """
+
+
 class SearchError(ReproError):
     """The online search cannot run with the provided request."""
 

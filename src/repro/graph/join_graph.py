@@ -87,6 +87,15 @@ class JoinGraph:
         replacement only recomputes the edges that touch replaced instances,
         and a refinement-round rebuild still reuses the source–source edges
         (shopper tables do not change when DANCE buys more samples).
+    preload_ji:
+        JI weights to seed the cache with before building, keyed like
+        ``_ji_cache`` (``(left, right, frozenset(attrs))`` with the pair
+        sorted).  This is the cross-*process* analogue of
+        ``reuse_cache_from``: identity cannot survive a restart, so the
+        storage layer validates persisted weights against per-sample content
+        fingerprints (:func:`repro.storage.serialize.ji_weights_from_spec`)
+        and passes only the still-valid ones here.  A fully warm preload
+        makes ``_build`` compute zero JI values.
 
     The counters ``ji_computations`` (join-informativeness values actually
     computed, i.e. JI-cache misses) and ``edge_recomputes`` (I-edges whose
@@ -103,6 +112,7 @@ class JoinGraph:
         max_join_attribute_size: int = 2,
         source_instances: Iterable[str] = (),
         reuse_cache_from: "JoinGraph | None" = None,
+        preload_ji: Mapping[tuple[str, str, frozenset[str]], float] | None = None,
     ) -> None:
         if not isinstance(samples, Mapping):
             samples = {table.name: table for table in samples}
@@ -136,6 +146,10 @@ class JoinGraph:
         # holders of a pickled copy (persistent process-pool workers) can
         # detect that object identity alone no longer proves equivalence.
         self.revision = 0
+        if preload_ji:
+            for (left, right, attrs), weight in preload_ji.items():
+                if left in self._samples and right in self._samples:
+                    self._ji_cache[(left, right, frozenset(attrs))] = float(weight)
         if reuse_cache_from is not None:
             self._seed_cache_from(reuse_cache_from)
         self._build()

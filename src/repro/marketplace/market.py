@@ -3,13 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
-from repro.exceptions import MarketplaceError
+from repro.exceptions import MarketplaceError, StorageError
 from repro.marketplace.dataset import MarketplaceDataset
 from repro.pricing.models import EntropyPricingModel, PricingModel
 from repro.relational.table import Table
 from repro.sampling.correlated import CorrelatedSampler
+
+if TYPE_CHECKING:  # repro.storage imports this module; runtime imports are lazy
+    from repro.storage import CatalogBackend
+
+#: Reserved key in the datasets namespace holding the pickled default pricing
+#: model (dataset names never start with ``#``, matching the table-encoding
+#: key convention).
+_DEFAULT_PRICING_KEY = "#default_pricing"
 
 
 @dataclass(frozen=True)
@@ -70,6 +79,7 @@ class Marketplace:
         self.sample_row_price = sample_row_price
         self.sample_revenue = 0.0
         self.query_revenue = 0.0
+        self._storage: "CatalogBackend | None" = None
         for dataset in datasets:
             self.host(dataset)
 
@@ -201,6 +211,213 @@ class Marketplace:
     def execute_all(self, queries: Sequence[ProjectionQuery]) -> list[PurchaseReceipt]:
         return [self.execute(query) for query in queries]
 
+    # ------------------------------------------------------------------ storage
+    @property
+    def storage(self) -> "CatalogBackend | None":
+        """The attached catalog backend, or ``None`` (pure in-RAM marketplace)."""
+        return self._storage
+
+    def attach_storage(
+        self,
+        backend: "CatalogBackend | str | None" = None,
+        *,
+        path: str | Path | None = None,
+    ) -> "CatalogBackend":
+        """Attach a catalog backend to this marketplace.
+
+        ``backend`` may be a :class:`~repro.storage.CatalogBackend` instance or
+        a kind name (``"memory"``/``"sqlite"``/``"duckdb"``; default infers
+        memory without a ``path``, sqlite with one).  Attaching alone writes
+        nothing — call :meth:`persist` to checkpoint the marketplace into it.
+        """
+        from repro import storage as _storage
+
+        if not isinstance(backend, _storage.CatalogBackend):
+            backend = _storage.create_backend(backend, path)
+        self._attach(backend)
+        return backend
+
+    def _attach(self, backend: "CatalogBackend") -> None:
+        from repro.storage import StoredDataset
+
+        self._storage = backend
+        # Re-point lazy datasets so pending hydrations read the new backend.
+        for dataset in self._datasets.values():
+            if isinstance(dataset, StoredDataset):
+                dataset._backend = backend
+
+    def _snapshot_payloads(self) -> list[tuple[str, bytes, bytes, bytes | None]]:
+        """Serialised ``(name, spec, table, encodings)`` for every dataset.
+
+        Gathered *before* any write so that re-persisting a catalog into its
+        own backend (e.g. an in-memory backend about to be cleared) still sees
+        the blobs that lazy, never-hydrated datasets would copy verbatim.
+        """
+        from repro.storage import NS_ENCODINGS, NS_TABLES, StoredDataset
+        from repro.storage import serialize as _serialize
+
+        items: list[tuple[str, bytes, bytes, bytes | None]] = []
+        for name, dataset in self._datasets.items():
+            spec = _serialize.dumps(
+                {
+                    "entry": dataset.catalog_entry(),
+                    "description": dataset.description,
+                    "pricing": dataset.pricing,
+                    "fds": dataset.fds,
+                }
+            )
+            if isinstance(dataset, StoredDataset) and not dataset.hydrated:
+                # Copy the stored bytes verbatim — checkpointing a lazy
+                # catalog must not force every table into memory.
+                table_blob = dataset._backend.get(NS_TABLES, name)
+                if table_blob is None:
+                    raise StorageError(
+                        f"catalog holds no table data for dataset {name!r}"
+                    )
+                encodings_blob = dataset._backend.get(NS_ENCODINGS, name)
+            else:
+                table_blob = _serialize.table_to_blob(dataset.table)
+                encodings_blob = _serialize.encodings_to_blob(dataset.table)
+            items.append((name, spec, table_blob, encodings_blob))
+        return items
+
+    def _write_catalog(
+        self,
+        backend: "CatalogBackend",
+        items: list[tuple[str, bytes, bytes, bytes | None]],
+        extra: "Callable[[CatalogBackend], None] | None" = None,
+    ) -> None:
+        from repro.storage import (
+            META_MARKETPLACE,
+            NS_DATASETS,
+            NS_ENCODINGS,
+            NS_TABLES,
+        )
+        from repro.storage import serialize as _serialize
+
+        backend.initialize()
+        backend.put_meta(
+            META_MARKETPLACE,
+            {
+                "sample_row_price": self.sample_row_price,
+                "sample_revenue": self.sample_revenue,
+                "query_revenue": self.query_revenue,
+                # Hosting order, so a reopened catalog lists datasets (and
+                # therefore orders samples, graph nodes, ...) identically.
+                "datasets": list(self._datasets),
+            },
+        )
+        backend.put(
+            NS_DATASETS, _DEFAULT_PRICING_KEY, _serialize.dumps(self._default_pricing)
+        )
+        for name, spec, table_blob, encodings_blob in items:
+            backend.put(NS_DATASETS, name, spec)
+            backend.put(NS_TABLES, name, table_blob)
+            if encodings_blob is not None:
+                backend.put(NS_ENCODINGS, name, encodings_blob)
+        if extra is not None:
+            extra(backend)
+        backend.flush()
+
+    def persist(
+        self,
+        path: str | Path | None = None,
+        *,
+        kind: str | None = None,
+        extra: "Callable[[CatalogBackend], None] | None" = None,
+    ) -> "CatalogBackend":
+        """Checkpoint the marketplace into a catalog and attach that catalog.
+
+        With no ``path``, the attached backend is rewritten in place (a fresh
+        in-memory backend is attached when nothing is).  With a ``path``, the
+        catalog is written to a sibling temp file and atomically renamed into
+        place, so an interrupted persist never corrupts an existing catalog.
+        ``extra`` lets higher layers (:meth:`repro.core.dance.DANCE.persist`,
+        the acquisition service) add their namespaces inside the same atomic
+        write.  Returns the backend now attached.
+        """
+        from repro import storage as _storage
+
+        items = self._snapshot_payloads()
+        target = None if path is None else Path(path)
+        if target is None and (self._storage is None or self._storage.path is None):
+            backend = self._storage
+            if backend is None:
+                backend = _storage.InMemoryBackend()
+            if isinstance(backend, _storage.InMemoryBackend):
+                backend.clear()
+            self._write_catalog(backend, items, extra)
+            self._attach(backend)
+            return backend
+        if target is None:
+            target = self._storage.path
+            kind = kind or self._storage.kind
+        final = _storage.atomic_persist(
+            target, kind, lambda backend: self._write_catalog(backend, items, extra)
+        )
+        if self._storage is not None:
+            self._storage.close()
+        self._attach(_storage.open_backend(final))
+        return self._storage
+
+    @classmethod
+    def open(
+        cls, source: "str | Path | CatalogBackend", *, kind: str | None = None
+    ) -> "Marketplace":
+        """Open a persisted marketplace from a catalog path or backend.
+
+        Datasets come back as lazily hydrated :class:`~repro.storage.StoredDataset`
+        objects: the free catalog (names, schemas, row counts, full prices) is
+        served from persisted metadata, and each table's data loads from the
+        backend on first access — with its dictionary encodings rehydrated
+        rather than re-encoded.  Raises a typed
+        :class:`~repro.exceptions.StorageError` for missing, corrupt, or
+        non-marketplace catalogs.
+        """
+        from repro import storage as _storage
+        from repro.storage import serialize as _serialize
+
+        backend = _storage.open_backend(source, kind=kind)
+        meta = backend.get_meta(_storage.META_MARKETPLACE)
+        if not isinstance(meta, dict):
+            raise StorageError(
+                f"{'catalog at ' + str(backend.path) if backend.path else 'catalog'} "
+                "holds no marketplace (missing marketplace metadata)"
+            )
+        pricing_blob = backend.get(_storage.NS_DATASETS, _DEFAULT_PRICING_KEY)
+        default_pricing = (
+            _serialize.loads(pricing_blob) if pricing_blob is not None else None
+        )
+        market = cls(
+            default_pricing=default_pricing,
+            sample_row_price=float(meta.get("sample_row_price", 0.001)),
+        )
+        market.sample_revenue = float(meta.get("sample_revenue", 0.0))
+        market.query_revenue = float(meta.get("query_revenue", 0.0))
+        stored = [
+            key
+            for key in backend.keys(_storage.NS_DATASETS)
+            if not key.startswith("#")
+        ]
+        order = meta.get("datasets")
+        if not isinstance(order, list) or sorted(order) != sorted(stored):
+            order = stored
+        for name in order:
+            payload = backend.get(_storage.NS_DATASETS, name)
+            spec = _serialize.loads(payload)
+            if not isinstance(spec, dict) or "entry" not in spec:
+                raise StorageError(f"corrupt dataset record for {name!r}")
+            market._datasets[name] = _storage.StoredDataset(
+                backend,
+                name,
+                spec["entry"],
+                pricing=spec.get("pricing") or market.pricing,
+                fds=spec.get("fds"),
+                description=spec.get("description", ""),
+            )
+        market._storage = backend
+        return market
+
     # ---------------------------------------------------------------- summaries
     def total_revenue(self) -> float:
         return self.sample_revenue + self.query_revenue
@@ -211,4 +428,5 @@ class Marketplace:
             "datasets": sorted(self._datasets),
             "sample_revenue": self.sample_revenue,
             "query_revenue": self.query_revenue,
+            "storage": None if self._storage is None else self._storage.kind,
         }

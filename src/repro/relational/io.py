@@ -8,10 +8,11 @@ small, dependency-free CSV bridge with type inference.
 from __future__ import annotations
 
 import csv
+import os
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.exceptions import SchemaError
+from repro.exceptions import SchemaError, StorageError
 from repro.relational.schema import Attribute, AttributeType, Schema
 from repro.relational.table import Table, Value
 
@@ -46,27 +47,47 @@ def read_csv(path: str | Path, *, name: str | None = None) -> Table:
     """Load a CSV file (with a header row) into a :class:`Table`.
 
     Numeric-looking cells become ``int``/``float``, empty cells become ``None``,
-    and column types are inferred from the parsed values.
+    and column types are inferred from the parsed values.  A missing or
+    unreadable file raises a typed :class:`~repro.exceptions.StorageError`
+    instead of a raw ``OSError``.
     """
     path = Path(path)
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise SchemaError(f"CSV file {path} is empty (no header row)") from None
-        rows = [[_parse_value(cell) for cell in row] for row in reader]
+    try:
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise SchemaError(f"CSV file {path} is empty (no header row)") from None
+            rows = [[_parse_value(cell) for cell in row] for row in reader]
+    except OSError as error:
+        raise StorageError(f"cannot read CSV file {path}: {error}") from error
     schema = infer_schema(header, rows)
     return Table.from_rows(name or path.stem, schema, rows)
 
 
 def write_csv(table: Table, path: str | Path) -> Path:
-    """Write a :class:`Table` to a CSV file (``None`` becomes an empty cell)."""
+    """Write a :class:`Table` to a CSV file (``None`` becomes an empty cell).
+
+    The write is atomic: rows go to a sibling temp file that replaces
+    ``path`` in one rename, so a crash mid-write never leaves a truncated
+    file where a complete one used to be (the same contract as catalog
+    persistence; see :func:`repro.storage.atomic_persist`).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(table.schema.names)
-        for row in table.iter_rows():
-            writer.writerow(["" if value is None else value for value in row])
+    scratch = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        with scratch.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.schema.names)
+            for row in table.iter_rows():
+                writer.writerow(["" if value is None else value for value in row])
+        os.replace(scratch, path)
+    except OSError as error:
+        scratch.unlink(missing_ok=True)
+        raise StorageError(f"cannot write CSV file {path}: {error}") from error
+    except BaseException:
+        scratch.unlink(missing_ok=True)
+        raise
     return path

@@ -118,6 +118,20 @@ class LockStripedCache:
         for key, value in items.items():
             self[key] = value
 
+    def items(self) -> list[tuple]:
+        """A point-in-time ``(key, value)`` snapshot across all stripes.
+
+        Each stripe is copied under its own lock (there is no global lock to
+        take), so the snapshot is per-stripe consistent — exactly what cache
+        checkpointing needs: every entry ever observed is valid forever, only
+        entries written mid-snapshot may be missed.
+        """
+        snapshot: list[tuple] = []
+        for stripe, lock in zip(self._stripes, self._locks):
+            with lock:
+                snapshot.extend(stripe.items())
+        return snapshot
+
 
 @dataclass
 class MultiChainResult:

@@ -46,6 +46,15 @@ keeps one marketplace *hot* instead:
   instances are recomputed) and invalidates exactly the session state the
   change made stale: pure additions keep the caches (old structural keys
   stay valid), replacements and offline rebuilds drop them.
+* **Persistent session state.**  With ``ServiceConfig(catalog_path=...)``
+  the service opens the catalog at startup (warming the offline phase; see
+  :meth:`repro.core.dance.DANCE.persist`), restores its JI cache and Step-1
+  memo from the catalog's session namespace — guarded by a graph-state
+  fingerprint, so caches never outlive the tables they were computed on —
+  and checkpoints marketplace, offline state, and caches back after
+  :meth:`register_source_tables` (or explicitly via :meth:`persist`).
+  Restore and checkpoint failures degrade to a cold session with a
+  ``RuntimeWarning``; they never fail serving.
 
 Thread-safety contract: concurrent *serving* calls are safe (that is the
 point of the batch API); management operations — ``register_source_tables``,
@@ -65,13 +74,15 @@ import copy
 import itertools
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.core.config import DanceConfig
 from repro.core.dance import DANCE
 from repro.core.result import AcquisitionResult
-from repro.exceptions import AdmissionRejectedError, ReproError
+from repro.exceptions import AdmissionRejectedError, ReproError, StorageError
 from repro.graph.join_graph import JoinGraph
 from repro.marketplace.market import Marketplace
 from repro.marketplace.shopper import AcquisitionRequest
@@ -149,6 +160,10 @@ class AcquisitionService:
             service_config.max_queue_depth, service_config.admission
         )
         self._metrics = ServiceMetrics(window=service_config.metrics_window)
+        if service_config.catalog_path is not None:
+            # Attach before the offline phase so build_offline can adopt the
+            # catalog's persisted JI weights and FDs (warm restart).
+            self._attach_catalog(service_config.catalog_path)
         if source_tables:
             self._dance.register_source_tables(list(source_tables))
         if build_offline:
@@ -389,6 +404,74 @@ class AcquisitionService:
             CountingCache(stripes) if self.config.service.step1_memo else None
         )
         self._dispose_chain_pool_locked()
+        self._restore_caches_locked()
+
+    def _attach_catalog(self, path: str | Path) -> None:
+        """Attach an existing catalog at ``path`` to the session's marketplace.
+
+        A marketplace opened from the catalog already carries it; for a
+        marketplace built from scratch this makes the persisted offline state
+        and session caches visible (every read is fingerprint-guarded, so a
+        catalog written for different data simply warms nothing).  A missing
+        file is fine — the first checkpoint creates it; an unusable one
+        degrades to a cold session with a ``RuntimeWarning``.
+        """
+        market = self._dance.marketplace
+        if market.storage is not None:
+            return
+        target = Path(path)
+        if not target.exists():
+            return
+        from repro import storage as _storage
+
+        try:
+            market._attach(_storage.open_backend(target))
+        except StorageError as error:
+            warnings.warn(
+                f"ignoring unusable catalog at {target}: {error}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _restore_caches_locked(self) -> None:
+        """Seed the freshly reset session caches from the attached catalog.
+
+        The persisted blob carries a fingerprint of the graph state (every
+        sample table plus the revision counter) it was computed on; the
+        caches are adopted only when the current graph hashes identically —
+        Step-1 memo keys embed the graph revision, and JI keys are only
+        meaningful for unchanged samples.  Any failure warns and serves cold;
+        restoring is an optimisation, never a correctness dependency.
+        """
+        storage = self._dance.marketplace.storage
+        if storage is None or self._dance._join_graph is None:
+            return
+        from repro.storage import NS_SESSION
+        from repro.storage import serialize as _serialize
+
+        try:
+            payload = storage.get(NS_SESSION, "caches")
+            if payload is None:
+                return
+            state = _serialize.loads(payload)
+            if not isinstance(state, dict):
+                raise StorageError("session cache state is not a mapping")
+            graph = self._dance._join_graph
+            fingerprint = _serialize.graph_state_fingerprint(
+                graph._samples, graph.revision
+            )
+            if state.get("fingerprint") != fingerprint:
+                return
+            if self._ji_cache is not None and state.get("ji"):
+                self._ji_cache.update(state["ji"])
+            if self._step1_memo is not None and state.get("step1"):
+                self._step1_memo.update(state["step1"])
+        except Exception as error:  # noqa: BLE001 - never fail serving on restore
+            warnings.warn(
+                f"ignoring unreadable session caches in the catalog: {error}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _evaluation_cache_locked(self, request: AcquisitionRequest) -> LockStripedCache:
         """The evaluation memo of one request signature (caller holds the lock).
@@ -458,15 +541,73 @@ class AcquisitionService:
         Forwards to :meth:`DANCE.register_source_tables` — pure additions
         update the join graph in place, recomputing only the edges that touch
         the new instances — then invalidates the session caches and pools the
-        change made stale.  Returns DANCE's refresh summary (mode, added /
-        replaced names, edge recompute count).  Must not overlap in-flight
-        requests.
+        change made stale.  When the service has a catalog
+        (``ServiceConfig(catalog_path=...)``), the refreshed state —
+        marketplace, offline phase, session caches — is checkpointed to it in
+        the same call, so a restart after the registration is warm; the
+        summary gains a ``"checkpointed"`` flag.  Returns DANCE's refresh
+        summary (mode, added / replaced names, edge recompute count).  Must
+        not overlap in-flight requests.
         """
         with self._lock:
             summary = self._dance.register_source_tables(tables)
             if self._dance._join_graph is not None:
                 self._sync_locked()
+            if self.config.service.catalog_path is not None:
+                try:
+                    self._persist_locked(self.config.service.catalog_path)
+                    summary["checkpointed"] = True
+                except StorageError as error:
+                    summary["checkpointed"] = False
+                    warnings.warn(
+                        f"session checkpoint failed: {error}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
         return summary
+
+    def persist(
+        self, path: str | Path | None = None, *, kind: str | None = None
+    ) -> object:
+        """Checkpoint marketplace, offline state, and session caches.
+
+        ``path`` defaults to ``ServiceConfig.catalog_path``, then to the
+        marketplace's attached backend.  The session namespace stores the JI
+        cache and Step-1 memo under a fingerprint of the current graph state,
+        so a restarted service only adopts them while the data is unchanged.
+        The write is atomic end to end (one temp-file rename covers all
+        namespaces).  Must not overlap in-flight requests.  Returns the
+        attached backend.
+        """
+        with self._lock:
+            if self._closed:
+                raise ReproError("the acquisition service has been closed")
+            if self._dance._join_graph is None:
+                self._dance.build_offline()
+            self._sync_locked()
+            return self._persist_locked(path, kind=kind)
+
+    def _persist_locked(
+        self, path: str | Path | None = None, *, kind: str | None = None
+    ) -> object:
+        from repro.storage import NS_SESSION
+        from repro.storage import serialize as _serialize
+
+        def write_session(backend) -> None:
+            graph = self._dance._join_graph
+            if graph is None:
+                return
+            state = {
+                "fingerprint": _serialize.graph_state_fingerprint(
+                    graph._samples, graph.revision
+                ),
+                "ji": dict(self._ji_cache.items()) if self._ji_cache else {},
+                "step1": dict(self._step1_memo.items()) if self._step1_memo else {},
+            }
+            backend.put(NS_SESSION, "caches", _serialize.dumps(state))
+
+        target = path if path is not None else self.config.service.catalog_path
+        return self._dance.persist(target, kind=kind, extra=write_session)
 
     def rebuild_offline(self, *, sampling_rate: float | None = None) -> JoinGraph:
         """Re-run the offline phase (e.g. at a higher sampling rate) and resync.

@@ -1,0 +1,96 @@
+"""Lazy table materialisation for catalog-backed marketplaces.
+
+A :class:`StoredDataset` stands in for a :class:`MarketplaceDataset` whose
+table still lives in the catalog backend.  The schema-level surface the
+marketplace's free catalog needs — name, schema, row count, catalog entry —
+is answered from the persisted entry without touching the table blob; the
+full instance hydrates from storage on first ``.table`` access, and its
+cached dictionary encodings are reinstalled from the catalog at the same
+moment (rehydrated, not re-encoded).  ``Marketplace.open`` on a
+thousand-table catalog therefore costs a handful of metadata reads, and a
+request that joins three instances pulls exactly three blobs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import StorageError
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.pricing.models import PricingModel
+from repro.quality.fd import FunctionalDependency
+from repro.relational.schema import Attribute, AttributeType, Schema
+from repro.relational.table import Table
+from repro.storage.base import NS_ENCODINGS, NS_TABLES, CatalogBackend
+from repro.storage.serialize import restore_encodings, table_from_blob
+
+
+class StoredDataset(MarketplaceDataset):
+    """A marketplace dataset whose table hydrates lazily from a catalog."""
+
+    def __init__(
+        self,
+        backend: CatalogBackend,
+        name: str,
+        entry: dict[str, object],
+        *,
+        pricing: PricingModel,
+        fds: list[FunctionalDependency] | None = None,
+        description: str = "",
+    ) -> None:
+        # Deliberately not calling the dataclass __init__: ``table`` is a
+        # hydrating property here, not a field.
+        self._backend = backend
+        self._name = name
+        self._entry = dict(entry)
+        self._table: Table | None = None
+        self.pricing = pricing
+        self.fds = fds
+        self.description = description
+
+    # -------------------------------------------------------- schema surface
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        if self._table is not None:
+            return self._table.schema
+        types = self._entry.get("attribute_types", {})
+        return Schema(
+            [
+                Attribute(attr, AttributeType(types.get(attr, "categorical")))
+                for attr in self._entry.get("attributes", ())
+            ]
+        )
+
+    @property
+    def num_rows(self) -> int:
+        if self._table is not None:
+            return len(self._table)
+        return int(self._entry.get("num_rows", 0))
+
+    def catalog_entry(self) -> dict[str, object]:
+        # The persisted entry (including full_price, whose computation would
+        # otherwise force hydration plus an entropy pass) is served verbatim.
+        return dict(self._entry)
+
+    # ------------------------------------------------------------- hydration
+    @property
+    def hydrated(self) -> bool:
+        """Whether the full table has been loaded from the catalog."""
+        return self._table is not None
+
+    @property
+    def table(self) -> Table:
+        if self._table is None:
+            payload = self._backend.get(NS_TABLES, self._name)
+            if payload is None:
+                raise StorageError(
+                    f"catalog holds no table data for dataset {self._name!r}"
+                )
+            table = table_from_blob(payload)
+            encodings = self._backend.get(NS_ENCODINGS, self._name)
+            if encodings is not None:
+                restore_encodings(table, encodings)
+            self._table = table
+        return self._table

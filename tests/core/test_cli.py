@@ -203,6 +203,69 @@ class TestBatchCommand:
         assert "trend" in metrics["cache_hit_rate"]
 
 
+class TestCatalogActions:
+    def test_init_then_inspect(self, tmp_path, capsys):
+        catalog = tmp_path / "market.catalog"
+        assert main(["catalog", "init", "--catalog", str(catalog), *BASE_ARGS]) == 0
+        assert catalog.exists()
+        capsys.readouterr()
+        assert main(["catalog", "inspect", "--catalog", str(catalog)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["kind"] == "sqlite"
+        assert summary["schema_version"] == 1
+        assert summary["namespaces"]["tables"] == 8
+        assert summary["offline"] is None  # init stores tables, not the graph
+
+    def test_persist_includes_the_offline_phase(self, tmp_path, capsys):
+        catalog = tmp_path / "market.catalog"
+        assert main(["catalog", "persist", "--catalog", str(catalog), *BASE_ARGS]) == 0
+        capsys.readouterr()
+        assert main(["catalog", "inspect", "--catalog", str(catalog)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["offline"]["ji_entries"] > 0
+        assert "offline" in summary["namespaces"]
+
+    def test_show_reads_back_from_the_catalog(self, tmp_path, capsys):
+        catalog = tmp_path / "market.catalog"
+        assert main(["catalog", "init", "--catalog", str(catalog), *BASE_ARGS]) == 0
+        built = capsys.readouterr().out
+        assert main(["catalog", "--json", "--catalog", str(catalog), *BASE_ARGS]) == 0
+        from_catalog = json.loads(capsys.readouterr().out)
+        assert len(from_catalog) == 8
+        assert built  # the init run printed the same catalog
+
+    def test_init_without_catalog_path_is_usage_error(self, capsys):
+        assert main(["catalog", "init", *BASE_ARGS]) == 2
+        assert "requires --catalog" in capsys.readouterr().err
+
+    def test_inspect_missing_file_is_an_error(self, tmp_path, capsys):
+        code = main(["catalog", "inspect", "--catalog", str(tmp_path / "absent")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestBatchCatalogWarmRestart:
+    def test_second_batch_run_restarts_warm(self, tmp_path, capsys):
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps([{"query": "Q1", "budget": 1000}]))
+        catalog = tmp_path / "market.catalog"
+        cold_args = ["batch", str(requests), "--catalog", str(catalog), *BASE_ARGS]
+        assert main(cold_args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert catalog.exists()
+
+        assert main(cold_args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        # The warm service adopted the checkpointed Step-1 memo: the request
+        # is answered without a single landmark/Steiner search.
+        assert warm["metrics"]["step1_memo"]["hits"] == 1
+        assert warm["metrics"]["step1_memo"]["misses"] == 0
+        assert (
+            warm["results"][0]["result"]["estimated_correlation"]
+            == cold["results"][0]["result"]["estimated_correlation"]
+        )
+
+
 class TestMetricsCommand:
     def test_default_traffic_dump(self, capsys):
         assert main(["metrics", "--budget", "1000", *BASE_ARGS]) == 0
