@@ -30,6 +30,7 @@ DOCUMENTED_PATHS = [
     "scripts/bench_hot_path.py",
     "scripts/run_experiments.py",
     "scripts/check_storage_parity.py",
+    "scripts/check_serve_parity.py",
     "docs/ARCHITECTURE.md",
     "BENCH_hotpath.json",
 ]

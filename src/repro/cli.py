@@ -32,6 +32,13 @@ shell without writing Python:
     latency histogram with p50/p95/p99, cache hit-rate trend, queue
     depth/rejection counters, Step-1 memo accounting.
 
+``repro-dance serve``
+    Keep one hot service (or an N-shard router, ``--shards``) behind a
+    stdlib HTTP/JSON endpoint: ``POST /acquire`` (single + batch,
+    per-request seeds honoured), ``GET /metrics`` (Prometheus text format),
+    ``GET /healthz``, graceful drain + catalog checkpoint on shutdown.  See
+    :mod:`repro.service.server`.
+
 ``repro-dance export-graph``
     Build the join graph from samples and export it to JSON and/or DOT.
 
@@ -44,6 +51,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.core.config import DanceConfig, ServiceConfig
@@ -350,6 +358,46 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0 if all(outcome.ok for outcome in outcomes) else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived HTTP acquisition server (see repro.service.server)."""
+    from repro.service.router import ShardRouter
+    from repro.service.server import AcquisitionHTTPServer
+
+    marketplace, workload = _service_marketplace(args)
+    config = _service_config(args)
+    if args.shards > 1:
+        service = ShardRouter(marketplace, config, num_shards=args.shards)
+    else:
+        service = AcquisitionService(marketplace, config)
+    with service:
+        server = AcquisitionHTTPServer(
+            (args.host, args.port), service, queries=queries_for(workload)
+        )
+        thread = server.serve_background()
+        print(
+            json.dumps(
+                {
+                    "serving": f"http://{args.host}:{server.port}",
+                    "shards": args.shards,
+                    "queue_depth": config.service.max_queue_depth,
+                    "admission": config.service.admission,
+                }
+            ),
+            flush=True,
+        )
+        try:
+            if args.serve_seconds is not None:
+                time.sleep(args.serve_seconds)
+            else:
+                while thread.is_alive():
+                    thread.join(timeout=1.0)
+        except KeyboardInterrupt:
+            pass
+        drained = server.graceful_shutdown(timeout=args.drain_timeout)
+        print(json.dumps({"drained": drained, "metrics": service.metrics()}, default=str))
+    return 0
+
+
 def cmd_export_graph(args: argparse.Namespace) -> int:
     marketplace, _ = _build_marketplace(args.workload, args.scale, args.seed)
     dance = _build_dance(marketplace, args)
@@ -490,6 +538,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_service_options(metrics)
     metrics.set_defaults(func=cmd_metrics)
+
+    serve = subparsers.add_parser(
+        "serve", help="run a long-lived HTTP acquisition server (stdlib http.server)"
+    )
+    add_common(serve)
+    add_service_options(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="listen port (0 picks an ephemeral port)"
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="in-process service shards behind the router (answers are "
+        "bit-identical to --shards 1)",
+    )
+    serve.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=None,
+        help="serve for N seconds then drain and exit (default: until interrupted)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="how long graceful shutdown waits for in-flight requests",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     export = subparsers.add_parser("export-graph", help="export the join graph")
     add_common(export)

@@ -436,6 +436,7 @@ class DANCE:
             step1_cache=runtime.step1_cache,
             pool=runtime.pool,
             pool_state=runtime.pool_state,
+            candidate_filter=runtime.candidate_filter,
         )
         if not heuristic.feasible:
             return None
@@ -450,6 +451,7 @@ class DANCE:
             queries=queries,
             sample_cost=self._sample_cost,
             igraph_size=heuristic.igraph_size,
+            igraph_index=heuristic.igraph_index,
             mcmc_cache_hit_rate=mcmc.evaluation_cache_hit_rate,
             mcmc_chains=mcmc.n_chains,
             mcmc_executor=mcmc.executor,

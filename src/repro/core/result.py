@@ -28,6 +28,10 @@ class AcquisitionResult:
         (passed on to the shopper per the paper's service model).
     igraph_size:
         Size of the minimal-weight I-graph found by Step 1.
+    igraph_index:
+        Position of the winning candidate in Step 1's ordered candidate list
+        — the tie-break key the shard router folds on (see
+        :mod:`repro.service.router`).
     refinement_rounds:
         How many times DANCE had to buy more samples before it found a feasible
         recommendation.
@@ -53,6 +57,7 @@ class AcquisitionResult:
     queries: list[ProjectionQuery] = field(default_factory=list)
     sample_cost: float = 0.0
     igraph_size: int = 0
+    igraph_index: int = 0
     refinement_rounds: int = 0
     mcmc_cache_hit_rate: float = 0.0
     mcmc_chains: int = 1
@@ -99,6 +104,7 @@ class AcquisitionResult:
             "estimated_price": self.estimated_price,
             "sample_cost": self.sample_cost,
             "igraph_size": self.igraph_size,
+            "igraph_index": self.igraph_index,
             "refinement_rounds": self.refinement_rounds,
             "mcmc_cache_hit_rate": self.mcmc_cache_hit_rate,
             "mcmc_chains": self.mcmc_chains,

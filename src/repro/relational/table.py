@@ -437,7 +437,11 @@ class Table:
         if self._num_rows != parent._num_rows:
             return self
         mapping = rename_map or {}
-        for key, encoding in parent._encodings.items():
+        # Snapshot both cache dicts: a concurrent request may memoise a new
+        # encoding/entropy on the shared parent mid-iteration (the serve tier
+        # projects the same hot source tables from many threads), and
+        # iterating the live dict would raise "changed size during iteration".
+        for key, encoding in list(parent._encodings.items()):
             old_names = key[1:] if key[0] == "#key" else key
             new_names = tuple(mapping.get(n, n) for n in old_names)
             if not all(
@@ -447,7 +451,7 @@ class Table:
                 continue
             new_key = ("#key",) + new_names if key[0] == "#key" else new_names
             self._encodings.setdefault(new_key, encoding)
-        for key, value in parent._stats.items():
+        for key, value in list(parent._stats.items()):
             if key[0] != "entropy":
                 continue
             old_names = key[1:]
@@ -457,7 +461,7 @@ class Table:
                 for old, new in zip(old_names, new_names)
             ):
                 self._stats.setdefault(("entropy",) + new_names, value)
-        for old, padded in parent._padded_arrays.items():
+        for old, padded in list(parent._padded_arrays.items()):
             new = mapping.get(old, old)
             if new in self._columns and self._columns[new] is parent._columns[old]:
                 self._padded_arrays.setdefault(new, padded)

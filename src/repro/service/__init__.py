@@ -25,6 +25,16 @@ the online phase into a long-lived *session*:
     Per-request latency percentiles, cache hit-rate trends over a sliding
     window, and the counting cache behind the Step-1 memo.
 
+:class:`ShardRouter` (:mod:`repro.service.router`)
+    Scale-out: N in-process service shards over one marketplace, each
+    searching only the Step-1 candidates it owns, folded back into an answer
+    bit-identical to the single-shard service for any partition.
+
+:class:`AcquisitionHTTPServer` (:mod:`repro.service.server`)
+    The networked serve tier: ``POST /acquire`` (single + batch), ``GET
+    /metrics`` (Prometheus text), ``GET /healthz``, graceful drain —
+    stdlib ``http.server`` only, fronting a service or a shard router.
+
 Determinism contract: a batch of N requests is bit-identical to the same N
 requests served one at a time — shared caches hold only deterministic values,
 per-request seeds depend only on ``(service seed, batch index)``, and result
@@ -36,9 +46,12 @@ what it computes.
 from repro.service.admission import AdmissionQueue, fair_order
 from repro.service.batch import BatchResult, ServedRequest, request_seed
 from repro.service.metrics import CountingCache, LatencyHistogram, ServiceMetrics
+from repro.service.router import ShardRouter
+from repro.service.server import AcquisitionHTTPServer, render_prometheus
 from repro.service.session import AcquisitionService
 
 __all__ = [
+    "AcquisitionHTTPServer",
     "AcquisitionService",
     "AdmissionQueue",
     "BatchResult",
@@ -46,6 +59,8 @@ __all__ = [
     "LatencyHistogram",
     "ServedRequest",
     "ServiceMetrics",
+    "ShardRouter",
     "fair_order",
+    "render_prometheus",
     "request_seed",
 ]

@@ -73,7 +73,11 @@ class ServedRequest:
         if self.result is not None:
             payload["result"] = self.result.summary()
         if self.error is not None:
+            # Typed, message-only error surface: the class name routes client
+            # handling (and the HTTP status mapping in repro.service.server);
+            # no traceback ever leaves the process.
             payload["error"] = str(self.error)
+            payload["error_type"] = type(self.error).__name__
         return payload
 
 

@@ -1,0 +1,570 @@
+"""Scale-out routing: N in-process service shards, one folded answer.
+
+The router is the "millions of users" architecture step of the ROADMAP: a
+request no longer runs on one :class:`~repro.service.session.AcquisitionService`
+but fans out to ``num_shards`` of them, each searching only the Step-1
+candidate I-graphs it *owns*, and the per-shard winners fold into one answer.
+
+**Parity is the design constraint.**  Partitioning the marketplace *data*
+across shards would change the search space, so the router partitions
+candidate *ownership* instead:
+
+* Every shard is a full :class:`AcquisitionService` over the **same**
+  marketplace object.  The offline phase is deterministic (correlated
+  sampling is seeded), so all shards hold bit-identical join graphs.
+* Instances are partitioned across shards (:func:`instance_assignment`); a
+  candidate I-graph's *home* is its lexicographically smallest instance
+  (:func:`candidate_home`), and the shard owning that instance owns the
+  candidate (:func:`candidate_owner`).  Every shard runs the identical,
+  memoised Step 1 and then searches only its owned candidates, via the
+  ``candidate_filter`` hook of
+  :class:`~repro.search.acquisition.SearchRuntime`.
+* Per-shard winners carry their candidate's global Step-1 position
+  (``AcquisitionResult.igraph_index``); :func:`fold_winners` picks the
+  highest correlation and breaks ties toward the lowest index — the same
+  rule the unfiltered candidate loop applies (strict ``>`` scanning in index
+  order).  For *any* partition of the candidates, the global winner is its
+  own shard's winner, so the fold reproduces the single-shard answer
+  bit-for-bit (``scripts/check_serve_parity.py`` and the hypothesis property
+  suite enforce this).
+
+Parity is scoped to the served bits — target graph, correlation / quality /
+join-informativeness / price, SQL, I-graph size.  Cache-hit-rate diagnostics
+legitimately differ (each shard warms only its own memos), and the shared
+marketplace's ``sample_revenue`` counter grows once per shard's offline
+phase.
+
+Admission lives at the router, not the shards: shards are built with an
+unbounded queue so a single bounded :class:`~repro.service.admission.AdmissionQueue`
+decides whether a request runs — a per-shard bound could admit a request on
+some shards and reject it on others, silently breaking fold coverage.
+Likewise only shard 0 keeps ``ServiceConfig.catalog_path`` (all shards still
+*restore* from the shared marketplace's attached catalog; one shard
+checkpointing avoids N redundant writes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.core.config import DanceConfig
+from repro.core.result import AcquisitionResult
+from repro.exceptions import (
+    AdmissionRejectedError,
+    InfeasibleAcquisitionError,
+    NoOwnedCandidatesError,
+    ReproError,
+)
+from repro.graph.steiner import IGraph
+from repro.marketplace.market import Marketplace
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.quality.fd import FunctionalDependency
+from repro.relational.table import Table
+from repro.service.admission import AdmissionQueue, fair_order
+from repro.service.batch import BatchResult, ServedRequest, request_seed
+from repro.service.metrics import ServiceMetrics
+from repro.service.session import AcquisitionService
+
+# ------------------------------------------------------------- candidate ownership
+
+
+def instance_assignment(names: Sequence[str], num_shards: int) -> dict[str, int]:
+    """Round-robin partition of instance names over shards.
+
+    Deterministic in the *sorted* name order, so every process (and every
+    shard) derives the identical map from the same marketplace.
+    """
+    if num_shards < 1:
+        raise ReproError(f"num_shards must be >= 1, got {num_shards}")
+    return {name: index % num_shards for index, name in enumerate(sorted(names))}
+
+
+def candidate_home(igraph: IGraph) -> str:
+    """The instance that anchors a candidate I-graph to a shard.
+
+    The lexicographically smallest node: stable under node-order changes and
+    derivable by every shard from the candidate alone.
+    """
+    return min(igraph.nodes)
+
+
+def candidate_owner(
+    igraph: IGraph, assignment: Mapping[str, int], num_shards: int
+) -> int:
+    """Which shard owns a candidate I-graph.
+
+    The home instance's entry in ``assignment``; instances absent from the
+    map (e.g. shopper tables registered after the router was built) hash to a
+    shard with blake2b so ownership stays total and deterministic.
+    """
+    home = candidate_home(igraph)
+    shard = assignment.get(home)
+    if shard is None:
+        digest = hashlib.blake2b(home.encode("utf-8"), digest_size=8).digest()
+        shard = int.from_bytes(digest, "big") % num_shards
+    return int(shard) % num_shards
+
+
+def shard_candidate_filter(
+    shard_index: int, assignment: Mapping[str, int], num_shards: int
+) -> Callable[[int, IGraph], bool]:
+    """The ownership predicate one shard threads into its searches."""
+
+    def owns(index: int, igraph: IGraph) -> bool:
+        return candidate_owner(igraph, assignment, num_shards) == shard_index
+
+    return owns
+
+
+# --------------------------------------------------------------------- the fold
+
+
+def fold_index(pairs: Sequence[tuple[float, int]]) -> int | None:
+    """Position of the folded winner among ``(correlation, igraph_index)`` pairs.
+
+    The same rule as the unfiltered candidate loop in
+    :func:`repro.search.acquisition.heuristic_acquisition`: highest
+    correlation wins, ties break toward the lowest candidate index.  The
+    hypothesis property suite checks this is invariant to how candidates are
+    partitioned into shards.
+    """
+    best_position: int | None = None
+    for position, (correlation, index) in enumerate(pairs):
+        if best_position is None:
+            best_position = position
+            continue
+        best_correlation, best_index = pairs[best_position]
+        if correlation > best_correlation or (
+            correlation == best_correlation and index < best_index
+        ):
+            best_position = position
+    return best_position
+
+
+def fold_winners(
+    results: Sequence[AcquisitionResult | None],
+) -> AcquisitionResult | None:
+    """Fold per-shard winning results into the global winner (or ``None``)."""
+    candidates = [result for result in results if result is not None]
+    if not candidates:
+        return None
+    position = fold_index(
+        [
+            (result.evaluation.correlation, result.igraph_index)
+            for result in candidates
+        ]
+    )
+    return candidates[position]
+
+
+def fold_errors(errors: Sequence[ReproError]) -> ReproError:
+    """The error to surface when every shard failed.
+
+    The first (by shard index) error that is *not* the
+    :class:`~repro.exceptions.NoOwnedCandidatesError` sentinel — a shard that
+    owned no candidates reports nothing about feasibility.  All-sentinel
+    folds degrade to a plain infeasibility (defensive: with a total
+    ownership map at least one shard owns each candidate).
+    """
+    for error in errors:
+        if not isinstance(error, NoOwnedCandidatesError):
+            return error
+    return InfeasibleAcquisitionError(
+        "no feasible acquisition satisfies the request constraints"
+    )
+
+
+# ------------------------------------------------------------------- the router
+
+
+class ShardRouter:
+    """Fans every request to N service shards and folds the winners.
+
+    Drop-in serving surface of :class:`AcquisitionService` —
+    ``acquire`` / ``acquire_batch`` / ``metrics`` / ``describe`` /
+    ``persist`` / ``register_source_tables`` / ``close`` — with answers
+    bit-identical to a single-shard service for any shard count and any
+    instance assignment (see the module docstring for why).
+
+    Parameters
+    ----------
+    marketplace:
+        Shared by every shard; the deterministic offline phase gives all
+        shards bit-identical join graphs.
+    config:
+        The middleware configuration.  Each shard gets a copy whose
+        ``service`` drops the queue bound (admission is router-level) and,
+        for shards past the first, the catalog path (one checkpointer).
+    num_shards:
+        How many in-process shards to build.
+    assignment:
+        Optional explicit instance → shard map (values in
+        ``range(num_shards)``); defaults to the round-robin
+        :func:`instance_assignment` over the marketplace's datasets.
+    known_fds / source_tables / build_offline:
+        Forwarded to every shard (sequentially, so shards never race on the
+        shared marketplace during sampling).
+    """
+
+    def __init__(
+        self,
+        marketplace: Marketplace,
+        config: DanceConfig | None = None,
+        *,
+        num_shards: int,
+        assignment: Mapping[str, int] | None = None,
+        known_fds: Mapping[str, Sequence[FunctionalDependency]] | None = None,
+        source_tables: Sequence[Table] = (),
+        build_offline: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ReproError(f"num_shards must be >= 1, got {num_shards}")
+        self.config = config or DanceConfig()
+        service_config = self.config.service
+        self.num_shards = num_shards
+        if assignment is None:
+            self.assignment = instance_assignment(marketplace.dataset_names, num_shards)
+        else:
+            self.assignment = {name: int(shard) for name, shard in assignment.items()}
+            bad = {n: s for n, s in self.assignment.items() if not 0 <= s < num_shards}
+            if bad:
+                raise ReproError(
+                    f"assignment maps instances outside range({num_shards}): {bad}"
+                )
+        self._seed = (
+            service_config.seed if service_config.seed is not None else self.config.mcmc.seed
+        )
+        self._lock = threading.Lock()
+        self._closed = False
+        self._requests_served = 0
+        self._batches_served = 0
+        self._errors = 0
+        self._in_flight = 0
+        self._admission = AdmissionQueue(
+            service_config.max_queue_depth, service_config.admission
+        )
+        self._metrics = ServiceMetrics(window=service_config.metrics_window)
+        self._fan_pool: ThreadPoolExecutor | None = None
+        self._request_pool: ThreadPoolExecutor | None = None
+        self._shards: list[AcquisitionService] = []
+        for index in range(num_shards):
+            shard_service = replace(
+                service_config,
+                max_queue_depth=None,
+                catalog_path=service_config.catalog_path if index == 0 else None,
+            )
+            self._shards.append(
+                AcquisitionService(
+                    marketplace,
+                    replace(self.config, service=shard_service),
+                    known_fds=known_fds,
+                    source_tables=source_tables,
+                    build_offline=build_offline,
+                    candidate_filter=shard_candidate_filter(
+                        index, self.assignment, num_shards
+                    ),
+                )
+            )
+
+    # ----------------------------------------------------------------- access
+    @property
+    def shards(self) -> tuple[AcquisitionService, ...]:
+        """The shard services, in shard-index order (treat as read-only)."""
+        return tuple(self._shards)
+
+    @property
+    def seed(self) -> int:
+        """The base seed per-request seeds derive from (same recipe as shards)."""
+        return self._seed
+
+    # ---------------------------------------------------------------- serving
+    def acquire(
+        self, request: AcquisitionRequest, *, seed: int | None = None
+    ) -> AcquisitionResult:
+        """Serve one request through every shard; bit-identical to one shard.
+
+        Admission semantics match :meth:`AcquisitionService.acquire`: a full
+        router queue blocks under the ``block`` policy and raises
+        :class:`~repro.exceptions.AdmissionRejectedError` under ``reject``.
+        """
+        if not self._admission.admit():
+            raise AdmissionRejectedError(
+                "admission queue is full "
+                f"(max_queue_depth={self.config.service.max_queue_depth})"
+            )
+        try:
+            item = self._serve_item(
+                request, index=0, seed=self._seed if seed is None else seed
+            )
+        finally:
+            self._admission.release()
+        self._count(item)
+        return item.require_result()
+
+    def acquire_batch(
+        self, requests: Sequence[AcquisitionRequest], *, seeds: Sequence[int] | None = None
+    ) -> BatchResult:
+        """Serve a batch with the exact contract of the single-shard service.
+
+        Per-request seeds derive from the batch index (``seeds`` overrides
+        positionally), submission is per-shopper round-robin through the
+        router's bounded admission queue, and results land at their request
+        positions — bit-identical to :meth:`AcquisitionService.acquire_batch`
+        on one shard, whatever the shard count or fan-out.
+        """
+        requests = list(requests)
+        if seeds is not None:
+            seeds = list(seeds)
+            if len(seeds) != len(requests):
+                raise ReproError(f"got {len(seeds)} seeds for {len(requests)} requests")
+        else:
+            seeds = [request_seed(self._seed, index) for index in range(len(requests))]
+
+        if not requests:
+            return BatchResult(items=[])
+        pool = self._ensure_request_pool()
+        order = fair_order([request.shopper for request in requests])
+        items: list[ServedRequest | None] = [None] * len(requests)
+        if pool is None:
+            for index in order:
+                if not self._admission.admit():
+                    items[index] = self._rejected_item(requests[index], index, seeds[index])
+                    continue
+                try:
+                    items[index] = self._serve_item(
+                        requests[index], index=index, seed=seeds[index]
+                    )
+                finally:
+                    self._admission.release()
+        else:
+            futures = {}
+            for index in order:
+                if not self._admission.admit():
+                    items[index] = self._rejected_item(requests[index], index, seeds[index])
+                    continue
+                try:
+                    futures[index] = pool.submit(
+                        self._serve_admitted, requests[index], index, seeds[index]
+                    )
+                except BaseException:
+                    self._admission.release()
+                    raise
+            for index, future in futures.items():
+                items[index] = future.result()
+        batch = BatchResult(items=items)
+        with self._lock:
+            self._batches_served += 1
+        for item in items:
+            if not isinstance(item.error, AdmissionRejectedError):
+                self._count(item)
+        return batch
+
+    def _serve_admitted(
+        self, request: AcquisitionRequest, index: int, seed: int
+    ) -> ServedRequest:
+        try:
+            return self._serve_item(request, index=index, seed=seed)
+        finally:
+            self._admission.release()
+
+    def _rejected_item(
+        self, request: AcquisitionRequest, index: int, seed: int
+    ) -> ServedRequest:
+        return ServedRequest(
+            index=index,
+            request=request,
+            seed=seed,
+            error=AdmissionRejectedError(
+                f"request {index} rejected: admission queue full "
+                f"(max_queue_depth={self.config.service.max_queue_depth})"
+            ),
+        )
+
+    def _serve_item(
+        self, request: AcquisitionRequest, *, index: int, seed: int
+    ) -> ServedRequest:
+        item = ServedRequest(index=index, request=request, seed=seed)
+        with self._lock:
+            self._in_flight += 1
+        start = time.perf_counter()
+        try:
+            item.result = self._fan(request, seed)
+        except ReproError as error:
+            item.error = error
+        finally:
+            item.elapsed_seconds = time.perf_counter() - start
+            with self._lock:
+                self._in_flight -= 1
+            self._metrics.record_request(
+                item.elapsed_seconds,
+                ok=item.ok,
+                cache_hit_rate=(
+                    item.result.mcmc_cache_hit_rate if item.result is not None else None
+                ),
+            )
+        return item
+
+    def _fan(self, request: AcquisitionRequest, seed: int) -> AcquisitionResult:
+        """One request through every shard (same seed everywhere), folded.
+
+        Shards receive the identical ``(request, seed)``, so each per-shard
+        walk is the exact walk the unsharded service would have run on that
+        shard's owned candidates.
+        """
+
+        def on_shard(shard: AcquisitionService):
+            try:
+                return shard.acquire(request, seed=seed), None
+            except ReproError as error:
+                return None, error
+
+        if self.num_shards == 1:
+            outcomes = [on_shard(self._shards[0])]
+        else:
+            pool = self._ensure_fan_pool()
+            outcomes = list(pool.map(on_shard, self._shards))
+        winner = fold_winners([result for result, _ in outcomes])
+        if winner is not None:
+            return winner
+        raise fold_errors([error for _, error in outcomes if error is not None])
+
+    def _count(self, item: ServedRequest) -> None:
+        with self._lock:
+            self._requests_served += 1
+            if not item.ok:
+                self._errors += 1
+
+    def _ensure_fan_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise ReproError("the shard router has been closed")
+            if self._fan_pool is None:
+                # Enough slots for every concurrent batch item to fan to all
+                # shards at once; fan tasks are leaves (they submit nothing),
+                # so an undersized pool would only queue, never deadlock.
+                batch_workers = self.config.service.max_batch_workers
+                workers = min(
+                    32, max(self.num_shards, self.num_shards * batch_workers)
+                )
+                self._fan_pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="shard-router-fan"
+                )
+            return self._fan_pool
+
+    def _ensure_request_pool(self) -> ThreadPoolExecutor | None:
+        with self._lock:
+            if self._closed:
+                raise ReproError("the shard router has been closed")
+            workers = self.config.service.max_batch_workers
+            if workers <= 1:
+                return None
+            if self._request_pool is None:
+                self._request_pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="shard-router-batch"
+                )
+            return self._request_pool
+
+    # ------------------------------------------------------------- management
+    def register_source_tables(self, tables: Sequence[Table]) -> dict[str, object]:
+        """Register shopper instances on every shard (sequentially).
+
+        All shards apply the identical incremental refresh, so their graphs
+        stay bit-identical; shard 0 (the one holding ``catalog_path``)
+        checkpoints as usual.  Returns shard 0's refresh summary.  Must not
+        overlap in-flight requests.
+        """
+        summary: dict[str, object] = {}
+        for index, shard in enumerate(self._shards):
+            result = shard.register_source_tables(tables)
+            if index == 0:
+                summary = result
+        return summary
+
+    def rebuild_offline(self, *, sampling_rate: float | None = None):
+        """Re-run the offline phase on every shard; returns shard 0's graph."""
+        graphs = [
+            shard.rebuild_offline(sampling_rate=sampling_rate) for shard in self._shards
+        ]
+        return graphs[0]
+
+    def persist(self, path: str | Path | None = None, *, kind: str | None = None):
+        """Checkpoint through shard 0 (all shards share the marketplace)."""
+        return self._shards[0].persist(path, kind=kind)
+
+    def close(self) -> None:
+        """Shut down the pools and every shard.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._fan_pool is not None:
+                self._fan_pool.shutdown(wait=True)
+                self._fan_pool = None
+            if self._request_pool is not None:
+                self._request_pool.shutdown(wait=True)
+                self._request_pool = None
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- summaries
+    def metrics(self) -> dict[str, object]:
+        """Router-level metrics in the :meth:`AcquisitionService.metrics` schema.
+
+        Latency / error / queue / in-flight numbers are the router's own
+        (one entry per folded request); the Step-1 memo accounting aggregates
+        across shards; ``shards`` carries the shard count.
+        """
+        with self._lock:
+            in_flight = self._in_flight
+        step1: dict[str, object] = {"enabled": self.config.service.step1_memo}
+        if self.config.service.step1_memo:
+            totals = {"entries": 0, "hits": 0, "misses": 0}
+            for shard in self._shards:
+                snapshot = shard.metrics()["step1_memo"]
+                for key in totals:
+                    totals[key] += int(snapshot.get(key, 0))
+            step1.update(totals)
+        payload = self._metrics.snapshot()
+        payload["in_flight"] = in_flight
+        payload["queue"] = self._admission.snapshot()
+        payload["step1_memo"] = step1
+        payload["shards"] = self.num_shards
+        return payload
+
+    def describe(self) -> dict[str, object]:
+        metrics = self.metrics()
+        with self._lock:
+            requests_served = self._requests_served
+            batches_served = self._batches_served
+            errors = self._errors
+            in_flight = self._in_flight
+        return {
+            "seed": self._seed,
+            "num_shards": self.num_shards,
+            "assignment": dict(self.assignment),
+            "requests_served": requests_served,
+            "batches_served": batches_served,
+            "errors": errors,
+            "in_flight": in_flight,
+            "batch_workers": self.config.service.max_batch_workers,
+            "metrics": metrics,
+            "shards": [
+                {
+                    "requests_served": shard.describe()["requests_served"],
+                    "graph_version": shard.dance.graph_version,
+                }
+                for shard in self._shards
+            ],
+        }

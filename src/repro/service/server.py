@@ -1,0 +1,545 @@
+"""The HTTP serve tier: one hot service behind a stdlib HTTP/JSON endpoint.
+
+``repro-dance serve`` keeps one :class:`~repro.service.session.AcquisitionService`
+(or a :class:`~repro.service.router.ShardRouter`) hot behind a
+``http.server.ThreadingHTTPServer`` — no dependencies beyond the standard
+library:
+
+``POST /acquire``
+    A single request spec (the CLI ``batch`` file format: ``{"query": "Q1",
+    "budget": 100}`` or explicit ``{"source": [...], "target": [...],
+    "budget": ..., "alpha": ..., "beta": ..., "shopper": ...}``, plus an
+    optional ``"seed"``), or a batch ``{"requests": [...], "seeds": [...]}``
+    (a bare JSON list is treated as a batch too).  Per-request seeds are
+    honoured exactly as in :meth:`AcquisitionService.acquire_batch`, so the
+    served bits are bit-identical to direct library calls.
+
+``GET /metrics``
+    The service's :meth:`metrics` payload rendered as Prometheus text
+    exposition format (:func:`render_prometheus`): request/error counters,
+    the lifetime latency histogram with cumulative ``le`` buckets, exact
+    window percentiles, the cache-hit-rate trend, admission queue gauges,
+    and Step-1 memo accounting.
+
+``GET /healthz``
+    ``200 {"status": "ok"}`` while serving; ``503 {"status": "draining"}``
+    once a graceful shutdown began.
+
+Error mapping (the typed-error contract): admission rejections surface as
+``503`` with a ``Retry-After`` header, search errors (including
+infeasibility) as ``422``, storage errors as ``500``, any other library
+error as ``400`` — always as ``{"error": {"type": <exception class name>,
+"message": ...}}``, never a traceback.
+
+Graceful shutdown (:meth:`AcquisitionHTTPServer.graceful_shutdown`) flips
+``/healthz`` to draining, refuses new ``/acquire`` work, waits for in-flight
+requests to finish, checkpoints the service to its catalog (when one is
+configured), and only then closes the listener.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import warnings
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Mapping
+
+from repro.exceptions import (
+    AdmissionRejectedError,
+    ReproError,
+    SearchError,
+    StorageError,
+)
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.service.metrics import BUCKET_BOUNDS
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Flattened ``metrics()`` payload path -> the Prometheus metric that carries
+#: it.  The golden-file test walks a real payload and asserts every leaf is
+#: covered here (so a new ServiceMetrics field cannot silently vanish from
+#: ``/metrics``), and that every name obeys Prometheus conventions.
+FIELD_METRICS: dict[str, str] = {
+    "requests": "dance_requests_total",
+    "errors": "dance_request_errors_total",
+    "latency.count": "dance_request_latency_seconds_count",
+    "latency.mean_seconds": "dance_request_latency_seconds_sum",
+    "latency.max_seconds": "dance_request_latency_max_seconds",
+    "latency.window_size": "dance_request_latency_window_size",
+    "latency.buckets": "dance_request_latency_seconds_bucket",
+    "latency.p50_seconds": "dance_request_latency_p50_seconds",
+    "latency.p95_seconds": "dance_request_latency_p95_seconds",
+    "latency.p99_seconds": "dance_request_latency_p99_seconds",
+    "cache_hit_rate.window_size": "dance_cache_hit_rate_window_size",
+    "cache_hit_rate.window_mean": "dance_cache_hit_rate_window_mean",
+    "cache_hit_rate.older_half_mean": "dance_cache_hit_rate_older_half_mean",
+    "cache_hit_rate.newer_half_mean": "dance_cache_hit_rate_newer_half_mean",
+    "cache_hit_rate.trend": "dance_cache_hit_rate_trend",
+    "in_flight": "dance_in_flight_requests",
+    "queue.max_depth": "dance_admission_max_depth",
+    "queue.policy": "dance_admission_policy",
+    "queue.depth": "dance_admission_depth",
+    "queue.peak_depth": "dance_admission_peak_depth",
+    "queue.admitted": "dance_admission_admitted_total",
+    "queue.rejected": "dance_admission_rejected_total",
+    "queue.blocked_seconds": "dance_admission_blocked_seconds_total",
+    "step1_memo.enabled": "dance_step1_memo_enabled",
+    "step1_memo.entries": "dance_step1_memo_entries",
+    "step1_memo.hits": "dance_step1_memo_hits_total",
+    "step1_memo.misses": "dance_step1_memo_misses_total",
+    "shards": "dance_shards",
+}
+
+
+# -------------------------------------------------------------- error mapping
+def error_status(error: BaseException) -> int:
+    """The HTTP status of a library error (the typed-error contract).
+
+    Admission rejection is the backpressure signal (retryable, 503); search
+    errors describe the *request* (422, unprocessable); storage errors are
+    server-side (500); any other :class:`~repro.exceptions.ReproError` is a
+    bad request (400).  Order matters: ``AdmissionRejectedError`` and
+    ``SearchError`` both derive from ``ReproError``.
+    """
+    if isinstance(error, AdmissionRejectedError):
+        return 503
+    if isinstance(error, SearchError):
+        return 422
+    if isinstance(error, StorageError):
+        return 500
+    if isinstance(error, ReproError):
+        return 400
+    return 500
+
+
+def error_body(error: BaseException) -> dict[str, object]:
+    """The JSON body of an error response: type name + message, no traceback."""
+    return {"error": {"type": type(error).__name__, "message": str(error)}}
+
+
+# ------------------------------------------------------------- request parsing
+def request_from_spec(
+    spec: object, queries: Mapping[str, object] | None = None
+) -> AcquisitionRequest:
+    """Build an :class:`AcquisitionRequest` from a JSON spec.
+
+    The same format the CLI ``batch`` file uses: either ``{"query": "Q1"}``
+    naming a predefined workload query (resolved through ``queries``) or
+    explicit ``source`` / ``target`` attribute lists, plus ``budget`` /
+    ``alpha`` / ``beta`` / ``shopper``.  Raises
+    :class:`~repro.exceptions.ReproError` (HTTP 400) for malformed specs;
+    request validation itself (e.g. empty targets) raises ``SearchError``
+    (HTTP 422) from the :class:`AcquisitionRequest` constructor.
+    """
+    if not isinstance(spec, dict):
+        raise ReproError(f"request spec must be a JSON object, got {type(spec).__name__}")
+    if "query" in spec:
+        known = queries or {}
+        name = spec["query"]
+        if name not in known:
+            raise ReproError(
+                f"unknown query {name!r} (expected {sorted(known) if known else 'none'})"
+            )
+        query = known[name]
+        source = list(query.source_attributes)
+        target = list(query.target_attributes)
+    else:
+        source = list(spec.get("source", []))
+        target = list(spec.get("target", []))
+    try:
+        budget = float(spec.get("budget", 100.0))
+        alpha = float(spec.get("alpha", float("inf")))
+        beta = float(spec.get("beta", 0.0))
+    except (TypeError, ValueError) as error:
+        raise ReproError(f"invalid numeric field in request spec: {error}") from error
+    return AcquisitionRequest(
+        source_attributes=source,
+        target_attributes=target,
+        budget=budget,
+        max_join_informativeness=alpha,
+        min_quality=beta,
+        shopper=spec.get("shopper"),
+    )
+
+
+# --------------------------------------------------------- prometheus rendering
+def _format_value(value: object) -> str:
+    """One Prometheus sample value.  ``None`` renders as ``NaN`` (no data yet)."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return format(float(value), ".10g")
+
+
+def _metric(lines: list[str], name: str, kind: str, help_text: str) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_prometheus(
+    metrics: Mapping[str, object],
+    *,
+    extra: Mapping[str, float] | None = None,
+    prefix: str = "dance",
+) -> str:
+    """Render a service ``metrics()`` payload as Prometheus text format.
+
+    ``metrics`` is the dict returned by ``AcquisitionService.metrics()`` /
+    ``ShardRouter.metrics()``.  The lifetime latency buckets become one
+    cumulative histogram (``_sum`` is reconstructed from the reported mean,
+    so it is exact up to float rounding); window percentiles, hit-rate trend
+    and queue state become gauges; lifetime totals become counters.
+    ``extra`` appends ``{prefix}_<name>`` gauges (the server adds
+    ``server_draining``).
+    """
+    lines: list[str] = []
+    latency = metrics.get("latency", {})
+    hit_rate = metrics.get("cache_hit_rate", {})
+    queue = metrics.get("queue", {})
+    step1 = metrics.get("step1_memo", {})
+
+    _metric(
+        lines, f"{prefix}_requests_total", "counter", "Requests executed (admitted and run)."
+    )
+    lines.append(f"{prefix}_requests_total {_format_value(metrics.get('requests', 0))}")
+    _metric(
+        lines, f"{prefix}_request_errors_total", "counter", "Executed requests that failed."
+    )
+    lines.append(f"{prefix}_request_errors_total {_format_value(metrics.get('errors', 0))}")
+
+    # Lifetime histogram: the snapshot's per-bucket counts are non-cumulative
+    # and insertion-ordered over BUCKET_BOUNDS plus one overflow bucket.
+    count = int(latency.get("count", 0) or 0)
+    mean = latency.get("mean_seconds")
+    total_sum = float(mean) * count if mean is not None else 0.0
+    bucket_counts = list((latency.get("buckets") or {}).values())
+    if len(bucket_counts) != len(BUCKET_BOUNDS) + 1:
+        bucket_counts = [0] * (len(BUCKET_BOUNDS) + 1)
+    _metric(
+        lines,
+        f"{prefix}_request_latency_seconds",
+        "histogram",
+        "Lifetime request latency distribution.",
+    )
+    cumulative = 0
+    for bound, bucket in zip(BUCKET_BOUNDS, bucket_counts):
+        cumulative += int(bucket)
+        lines.append(
+            f'{prefix}_request_latency_seconds_bucket{{le="{bound:g}"}} {cumulative}'
+        )
+    lines.append(f'{prefix}_request_latency_seconds_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{prefix}_request_latency_seconds_sum {_format_value(total_sum)}")
+    lines.append(f"{prefix}_request_latency_seconds_count {count}")
+
+    for field, help_text in (
+        ("max_seconds", "Largest request latency observed."),
+        ("window_size", "Latency samples in the sliding percentile window."),
+        ("p50_seconds", "Median request latency over the sliding window."),
+        ("p95_seconds", "95th-percentile request latency over the sliding window."),
+        ("p99_seconds", "99th-percentile request latency over the sliding window."),
+    ):
+        name = f"{prefix}_request_latency_{field}"
+        if field == "window_size":
+            name = f"{prefix}_request_latency_window_size"
+        _metric(lines, name, "gauge", help_text)
+        lines.append(f"{name} {_format_value(latency.get(field))}")
+
+    for field, help_text in (
+        ("window_size", "Hit-rate samples in the sliding window."),
+        ("window_mean", "Mean MCMC evaluation-cache hit rate over the window."),
+        ("older_half_mean", "Hit-rate mean of the window's older half."),
+        ("newer_half_mean", "Hit-rate mean of the window's newer half."),
+        ("trend", "Newer-half minus older-half hit rate (positive = warming)."),
+    ):
+        name = f"{prefix}_cache_hit_rate_{field}"
+        _metric(lines, name, "gauge", help_text)
+        lines.append(f"{name} {_format_value(hit_rate.get(field))}")
+
+    _metric(lines, f"{prefix}_in_flight_requests", "gauge", "Requests currently executing.")
+    lines.append(f"{prefix}_in_flight_requests {_format_value(metrics.get('in_flight', 0))}")
+
+    _metric(
+        lines,
+        f"{prefix}_admission_policy",
+        "gauge",
+        "Full-queue policy as an info gauge (the active policy label is 1).",
+    )
+    lines.append(
+        f'{prefix}_admission_policy{{policy="{queue.get("policy", "block")}"}} 1'
+    )
+    for field, kind, help_text in (
+        ("max_depth", "gauge", "Admission bound (NaN = unbounded)."),
+        ("depth", "gauge", "Currently admitted (queued + executing) requests."),
+        ("peak_depth", "gauge", "Highest admitted depth observed."),
+        ("admitted", "counter", "Requests admitted by the queue."),
+        ("rejected", "counter", "Requests shed by the reject policy."),
+        ("blocked_seconds", "counter", "Total submitter time spent blocked on a full queue."),
+    ):
+        suffix = "_total" if kind == "counter" else ""
+        name = f"{prefix}_admission_{field}{suffix}"
+        _metric(lines, name, kind, help_text)
+        lines.append(f"{name} {_format_value(queue.get(field))}")
+
+    for field, kind, help_text in (
+        ("enabled", "gauge", "Whether the Step-1 memo is on (1) or off (0)."),
+        ("entries", "gauge", "Entries in the Step-1 memo."),
+        ("hits", "counter", "Step-1 searches served from the memo."),
+        ("misses", "counter", "Step-1 searches that ran the landmark/Steiner pass."),
+    ):
+        suffix = "_total" if kind == "counter" else ""
+        name = f"{prefix}_step1_memo_{field}{suffix}"
+        _metric(lines, name, kind, help_text)
+        lines.append(f"{name} {_format_value(step1.get(field, 0))}")
+
+    if "shards" in metrics:
+        _metric(lines, f"{prefix}_shards", "gauge", "Service shards behind the router.")
+        lines.append(f"{prefix}_shards {_format_value(metrics['shards'])}")
+
+    for name, value in (extra or {}).items():
+        full = f"{prefix}_{name}"
+        _metric(lines, full, "gauge", f"Server state gauge {name}.")
+        lines.append(f"{full} {_format_value(value)}")
+
+    return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------------ the server
+class AcquisitionHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server wrapping one hot acquisition service.
+
+    ``service`` is anything with the serving surface of
+    :class:`AcquisitionService` — the single-shard service or a
+    :class:`~repro.service.router.ShardRouter`.  The server owns the HTTP
+    lifecycle only; it never builds or closes the service (callers pair it
+    with ``with service: ...``).
+
+    Handler threads are daemonic and connections are HTTP/1.0 (closed per
+    response), so a drain only has to wait for requests already executing.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service,
+        *,
+        queries: Mapping[str, object] | None = None,
+    ) -> None:
+        super().__init__(address, _AcquisitionHandler)
+        self.service = service
+        self.queries = dict(queries or {})
+        self._state = threading.Condition(threading.Lock())
+        self._http_in_flight = 0
+        self._draining = False
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``("127.0.0.1", 0)`` ephemeral binds)."""
+        return self.server_address[1]
+
+    @property
+    def draining(self) -> bool:
+        with self._state:
+            return self._draining
+
+    def serve_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread and return it."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="acquisition-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def _enter_request(self) -> bool:
+        """Register one /acquire execution; refused once draining."""
+        with self._state:
+            if self._draining:
+                return False
+            self._http_in_flight += 1
+            return True
+
+    def _exit_request(self) -> None:
+        with self._state:
+            self._http_in_flight -= 1
+            self._state.notify_all()
+
+    def drain(self, timeout: float | None = 30.0) -> bool:
+        """Stop accepting /acquire work and wait for in-flight requests.
+
+        Health flips to draining immediately.  Returns whether the in-flight
+        count reached zero within ``timeout``.
+        """
+        with self._state:
+            self._draining = True
+            return self._state.wait_for(lambda: self._http_in_flight == 0, timeout)
+
+    def graceful_shutdown(self, timeout: float | None = 30.0) -> bool:
+        """Drain, checkpoint to the service's catalog, close the listener.
+
+        The checkpoint runs only when the service is configured with a
+        catalog path; a failing checkpoint warns and still closes (shutdown
+        must never hang on storage).  Returns the drain outcome.
+        """
+        drained = self.drain(timeout)
+        catalog_path = getattr(self.service.config.service, "catalog_path", None)
+        if catalog_path is not None:
+            try:
+                self.service.persist()
+            except (StorageError, ReproError) as error:
+                warnings.warn(
+                    f"shutdown checkpoint failed: {error}", RuntimeWarning, stacklevel=2
+                )
+        self.shutdown()
+        self.server_close()
+        return drained
+
+
+class _AcquisitionHandler(BaseHTTPRequestHandler):
+    """Routes /acquire, /metrics, /healthz.  One instance per connection."""
+
+    server: AcquisitionHTTPServer
+
+    # Quiet by default: the server is driven from tests and benchmarks where
+    # per-request stderr lines are noise.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        pass
+
+    # ------------------------------------------------------------------ plumbing
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(
+        self, status: int, payload: object, headers: Mapping[str, str] | None = None
+    ) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self._send_body(status, body, "application/json", headers)
+
+    def _send_error_response(self, error: BaseException) -> None:
+        status = error_status(error)
+        headers = {"Retry-After": "1"} if status == 503 else None
+        self._send_json(status, error_body(error), headers)
+
+    def _not_found(self) -> None:
+        self._send_json(
+            404, {"error": {"type": "NotFound", "message": f"unknown path {self.path}"}}
+        )
+
+    # ------------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        if self.path == "/healthz":
+            if self.server.draining:
+                self._send_json(503, {"status": "draining"}, {"Retry-After": "1"})
+            else:
+                self._send_json(200, {"status": "ok"})
+        elif self.path == "/metrics":
+            payload = self.server.service.metrics()
+            text = render_prometheus(
+                payload, extra={"server_draining": 1.0 if self.server.draining else 0.0}
+            )
+            self._send_body(200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE)
+        else:
+            self._not_found()
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        if self.path != "/acquire":
+            self._not_found()
+            return
+        if not self.server._enter_request():
+            self._send_json(
+                503,
+                {"error": {"type": "ServerDraining", "message": "server is draining"}},
+                {"Retry-After": "1"},
+            )
+            return
+        try:
+            self._handle_acquire()
+        finally:
+            self.server._exit_request()
+
+    # ------------------------------------------------------------------ acquire
+    def _handle_acquire(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length > 0 else b""
+            spec = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError) as error:
+            message = f"invalid JSON body: {error}"
+            self._send_json(
+                400, {"error": {"type": "InvalidRequest", "message": message}}
+            )
+            return
+        try:
+            if isinstance(spec, list):
+                self._serve_batch({"requests": spec})
+            elif isinstance(spec, dict) and "requests" in spec:
+                self._serve_batch(spec)
+            else:
+                self._serve_single(spec)
+        except ReproError as error:
+            self._send_error_response(error)
+        except Exception:  # noqa: BLE001 - boundary: typed body, no traceback
+            self._send_json(
+                500,
+                {
+                    "error": {
+                        "type": "InternalServerError",
+                        "message": "unexpected server error",
+                    }
+                },
+            )
+
+    def _serve_single(self, spec: object) -> None:
+        request = request_from_spec(spec, self.server.queries)
+        seed = spec.get("seed") if isinstance(spec, dict) else None
+        if seed is not None:
+            seed = int(seed)
+        result = self.server.service.acquire(request, seed=seed)
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "seed": seed if seed is not None else self.server.service.seed,
+                "result": result.summary(),
+            },
+        )
+
+    def _serve_batch(self, spec: dict) -> None:
+        specs = spec["requests"]
+        if not isinstance(specs, list):
+            raise ReproError('"requests" must be a JSON list of request objects')
+        requests = [request_from_spec(item, self.server.queries) for item in specs]
+        seeds = spec.get("seeds")
+        if seeds is not None:
+            if not isinstance(seeds, list):
+                raise ReproError('"seeds" must be a JSON list of integers')
+            seeds = [int(seed) for seed in seeds]
+        batch = self.server.service.acquire_batch(requests, seeds=seeds)
+        rejected = sum(
+            1 for item in batch if isinstance(item.error, AdmissionRejectedError)
+        )
+        payload = {"ok": batch.ok, "rejected": rejected, "results": batch.summary()}
+        if batch.items and rejected == len(batch.items):
+            # Nothing ran at all: the whole batch was shed — surface the same
+            # backpressure signal a single rejected request gets.
+            self._send_json(503, payload, {"Retry-After": "1"})
+        else:
+            self._send_json(200, payload)

@@ -119,6 +119,12 @@ class AcquisitionService:
     build_offline:
         Run the offline phase during construction (the default).  Pass
         ``False`` to defer it; the first served request triggers it then.
+    candidate_filter:
+        Optional ownership predicate ``(candidate index, igraph) -> bool``
+        threaded into every request's
+        :class:`~repro.search.acquisition.SearchRuntime`.  Used by the shard
+        router (:mod:`repro.service.router`) to make this service search only
+        the Step-1 candidates its shard owns.
 
     Use as a context manager (or call :meth:`close`) to release the pools::
 
@@ -134,6 +140,7 @@ class AcquisitionService:
         known_fds: Mapping[str, Sequence[FunctionalDependency]] | None = None,
         source_tables: Sequence[Table] = (),
         build_offline: bool = True,
+        candidate_filter=None,
     ) -> None:
         self._dance = DANCE(marketplace, config, known_fds=known_fds)
         self.config = self._dance.config
@@ -142,6 +149,7 @@ class AcquisitionService:
             service_config.seed if service_config.seed is not None else self.config.mcmc.seed
         )
         self._service_id = next(_SERVICE_COUNTER)
+        self._candidate_filter = candidate_filter
         self._lock = threading.Lock()
         self._closed = False
         self._synced_version: int | None = None
@@ -375,6 +383,7 @@ class AcquisitionService:
             mcmc_seed=seed,
             resampling=copy.deepcopy(self.config.resampling),
             allow_refinement=False,
+            candidate_filter=self._candidate_filter,
         )
 
     def _sync_locked(self) -> None:

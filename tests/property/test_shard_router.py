@@ -1,0 +1,158 @@
+"""Hypothesis property tests: the shard fold is partition-invariant.
+
+The :class:`~repro.service.router.ShardRouter` parity argument rests on pure
+functions — ownership (:func:`candidate_owner`) is a total deterministic map,
+and the winner fold (:func:`fold_index`) applied per shard and then across
+shard winners picks the same candidate as one global fold, for *any* way of
+partitioning candidates into shards.  These properties exercise that argument
+directly, over arbitrary correlations (ties included), partitions, and shard
+counts — far more partitions than the integration suite could afford to run
+through real acquisitions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    InfeasibleAcquisitionError,
+    NoOwnedCandidatesError,
+    ReproError,
+    StorageError,
+)
+from repro.graph.steiner import IGraph
+from repro.service.router import (
+    candidate_home,
+    candidate_owner,
+    fold_errors,
+    fold_index,
+    instance_assignment,
+    shard_candidate_filter,
+)
+
+# Correlations drawn from a small pool so ties are common — the tie-break is
+# the interesting half of the fold rule.
+correlations = st.floats(
+    min_value=-2.0, max_value=2.0, allow_nan=False, width=32
+).map(lambda value: round(value, 2))
+
+instance_names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=8
+)
+
+
+@st.composite
+def indexed_candidates(draw):
+    """Unique candidate indices with (possibly tied) correlations."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    scores = draw(st.lists(correlations, min_size=count, max_size=count))
+    return list(zip(scores, range(count)))
+
+
+@st.composite
+def partitioned_candidates(draw):
+    pairs = draw(indexed_candidates())
+    num_shards = draw(st.integers(min_value=1, max_value=6))
+    labels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_shards - 1),
+            min_size=len(pairs),
+            max_size=len(pairs),
+        )
+    )
+    return pairs, labels, num_shards
+
+
+@settings(max_examples=300)
+@given(partitioned_candidates())
+def test_fold_is_invariant_to_partitioning(case):
+    pairs, labels, _ = case
+    global_winner = pairs[fold_index(pairs)]
+
+    shards = defaultdict(list)
+    for pair, label in zip(pairs, labels):
+        shards[label].append(pair)
+    shard_winners = [group[fold_index(group)] for group in shards.values()]
+
+    assert shard_winners[fold_index(shard_winners)] == global_winner
+
+
+@settings(max_examples=300)
+@given(indexed_candidates())
+def test_fold_picks_max_correlation_lowest_index(pairs):
+    winner_correlation, winner_index = pairs[fold_index(pairs)]
+    best = max(score for score, _ in pairs)
+    assert winner_correlation == best
+    assert winner_index == min(index for score, index in pairs if score == best)
+
+
+def test_fold_index_of_empty_is_none():
+    assert fold_index([]) is None
+
+
+@settings(max_examples=200)
+@given(
+    names=st.lists(instance_names, min_size=1, max_size=12, unique=True),
+    num_shards=st.integers(min_value=1, max_value=8),
+)
+def test_ownership_is_a_total_partition(names, num_shards):
+    """Every candidate is owned by exactly one shard, whatever the map says."""
+    assignment = instance_assignment(names, num_shards)
+    assert set(assignment) == set(names)
+    assert all(0 <= shard < num_shards for shard in assignment.values())
+
+    # Candidates homed on assigned *and* unassigned instances alike.
+    igraphs = [
+        IGraph(nodes=(name, "zzz_extra"), edges=((name, "zzz_extra"),), total_weight=1.0)
+        for name in names
+    ] + [IGraph(nodes=("zzz_unassigned",), edges=(), total_weight=0.0)]
+    filters = [
+        shard_candidate_filter(shard, assignment, num_shards)
+        for shard in range(num_shards)
+    ]
+    for index, igraph in enumerate(igraphs):
+        owner = candidate_owner(igraph, assignment, num_shards)
+        assert 0 <= owner < num_shards
+        assert [owns(index, igraph) for owns in filters].count(True) == 1
+        assert filters[owner](index, igraph)
+
+
+@settings(max_examples=200)
+@given(
+    names=st.lists(instance_names, min_size=1, max_size=12, unique=True),
+    num_shards=st.integers(min_value=1, max_value=8),
+)
+def test_assignment_is_input_order_invariant(names, num_shards):
+    assert instance_assignment(names, num_shards) == instance_assignment(
+        list(reversed(names)), num_shards
+    )
+
+
+def test_candidate_home_is_lexicographic_minimum():
+    igraph = IGraph(nodes=("b", "a", "c"), edges=(("a", "b"), ("b", "c")), total_weight=2.0)
+    assert candidate_home(igraph) == "a"
+
+
+def test_fold_errors_prefers_first_real_error():
+    sentinel = NoOwnedCandidatesError("owned nothing")
+    real = InfeasibleAcquisitionError("genuinely infeasible")
+    later = StorageError("also failed")
+    assert fold_errors([sentinel, real, later]) is real
+    assert fold_errors([real, sentinel]) is real
+
+
+def test_fold_errors_degrades_all_sentinels_to_plain_infeasibility():
+    folded = fold_errors([NoOwnedCandidatesError("a"), NoOwnedCandidatesError("b")])
+    assert type(folded) is InfeasibleAcquisitionError
+    assert str(folded) == "no feasible acquisition satisfies the request constraints"
+
+
+def test_instance_assignment_rejects_bad_shard_counts():
+    try:
+        instance_assignment(["a"], 0)
+    except ReproError:
+        return
+    raise AssertionError("expected ReproError for num_shards=0")

@@ -160,3 +160,51 @@ class TestSummaries:
     def test_equality(self, people):
         assert people == people.with_name("people")
         assert people != people.project(["name"])
+
+
+class TestConcurrentMemoisation:
+    def test_adopt_encodings_is_safe_while_parent_caches_grow(self):
+        """Regression: projecting a hot shared table while other threads
+        memoise new encodings on it raised "dictionary changed size during
+        iteration" (`_adopt_encodings_from` iterated the live cache dicts).
+        The serve tier hits exactly this: concurrent requests project the
+        same source tables from many handler threads."""
+        import threading
+
+        width = 120
+        columns = [f"c{i}" for i in range(width)]
+        table = Table.from_rows(
+            "wide", columns, [tuple(f"v{i}_{r}" for i in range(width)) for r in range(4)]
+        )
+        # Pre-warm a slice so the adopting iteration has entries to walk.
+        for name in columns[:20]:
+            table.encoded(name)
+
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def memoise():
+            try:
+                index = 20
+                while not stop.is_set() and index < width:
+                    table.encoded(columns[index])
+                    table.key_entropy([columns[index]])
+                    index += 1
+            except BaseException as error:  # noqa: BLE001 - recorded for the assert
+                errors.append(error)
+
+        def adopt():
+            try:
+                for _ in range(300):
+                    table.project(columns[:30])
+            except BaseException as error:  # noqa: BLE001 - recorded for the assert
+                errors.append(error)
+
+        workers = [threading.Thread(target=memoise) for _ in range(2)]
+        workers += [threading.Thread(target=adopt) for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30.0)
+        stop.set()
+        assert errors == []

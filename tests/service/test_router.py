@@ -1,0 +1,171 @@
+"""ShardRouter integration tests: real acquisitions, bit-identical folds.
+
+The property suite (``tests/property/test_shard_router.py``) proves the fold
+rule is partition-invariant on pure data; this suite runs the real thing —
+N in-process service shards over one marketplace — and checks the served
+bits against a single-shard :class:`AcquisitionService` at fixed shard
+counts, plus the router-level admission, error and metrics contracts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DanceConfig, ServiceConfig
+from repro.exceptions import (
+    AdmissionRejectedError,
+    InfeasibleAcquisitionError,
+    ReproError,
+)
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.pricing.models import EntropyPricingModel
+from repro.relational.table import Table
+from repro.search.mcmc import MCMCConfig
+from repro.service import AcquisitionService, ShardRouter
+
+REQUEST = AcquisitionRequest(
+    source_attributes=["measure"], target_attributes=["label"], budget=1e9
+)
+INFEASIBLE = AcquisitionRequest(
+    source_attributes=["measure"], target_attributes=["no_such_attribute"], budget=1e9
+)
+
+# The served bits of a result summary; cache/executor diagnostics excluded.
+SERVED_KEYS = (
+    "instances",
+    "purchased_instances",
+    "projections",
+    "join_attributes",
+    "estimated_correlation",
+    "estimated_quality",
+    "estimated_join_informativeness",
+    "estimated_price",
+    "igraph_size",
+    "igraph_index",
+    "queries",
+)
+
+
+def small_marketplace() -> Marketplace:
+    pricing = EntropyPricingModel()
+    marketplace = Marketplace(default_pricing=pricing)
+    facts = Table.from_rows(
+        "facts",
+        ["good_key", "bad_key", "measure"],
+        [(i % 10, i % 3, float(i % 8) * 10 + i % 3) for i in range(64)],
+    )
+    dims = Table.from_rows(
+        "dims",
+        ["good_key", "bad_key", "label"],
+        [(i, i % 2, f"lbl{i}") for i in range(8)],
+    )
+    extra = Table.from_rows(
+        "extra",
+        ["bad_key", "bonus"],
+        [(i % 3, float(i)) for i in range(12)],
+    )
+    for table in (facts, dims, extra):
+        marketplace.host(MarketplaceDataset(table=table, pricing=pricing))
+    return marketplace
+
+
+def small_config(**service_kwargs) -> DanceConfig:
+    return DanceConfig(
+        sampling_rate=1.0,
+        mcmc=MCMCConfig(iterations=40, seed=0),
+        service=ServiceConfig(**service_kwargs),
+    )
+
+
+def served_bits(result) -> dict:
+    summary = result.summary()
+    return {key: summary[key] for key in SERVED_KEYS}
+
+
+def reference_bits(seed: int) -> dict:
+    with AcquisitionService(small_marketplace(), small_config(seed=0)) as service:
+        return served_bits(service.acquire(REQUEST, seed=seed))
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 4])
+def test_router_is_bit_identical_to_single_service(num_shards):
+    reference = reference_bits(7)
+    with ShardRouter(
+        small_marketplace(), small_config(seed=0), num_shards=num_shards
+    ) as router:
+        assert served_bits(router.acquire(REQUEST, seed=7)) == reference
+        # A warm repeat (Step-1 memo, evaluation memo) answers identically.
+        assert served_bits(router.acquire(REQUEST, seed=7)) == reference
+
+
+def test_router_batch_matches_service_batch():
+    with AcquisitionService(small_marketplace(), small_config(seed=0)) as service:
+        expected = service.acquire_batch([REQUEST, REQUEST, REQUEST])
+    with ShardRouter(small_marketplace(), small_config(seed=0), num_shards=2) as router:
+        batch = router.acquire_batch([REQUEST, REQUEST, REQUEST])
+    assert batch.ok and expected.ok
+    # Default per-index seeds must line up, and so must every served bit.
+    assert [item.seed for item in batch] == [item.seed for item in expected]
+    for mine, reference in zip(batch, expected):
+        assert served_bits(mine.result) == served_bits(reference.result)
+
+
+def test_router_surfaces_the_same_typed_error_as_single_service():
+    with AcquisitionService(small_marketplace(), small_config(seed=0)) as service:
+        with pytest.raises(InfeasibleAcquisitionError) as single_error:
+            service.acquire(INFEASIBLE, seed=1)
+    with ShardRouter(small_marketplace(), small_config(seed=0), num_shards=3) as router:
+        with pytest.raises(InfeasibleAcquisitionError) as routed_error:
+            router.acquire(INFEASIBLE, seed=1)
+    assert type(routed_error.value) is type(single_error.value)
+    assert str(routed_error.value) == str(single_error.value)
+
+
+def test_router_owns_admission_not_the_shards():
+    config = small_config(seed=0, max_queue_depth=1, admission="reject")
+    with ShardRouter(small_marketplace(), config, num_shards=2) as router:
+        # Shards run unbounded: a per-shard bound could admit a request on
+        # some shards and reject it on others, breaking fold coverage.
+        for shard in router.shards:
+            assert shard.config.service.max_queue_depth is None
+        assert router._admission.admit() is True
+        with pytest.raises(AdmissionRejectedError):
+            router.acquire(REQUEST, seed=3)
+        router._admission.release()
+        assert served_bits(router.acquire(REQUEST, seed=3)) == reference_bits(3)
+        snapshot = router.metrics()["queue"]
+        assert snapshot["rejected"] == 1
+
+
+def test_router_metrics_count_requests_once():
+    with ShardRouter(small_marketplace(), small_config(seed=0), num_shards=3) as router:
+        router.acquire(REQUEST, seed=5)
+        payload = router.metrics()
+    assert payload["shards"] == 3
+    assert payload["requests"] == 1
+    assert payload["errors"] == 0
+    assert payload["latency"]["count"] == 1
+
+
+def test_router_describe_reports_assignment_and_shards():
+    with ShardRouter(small_marketplace(), small_config(seed=0), num_shards=2) as router:
+        description = router.describe()
+    assignment = description["assignment"]
+    assert set(assignment) == {"facts", "dims", "extra"}
+    assert set(assignment.values()) <= {0, 1}
+    assert len(description["shards"]) == 2
+
+
+def test_router_rejects_invalid_configuration():
+    marketplace = small_marketplace()
+    with pytest.raises(ReproError):
+        ShardRouter(marketplace, small_config(seed=0), num_shards=0)
+    with pytest.raises(ReproError):
+        ShardRouter(
+            marketplace,
+            small_config(seed=0),
+            num_shards=2,
+            assignment={"facts": 5},
+        )

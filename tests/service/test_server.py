@@ -1,0 +1,370 @@
+"""Serve-tier unit tests: Prometheus rendering, error mapping, lifecycle.
+
+The ``/metrics`` surface is pinned two ways: a golden file rendered from a
+handcrafted deterministic payload (every field exercised with a distinct
+value), and a coverage walk asserting every leaf of a *real* ``metrics()``
+payload maps to a well-formed Prometheus metric in
+:data:`repro.service.server.FIELD_METRICS` — so a new ServiceMetrics field
+cannot silently vanish from the endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import DanceConfig, ServiceConfig
+from repro.exceptions import (
+    AdmissionRejectedError,
+    InfeasibleAcquisitionError,
+    NoOwnedCandidatesError,
+    ReproError,
+    SearchError,
+    StorageError,
+)
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace
+from repro.pricing.models import EntropyPricingModel
+from repro.relational.table import Table
+from repro.search.mcmc import MCMCConfig
+from repro.service import AcquisitionService, ShardRouter
+from repro.service.metrics import BUCKET_BOUNDS
+from repro.service.server import (
+    FIELD_METRICS,
+    PROMETHEUS_CONTENT_TYPE,
+    AcquisitionHTTPServer,
+    error_body,
+    error_status,
+    render_prometheus,
+    request_from_spec,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "metrics_golden.prom"
+
+#: Every field gets a distinct, float-exact value so a swapped pair of
+#: metrics cannot render the same golden file.
+GOLDEN_PAYLOAD = {
+    "requests": 7,
+    "errors": 1,
+    "latency": {
+        "count": 7,
+        "mean_seconds": 0.5,
+        "max_seconds": 2.0,
+        "window_size": 6,
+        "buckets": {
+            label: count
+            for label, count in zip(
+                [f"<={bound:g}s" for bound in BUCKET_BOUNDS] + [">10s"],
+                [1, 1, 1, 0, 1, 0, 1, 0, 0, 0, 1, 0, 0, 1],
+            )
+        },
+        "p50_seconds": 0.25,
+        "p95_seconds": 1.5,
+        "p99_seconds": 1.75,
+    },
+    "cache_hit_rate": {
+        "window_size": 5,
+        "window_mean": 0.5,
+        "older_half_mean": 0.25,
+        "newer_half_mean": 0.75,
+        "trend": 0.5,
+    },
+    "in_flight": 2,
+    "queue": {
+        "max_depth": 4,
+        "policy": "reject",
+        "depth": 1,
+        "peak_depth": 3,
+        "admitted": 9,
+        "rejected": 2,
+        "blocked_seconds": 0.125,
+    },
+    "step1_memo": {"enabled": True, "entries": 3, "hits": 5, "misses": 4},
+    "shards": 2,
+}
+
+
+def small_marketplace() -> Marketplace:
+    pricing = EntropyPricingModel()
+    marketplace = Marketplace(default_pricing=pricing)
+    facts = Table.from_rows(
+        "facts",
+        ["good_key", "bad_key", "measure"],
+        [(i % 10, i % 3, float(i % 8) * 10 + i % 3) for i in range(64)],
+    )
+    dims = Table.from_rows(
+        "dims",
+        ["good_key", "bad_key", "label"],
+        [(i, i % 2, f"lbl{i}") for i in range(8)],
+    )
+    for table in (facts, dims):
+        marketplace.host(MarketplaceDataset(table=table, pricing=pricing))
+    return marketplace
+
+
+def small_config(**service_kwargs) -> DanceConfig:
+    return DanceConfig(
+        sampling_rate=1.0,
+        mcmc=MCMCConfig(iterations=40, seed=0),
+        service=ServiceConfig(**service_kwargs),
+    )
+
+
+def flatten_paths(payload: dict, prefix: str = "") -> set[str]:
+    """Dotted leaf paths of a metrics payload; bucket dicts are one leaf."""
+    paths: set[str] = set()
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict) and key != "buckets":
+            paths |= flatten_paths(value, f"{path}.")
+        else:
+            paths.add(path)
+    return paths
+
+
+# --------------------------------------------------------------- /metrics text
+def test_render_prometheus_matches_golden_file():
+    rendered = render_prometheus(GOLDEN_PAYLOAD, extra={"server_draining": 0.0})
+    assert rendered == GOLDEN_PATH.read_text()
+
+
+def test_field_metrics_covers_every_real_payload_leaf():
+    with AcquisitionService(small_marketplace(), small_config(seed=0)) as service:
+        single_paths = flatten_paths(service.metrics())
+    with ShardRouter(small_marketplace(), small_config(seed=0), num_shards=2) as router:
+        router_paths = flatten_paths(router.metrics())
+    # The router payload is the single payload plus the shard gauge.
+    assert router_paths == single_paths | {"shards"}
+    assert single_paths | router_paths == set(FIELD_METRICS)
+
+
+def test_field_metrics_names_are_valid_prometheus():
+    name_pattern = re.compile(r"^[a-z][a-z0-9_]*$")
+    rendered = render_prometheus(GOLDEN_PAYLOAD)
+    declared_types = dict(
+        re.findall(r"^# TYPE (\S+) (\S+)$", rendered, flags=re.MULTILINE)
+    )
+    for path, metric in FIELD_METRICS.items():
+        assert name_pattern.match(metric), metric
+        base = re.sub(r"_(bucket|sum|count)$", "", metric)
+        assert base in declared_types, metric
+        if metric.endswith("_total"):
+            assert declared_types[base] == "counter", metric
+        elif declared_types[base] != "histogram":
+            assert declared_types[base] == "gauge", metric
+        # Every mapped metric carries at least one sample line.
+        assert re.search(rf"^{re.escape(metric)}[ {{]", rendered, flags=re.MULTILINE), metric
+
+
+def test_histogram_buckets_are_cumulative_and_end_at_count():
+    rendered = render_prometheus(GOLDEN_PAYLOAD)
+    counts = [
+        int(match)
+        for match in re.findall(
+            r'^dance_request_latency_seconds_bucket\{le="[^"]+"\} (\d+)$',
+            rendered,
+            flags=re.MULTILINE,
+        )
+    ]
+    assert len(counts) == len(BUCKET_BOUNDS) + 1
+    assert counts == sorted(counts)
+    assert counts[-1] == GOLDEN_PAYLOAD["latency"]["count"]
+    # _sum is mean * count, exactly.
+    assert "dance_request_latency_seconds_sum 3.5" in rendered
+
+
+def test_render_handles_empty_payload_with_nans():
+    rendered = render_prometheus({})
+    assert "dance_requests_total 0" in rendered
+    assert "dance_request_latency_p50_seconds NaN" in rendered
+    assert "dance_admission_max_depth NaN" in rendered
+    assert "dance_shards" not in rendered
+
+
+# --------------------------------------------------------------- error mapping
+@pytest.mark.parametrize(
+    ("error", "status"),
+    [
+        (AdmissionRejectedError("full"), 503),
+        (SearchError("bad request shape"), 422),
+        (InfeasibleAcquisitionError("no feasible acquisition"), 422),
+        (NoOwnedCandidatesError("filtered"), 422),
+        (StorageError("disk gone"), 500),
+        (ReproError("generic library error"), 400),
+        (RuntimeError("anything else"), 500),
+    ],
+)
+def test_error_status_mapping(error, status):
+    assert error_status(error) == status
+
+
+def test_error_body_is_typed_and_traceback_free():
+    try:
+        raise InfeasibleAcquisitionError("no feasible acquisition")
+    except InfeasibleAcquisitionError as error:
+        body = error_body(error)
+    assert body == {
+        "error": {
+            "type": "InfeasibleAcquisitionError",
+            "message": "no feasible acquisition",
+        }
+    }
+    assert "Traceback" not in json.dumps(body)
+
+
+def test_request_from_spec_rejects_malformed_specs():
+    with pytest.raises(ReproError, match="JSON object"):
+        request_from_spec(["not", "a", "dict"])
+    with pytest.raises(ReproError, match="unknown query"):
+        request_from_spec({"query": "Q99"}, queries={})
+    with pytest.raises(ReproError, match="invalid numeric"):
+        request_from_spec({"source": ["a"], "target": ["b"], "budget": "cheap"})
+
+
+def test_request_from_spec_builds_explicit_requests():
+    request = request_from_spec(
+        {"source": ["m"], "target": ["l"], "budget": 5.0, "alpha": 0.5, "beta": 0.1,
+         "shopper": "s1"}
+    )
+    assert request.source_attributes == ("m",)
+    assert request.target_attributes == ("l",)
+    assert request.budget == 5.0
+    assert request.max_join_informativeness == 0.5
+    assert request.min_quality == 0.1
+    assert request.shopper == "s1"
+
+
+# ------------------------------------------------------------------- lifecycle
+def http_json(url, payload=None, timeout=30.0):
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(url, data=data, method="POST" if data else "GET")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+@pytest.fixture()
+def live_server():
+    service = AcquisitionService(small_marketplace(), small_config(seed=0))
+    server = AcquisitionHTTPServer(("127.0.0.1", 0), service)
+    thread = server.serve_background()
+    try:
+        yield server
+    finally:
+        server.graceful_shutdown(timeout=10.0)
+        thread.join(timeout=10.0)
+        service.close()
+
+
+def test_healthz_flips_during_graceful_shutdown(live_server):
+    url = f"http://127.0.0.1:{live_server.port}"
+    status, _, body = http_json(f"{url}/healthz")
+    assert (status, json.loads(body)) == (200, {"status": "ok"})
+
+    # Draining: health flips to 503 + Retry-After, /acquire refuses new work,
+    # but the listener still answers (in-flight requests would finish here).
+    assert live_server.drain(timeout=5.0) is True
+    status, headers, body = http_json(f"{url}/healthz")
+    assert status == 503
+    assert json.loads(body) == {"status": "draining"}
+    assert headers.get("Retry-After") == "1"
+
+    status, _, body = http_json(
+        f"{url}/acquire", {"source": ["measure"], "target": ["label"]}
+    )
+    assert status == 503
+    assert json.loads(body)["error"]["type"] == "ServerDraining"
+
+    # /metrics stays readable while draining and reports the drain gauge.
+    status, _, body = http_json(f"{url}/metrics")
+    assert status == 200
+    assert "dance_server_draining 1" in body.decode("utf-8")
+
+    # Closed: the listener is gone, connections fail outright.
+    assert live_server.graceful_shutdown(timeout=5.0) is True
+    with pytest.raises(urllib.error.URLError):
+        urllib.request.urlopen(f"{url}/healthz", timeout=5.0)
+
+
+def test_metrics_endpoint_serves_prometheus_content_type(live_server):
+    url = f"http://127.0.0.1:{live_server.port}"
+    status, headers, body = http_json(f"{url}/metrics")
+    assert status == 200
+    assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+    assert headers["Content-Length"] == str(len(body))
+
+
+def test_http_errors_carry_typed_bodies_not_tracebacks(live_server):
+    url = f"http://127.0.0.1:{live_server.port}"
+
+    # Malformed JSON -> 400 InvalidRequest.
+    request = urllib.request.Request(
+        f"{url}/acquire", data=b"{not json", method="POST"
+    )
+    try:
+        urllib.request.urlopen(request, timeout=30.0)
+        raise AssertionError("expected HTTP 400")
+    except urllib.error.HTTPError as error:
+        assert error.code == 400
+        body = json.loads(error.read())
+    assert body["error"]["type"] == "InvalidRequest"
+
+    # Infeasible request -> 422 with the exception class name.
+    status, _, raw = http_json(
+        f"{url}/acquire", {"source": ["measure"], "target": ["no_such_attribute"]}
+    )
+    assert status == 422
+    body = json.loads(raw)
+    assert body["error"]["type"] == "InfeasibleAcquisitionError"
+    assert "Traceback" not in raw.decode("utf-8")
+
+
+def test_saturated_reject_queue_maps_to_503_and_recovers():
+    service = AcquisitionService(
+        small_marketplace(),
+        small_config(seed=0, max_queue_depth=1, admission="reject"),
+    )
+    server = AcquisitionHTTPServer(("127.0.0.1", 0), service)
+    thread = server.serve_background()
+    url = f"http://127.0.0.1:{server.port}"
+    spec = {"source": ["measure"], "target": ["label"], "budget": 1e9, "seed": 3}
+    try:
+        # Saturate the admission queue from the side, as an in-flight
+        # request would.
+        assert service._admission.admit() is True
+        status, headers, raw = http_json(f"{url}/acquire", spec)
+        assert status == 503
+        assert headers.get("Retry-After") == "1"
+        assert json.loads(raw)["error"]["type"] == "AdmissionRejectedError"
+
+        # Release the slot: the same request now succeeds.
+        service._admission.release()
+        status, _, raw = http_json(f"{url}/acquire", spec)
+        assert status == 200
+        assert json.loads(raw)["ok"] is True
+    finally:
+        server.graceful_shutdown(timeout=10.0)
+        thread.join(timeout=10.0)
+        service.close()
+
+
+def test_batch_summary_carries_error_types():
+    with AcquisitionService(small_marketplace(), small_config(seed=0)) as service:
+        good = request_from_spec(
+            {"source": ["measure"], "target": ["label"], "budget": 1e9}
+        )
+        bad = request_from_spec(
+            {"source": ["measure"], "target": ["no_such_attribute"], "budget": 1e9}
+        )
+        batch = service.acquire_batch([good, bad], seeds=[1, 2])
+    summaries = batch.summary()
+    assert "error" not in summaries[0]
+    assert summaries[1]["error_type"] == "InfeasibleAcquisitionError"
+    assert "Traceback" not in json.dumps(summaries)
