@@ -15,9 +15,16 @@ scenario is measured once per columnar backend (numpy and pure-python; see
 ``repro/relational/backend.py``), appending one entry per backend with a
 ``"backend"`` field.  ``--chains`` / ``--executor`` measure the multi-chain
 MCMC search (``repro/search/chains.py``); ``--executor all`` sweeps
-serial/thread/process in one invocation and writes one self-contained entry
-whose ``"executors"`` map holds the per-executor timings (with a computed
-``executor_parity`` flag).  ``--service`` additionally appends a
+serial/thread/process — plus, above one chain, a ``process_shared`` leg
+served from the zero-copy shared columnar store (``repro/search/shm.py``) —
+in one invocation and writes one self-contained entry whose ``"executors"``
+map holds the per-executor timings (with a computed ``executor_parity``
+flag).  ``--shm`` appends a mode='shm' entry: the PR 8 executor sweep
+through long-lived services driven by the concurrent batch API, timing
+cold-pool, warm-pool and warm-after-delta phases per plan and asserting
+that the shared-store pool absorbs a catalog delta with zero full worker
+resyncs and unlinks every segment on close.  ``--service`` additionally
+appends a
 service-mode entry (``repro/service``): cold vs. warm request latency through
 one long-lived ``AcquisitionService`` plus a concurrent batch, parity-checked
 against the cold run, with the warm request measured both with and without
@@ -40,6 +47,7 @@ with::
                                                     [--service]
                                                     [--catalog]
                                                     [--serve]
+                                                    [--shm]
 """
 
 from __future__ import annotations
@@ -318,6 +326,227 @@ def bench_storage(workload, args: argparse.Namespace) -> dict[str, object]:
     return results
 
 
+def bench_acquire_shared(workload, args: argparse.Namespace) -> dict[str, object]:
+    """The process leg of the sweep again, through a zero-copy shared pool.
+
+    Same scenario as :func:`bench_acquire` with ``executor='process'``, but the
+    chains run on a persistent :func:`~repro.search.chains.shared_chain_pool`
+    whose workers map the encoded columnar store out of shared memory instead
+    of receiving pickled tables — correlations must stay bit-identical to the
+    rest of the sweep.
+    """
+    from repro.search.acquisition import SearchRuntime
+    from repro.search.chains import shared_chain_pool
+    from repro.search.plan import ExecutionPlan
+    from repro.search.shm import live_segments
+
+    marketplace = _marketplace_for(workload)
+    plan = ExecutionPlan(executor="process", chains=args.chains, shared_store=True)
+    config = DanceConfig(
+        sampling_rate=args.sampling_rate,
+        mcmc=MCMCConfig(iterations=args.iterations, seed=0),
+        plan=plan,
+    )
+    dance = DANCE(marketplace, config)
+
+    start = time.perf_counter()
+    dance.build_offline()
+    offline_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pool, state = shared_chain_pool(
+        dance.join_graph,
+        dance.fds,
+        token="bench-shared",
+        max_workers=plan.resolved_workers(),
+        version=dance.graph_version,
+    )
+    results: dict[str, object] = {
+        "offline_seconds": offline_seconds,
+        "pool_spinup_seconds": time.perf_counter() - start,
+    }
+    total = 0.0
+    try:
+        for query in queries_for(workload).values():
+            request = AcquisitionRequest(
+                source_attributes=list(query.source_attributes),
+                target_attributes=list(query.target_attributes),
+                budget=BUDGET,
+            )
+            runtime = SearchRuntime(pool=pool, pool_state=state, plan=plan)
+            start = time.perf_counter()
+            acquisition = dance.acquire(request, runtime=runtime)
+            elapsed = time.perf_counter() - start
+            total += elapsed
+            results[f"acquire_{query.name}_seconds"] = elapsed
+            results[f"acquire_{query.name}_correlation"] = (
+                acquisition.estimated_correlation
+            )
+        results["shared_store"] = state.stats()
+    finally:
+        pool.shutdown(wait=True)
+        state.close()
+    leaked = live_segments()
+    if leaked:
+        raise AssertionError(f"shared sweep leaked segments: {leaked}")
+    results["acquire_total_seconds"] = total
+    return results
+
+
+SHM_SEED_BASE = {"cold": 1000, "warm": 2000}
+SHM_ROUNDS = 4
+
+
+def bench_shm(workload, args: argparse.Namespace) -> dict[str, object]:
+    """PR 8 shared-memory executor sweep through long-lived services.
+
+    One :class:`~repro.service.AcquisitionService` per plan (serial / thread /
+    process-without-shared-store / process-with-shared-store), all alive at
+    once and serving the workload queries through the service's concurrent
+    batch API — the service workload — in three phases:
+
+    * **cold** — fresh seeds on fresh sessions; the first batch pays the
+      lazy pool spin-up (fork + worker cold load for the process plans).
+    * **warm** — new seeds on the hot pools: real chain walks, no spin-up.
+    * **warm_after_delta** — ``register_source_tables`` replaces one hosted
+      instance, then the warm seed grid reruns against the refreshed graph.
+      The shared-store pool must absorb the change as a versioned delta with
+      **zero** full worker resyncs; the legacy process pool is rebuilt.
+
+    The warm phases are best-of-``SHM_ROUNDS``, and within each round every
+    plan serves the identical seed grid back-to-back, so plans are compared
+    under the same machine conditions.  Every round must produce identical
+    correlations across all plans (``executor_parity`` — asserted, not just
+    recorded), and ``/dev/shm`` must be clean once the services close.  The
+    per-plan headline ``acquire_total_seconds`` is steady-state serving on
+    the long-lived pool (warm plus warm-after-delta); the one-time spin-up
+    stays visible in the cold phase and the ``acquire_total_with_cold``
+    total.
+    """
+    from repro.search.plan import ExecutionPlan
+    from repro.search.shm import live_segments
+
+    chains = args.chains if args.chains > 1 else 4
+    plans = {
+        "serial": ExecutionPlan(executor="serial", chains=chains),
+        "thread": ExecutionPlan(executor="thread", chains=chains),
+        "process_legacy": ExecutionPlan(
+            executor="process", chains=chains, shared_store=False
+        ),
+        "process": ExecutionPlan(executor="process", chains=chains, shared_store=True),
+    }
+    queries = queries_for(workload)
+    requests = _requests_for(workload)
+    delta_name = sorted(workload.tables)[0]
+
+    runs: dict[str, dict[str, object]] = {}
+    parity: dict[str, dict[str, list[float]]] = {label: {} for label in plans}
+    services: dict[str, AcquisitionService] = {}
+
+    def batch_round(label: str, tag: str, base: int) -> float:
+        seeds = [base + index for index in range(len(requests))]
+        start = time.perf_counter()
+        batch = services[label].acquire_batch(requests, seeds=seeds)
+        elapsed = time.perf_counter() - start
+        if not batch.ok:
+            raise AssertionError(
+                f"[{label}] batch failed: {[str(i.error) for i in batch.errors()]}"
+            )
+        parity[label][tag] = [item.result.estimated_correlation for item in batch]
+        return elapsed
+
+    def serve_phase(name: str, seed_base: int, rounds: int) -> None:
+        """Best-of-``rounds`` batches; plans interleave within each round.
+
+        Every round is a fresh seed grid (never a memoised repeat), shared by
+        all plans and served back-to-back, so best-of-rounds removes
+        single-CPU scheduler noise without favouring whichever plan happened
+        to run on a quiet machine.
+        """
+        totals: dict[str, list[float]] = {label: [] for label in plans}
+        for round_index in range(rounds):
+            base = seed_base + 1000 * round_index
+            for label in plans:
+                totals[label].append(batch_round(label, f"{name}@r{round_index}", base))
+        for label, series in totals.items():
+            runs[label][name] = {
+                "batch_seconds": min(series),
+                "first_batch_seconds": series[0],
+                "rounds": rounds,
+            }
+
+    try:
+        for label, plan in plans.items():
+            config = DanceConfig(
+                sampling_rate=args.sampling_rate,
+                mcmc=MCMCConfig(iterations=args.iterations, seed=0),
+                plan=plan,
+                service=ServiceConfig(max_batch_workers=4),
+            )
+            runs[label] = {"plan": plan.spec()}
+            start = time.perf_counter()
+            services[label] = AcquisitionService(_marketplace_for(workload), config)
+            runs[label]["offline_seconds"] = time.perf_counter() - start
+
+        # Cold is a single round: the first batch pays the lazy pool
+        # spin-up, which a best-of would wash out.
+        serve_phase("cold", SHM_SEED_BASE["cold"], rounds=1)
+        serve_phase("warm", SHM_SEED_BASE["warm"], rounds=SHM_ROUNDS)
+        for label in plans:
+            start = time.perf_counter()
+            services[label].register_source_tables([workload.table(delta_name)])
+            runs[label]["delta_register_seconds"] = time.perf_counter() - start
+        # The register reset the session caches, so the warm seed grid
+        # reruns as fresh walks against the refreshed graph.
+        serve_phase("warm_after_delta", SHM_SEED_BASE["warm"], rounds=SHM_ROUNDS)
+        for label in plans:
+            runs[label]["shared_store"] = services[label].describe()["shared_store"]
+    finally:
+        for service in services.values():
+            service.close()
+
+    for label, run in runs.items():
+        # The headline number is steady-state serving on the long-lived
+        # pool — the warm grid plus the same grid after the catalog delta.
+        # The one-time pool spin-up stays visible in the cold phase and in
+        # the ``_with_cold`` total.
+        run["acquire_total_seconds"] = (
+            run["warm"]["batch_seconds"] + run["warm_after_delta"]["batch_seconds"]
+        )
+        run["acquire_total_with_cold_seconds"] = (
+            run["acquire_total_seconds"] + run["cold"]["batch_seconds"]
+        )
+
+    reference = parity["serial"]
+    if any(passes != reference for passes in parity.values()):
+        raise AssertionError(f"executor parity broken across shm sweep: {parity}")
+    stats = runs["process"]["shared_store"]
+    if stats is None:
+        raise AssertionError("process plan did not build a shared-store pool")
+    if stats["worker_resyncs"] != 0:
+        raise AssertionError(f"warm pool did not survive the delta: {stats}")
+    if stats["deltas_published"] < 1:
+        raise AssertionError(f"no delta was published to the warm pool: {stats}")
+    leaked = live_segments()
+    if leaked:
+        raise AssertionError(f"leaked shared-memory segments after close: {leaked}")
+    return {
+        "chains": chains,
+        "delta_instance": delta_name,
+        "queries": list(queries),
+        "executor_parity": True,
+        "process_vs_thread": {
+            "process_seconds": runs["process"]["acquire_total_seconds"],
+            "thread_seconds": runs["thread"]["acquire_total_seconds"],
+            "process_not_slower": (
+                runs["process"]["acquire_total_seconds"]
+                <= runs["thread"]["acquire_total_seconds"]
+            ),
+        },
+        "executors": runs,
+    }
+
+
 SERVE_SHARD_COUNTS = (1, 2, 4)
 
 
@@ -451,6 +680,10 @@ def bench_backend(backend_name: str, args: argparse.Namespace) -> list[dict[str,
         sweep: dict[str, dict[str, object]] = {}
         for executor in EXECUTORS:
             sweep[executor] = bench_acquire(workload, args, executor)
+        if args.chains > 1:
+            # PR 8: the same process walk served from the zero-copy shared
+            # columnar store; bit-identical, so it joins the parity check.
+            sweep["process_shared"] = bench_acquire_shared(workload, args)
         entry["executors"] = sweep
         correlations = [
             {k: v for k, v in run.items() if k.endswith("_correlation")}
@@ -478,6 +711,11 @@ def bench_backend(backend_name: str, args: argparse.Namespace) -> list[dict[str,
         serve_entry["mode"] = "serve"
         serve_entry["serve"] = bench_serve(workload, args)
         entries.append(serve_entry)
+    if args.shm:
+        shm_entry = _base_entry(args, resolved, "all")
+        shm_entry["mode"] = "shm"
+        shm_entry["shm"] = bench_shm(workload, args)
+        entries.append(shm_entry)
     return entries
 
 
@@ -528,6 +766,13 @@ def main() -> None:
         action="store_true",
         help="additionally measure requests/second and latency percentiles "
         "over HTTP at 1/2/4 shards (appends a mode='serve' entry)",
+    )
+    parser.add_argument(
+        "--shm",
+        action="store_true",
+        help="additionally measure the PR 8 shared-memory executor sweep "
+        "through a long-lived service: cold pool, warm pool and "
+        "warm-after-delta passes per plan (appends a mode='shm' entry)",
     )
     parser.add_argument(
         "--serve-rounds",

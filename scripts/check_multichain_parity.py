@@ -1,27 +1,41 @@
 #!/usr/bin/env python
-"""Assert that a bench JSON's acquisition correlations agree across entries.
+"""Assert the multi-chain determinism contract, offline or live.
 
-Used by the CI ``bench-smoke`` job: ``scripts/bench_hot_path.py`` runs the
-same tiny scenario several times — ``--chains 1`` and ``--chains 4`` under the
-serial / thread / process executors, on both columnar backends — and every
-run must report *exactly* the same per-query correlations.  That is the
-multi-chain determinism contract (``repro/search/chains.py``): results depend
-only on ``(seed, chains)``, never on the executor, the scheduling order, or
-the backend — and on scenarios whose walks converge, not on the chain count
-either.
+**JSON mode** (the original CI ``bench-smoke`` check): given a bench JSON
+produced by ``scripts/bench_hot_path.py`` — the same tiny scenario run under
+``--chains 1`` / ``--chains 4``, serial / thread / process executors, both
+columnar backends — every entry must report *exactly* the same per-query
+correlations.  Results depend only on ``(seed, chains)``, never on the
+executor, the scheduling order, or the backend.
+
+**Live mode** (the CI ``shm-smoke`` check): ``--executor process
+--shared-store`` serves a real workload through an ``AcquisitionService``
+under the requested :class:`~repro.search.plan.ExecutionPlan` and replays it
+serially; the served bits must agree, a mid-run ``register_source_tables``
+delta must be absorbed by the warm shared-store pool with **zero** full
+worker resyncs, and every shared-memory segment must be unlinked on close.
 
 Usage::
 
     python scripts/check_multichain_parity.py bench-smoke.json
+    PYTHONPATH=src python scripts/check_multichain_parity.py \\
+        --executor process --shared-store [--chains 3] [--scale 0.2]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
+
+# ---------------------------------------------------------------- JSON mode
 def correlations(entry: dict) -> dict[str, float]:
     return {
         key: value
@@ -38,11 +52,7 @@ def describe(entry: dict) -> str:
     )
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    path = Path(argv[1])
+def check_json(path: Path) -> int:
     entries = json.loads(path.read_text())
     if len(entries) < 2:
         print(f"error: {path} holds {len(entries)} entries; need >= 2 to compare")
@@ -78,6 +88,141 @@ def main(argv: list[str]) -> int:
         + ", ".join(f"{key}={value}" for key, value in sorted(reference.items()))
     )
     return 0
+
+
+# ---------------------------------------------------------------- live mode
+def fingerprint(result) -> tuple:
+    return (
+        tuple(result.target_graph.nodes),
+        tuple(tuple(sorted(edge)) for edge in result.target_graph.edges),
+        result.estimated_correlation,
+        result.estimated_quality,
+        result.estimated_join_informativeness,
+        result.estimated_price,
+        tuple(result.sql()),
+    )
+
+
+def check_live(args) -> int:
+    from repro.core.config import DanceConfig, ServiceConfig
+    from repro.marketplace.dataset import MarketplaceDataset
+    from repro.marketplace.market import Marketplace
+    from repro.marketplace.shopper import AcquisitionRequest
+    from repro.pricing.models import EntropyPricingModel
+    from repro.search.plan import ExecutionPlan
+    from repro.search.shm import live_segments
+    from repro.service import AcquisitionService
+    from repro.workloads.queries import queries_for
+    from repro.workloads.tpch import tpch_workload
+
+    workload = tpch_workload(scale=args.scale, seed=0)
+    requests = [
+        AcquisitionRequest(
+            source_attributes=list(query.source_attributes),
+            target_attributes=list(query.target_attributes),
+            budget=1000.0,
+        )
+        for query in queries_for(workload).values()
+    ]
+    # A clean variant of a hosted instance: registering it is a replacement,
+    # which the shared-store pool must absorb as a versioned delta.
+    delta_name = sorted(workload.tables)[0]
+    delta_table = workload.table(delta_name)
+
+    plans = [
+        ExecutionPlan(executor="serial", chains=args.chains),
+        ExecutionPlan(
+            executor=args.executor,
+            chains=args.chains,
+            shared_store=True if args.shared_store else None,
+        ),
+    ]
+
+    def build_marketplace() -> Marketplace:
+        pricing = EntropyPricingModel()
+        marketplace = Marketplace(default_pricing=pricing)
+        for name in workload.tables:
+            marketplace.host(
+                MarketplaceDataset(table=workload.dirty_or_clean(name), pricing=pricing)
+            )
+        return marketplace
+
+    failures = 0
+    outcomes = []
+    for plan in plans:
+        from repro.search.mcmc import MCMCConfig
+
+        config = DanceConfig(
+            sampling_rate=0.5,
+            mcmc=MCMCConfig(iterations=args.iterations, seed=0),
+            plan=plan,
+            service=ServiceConfig(max_batch_workers=1),
+        )
+        with AcquisitionService(build_marketplace(), config) as service:
+            cold = [fingerprint(service.acquire(request)) for request in requests]
+            service.register_source_tables([delta_table])
+            warm = [fingerprint(service.acquire(request)) for request in requests]
+            store_stats = service.describe()["shared_store"]
+        outcomes.append((plan, cold, warm, store_stats))
+
+    (serial_plan, serial_cold, serial_warm, _) = outcomes[0]
+    for plan, cold, warm, store_stats in outcomes[1:]:
+        if cold != serial_cold:
+            failures += 1
+            print(f"MISMATCH [{plan.spec()}]: cold results differ from serial")
+        if warm != serial_warm:
+            failures += 1
+            print(f"MISMATCH [{plan.spec()}]: post-delta results differ from serial")
+        if plan.executor == "process" and plan.wants_shared_store:
+            if store_stats is None:
+                failures += 1
+                print(f"FAIL [{plan.spec()}]: no shared-store pool was built")
+            else:
+                if store_stats["worker_resyncs"] != 0:
+                    failures += 1
+                    print(
+                        f"FAIL [{plan.spec()}]: warm pool did not survive the "
+                        f"delta: {store_stats}"
+                    )
+                if store_stats["deltas_published"] + store_stats["rebases"] < 1:
+                    failures += 1
+                    print(f"FAIL [{plan.spec()}]: no update was published: {store_stats}")
+    leaked = live_segments()
+    if leaked:
+        failures += 1
+        print(f"FAIL: leaked shared-memory segments after close: {leaked}")
+
+    if failures:
+        print(f"\n{failures} live-parity failure(s)")
+        return 1
+    stats = outcomes[-1][3]
+    print(
+        f"OK: {len(requests)} requests x {len(plans)} plans bit-identical "
+        f"(chains={args.chains}, executor={args.executor}, "
+        f"shared_store={bool(args.shared_store)}); shared-store stats: {stats}; "
+        f"no leaked segments"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", nargs="?", type=Path,
+                        help="bench JSON to compare (JSON mode)")
+    parser.add_argument("--executor", default=None,
+                        help="live mode: executor to check against serial")
+    parser.add_argument("--shared-store", action="store_true",
+                        help="live mode: force the shared columnar store on")
+    parser.add_argument("--chains", type=int, default=3)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--iterations", type=int, default=60)
+    args = parser.parse_args(argv[1:])
+    if args.executor is not None:
+        return check_live(args)
+    if args.bench_json is None:
+        parser.print_help()
+        return 2
+    return check_json(args.bench_json)
 
 
 if __name__ == "__main__":

@@ -151,6 +151,13 @@ def main() -> int:
         action="store_true",
         help="additionally run the admission-saturation smoke (block + reject policies)",
     )
+    parser.add_argument(
+        "--plan",
+        default=None,
+        help="serve the batch under this ExecutionPlan spec (e.g. "
+        "'executor=process,chains=3,shared_store=on'); the serial replay "
+        "keeps the same chain count, so the contract stays (seed, chains)",
+    )
     args = parser.parse_args()
 
     workload = tpch_workload(scale=SCALE, seed=0)
@@ -165,6 +172,7 @@ def main() -> int:
     config = DanceConfig(
         sampling_rate=SAMPLING_RATE,
         mcmc=MCMCConfig(iterations=ITERATIONS, seed=0),
+        plan=args.plan,
         service=ServiceConfig(max_batch_workers=BATCH_WORKERS),
     )
 
@@ -178,7 +186,16 @@ def main() -> int:
     cold_prints = [fingerprint(item.result) for item in cold]
     warm_prints = [fingerprint(item.result) for item in warm]
 
-    dance = DANCE(build_marketplace(workload), config)
+    # The serial replay keeps the served plan's chain count but runs every
+    # chain in-process: the contract is (seed, chains), never the executor.
+    serial_config = DanceConfig(
+        sampling_rate=SAMPLING_RATE,
+        mcmc=MCMCConfig(
+            iterations=ITERATIONS, seed=0, chains=config.mcmc.chains, executor="serial"
+        ),
+        service=ServiceConfig(max_batch_workers=BATCH_WORKERS),
+    )
+    dance = DANCE(build_marketplace(workload), serial_config)
     dance.build_offline()
     serial_prints = []
     for index, request in enumerate(requests):

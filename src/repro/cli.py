@@ -121,6 +121,8 @@ def _build_dance(marketplace: Marketplace, args: argparse.Namespace) -> DANCE:
             executor=args.executor,
         ),
         num_landmarks=args.landmarks,
+        # --plan wins over --chains/--executor (DanceConfig folds it in).
+        plan=getattr(args, "plan", None),
     )
     dance = DANCE(marketplace, config)
     dance.build_offline()
@@ -287,6 +289,7 @@ def _service_config(args: argparse.Namespace) -> DanceConfig:
             executor=args.executor,
         ),
         num_landmarks=args.landmarks,
+        plan=getattr(args, "plan", None),
         service=ServiceConfig(
             seed=args.service_seed,
             max_batch_workers=args.batch_workers,
@@ -385,6 +388,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ),
             flush=True,
         )
+        # SIGTERM (systemd stop, container orchestration, the shm leak check)
+        # must take the same drain path as Ctrl-C: without a handler, Python's
+        # default action kills the process before pools shut down and shared
+        # memory segments would stay linked in /dev/shm.
+        import signal
+
+        def _on_sigterm(signum, frame):
+            raise KeyboardInterrupt
+
+        previous_handler = None
+        try:
+            previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+        except ValueError:
+            pass  # not the main thread (embedded use); SIGTERM keeps its default
         try:
             if args.serve_seconds is not None:
                 time.sleep(args.serve_seconds)
@@ -393,6 +410,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     thread.join(timeout=1.0)
         except KeyboardInterrupt:
             pass
+        finally:
+            if previous_handler is not None:
+                signal.signal(signal.SIGTERM, previous_handler)
         drained = server.graceful_shutdown(timeout=args.drain_timeout)
         print(json.dumps({"drained": drained, "metrics": service.metrics()}, default=str))
     return 0
@@ -433,6 +453,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of parallel MCMC chains (per I-graph)")
         sub.add_argument("--executor", choices=EXECUTORS,
                          default="serial", help="how multi-chain walks execute")
+        sub.add_argument(
+            "--plan",
+            default=None,
+            help="execution plan spec, e.g. 'executor=process,chains=4,"
+            "shared_store=on,pool_policy=persistent'; overrides --chains/--executor",
+        )
         sub.add_argument("--landmarks", type=int, default=4)
 
     catalog = subparsers.add_parser(

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.exceptions import ReproError, SamplingError
 from repro.relational import backend as relational_backend
 from repro.sampling.resampling import ResamplingPolicy
 from repro.search.mcmc import MCMCConfig
+from repro.search.plan import ExecutionPlan, warn_legacy_option
 
 
 @dataclass
@@ -26,9 +27,17 @@ class ServiceConfig:
         Thread fan-out for :meth:`repro.service.AcquisitionService.acquire_batch`
         — how many requests execute concurrently.  ``1`` serves batches
         serially (results are bit-identical either way).
+    plan:
+        An :class:`~repro.search.plan.ExecutionPlan` (or its ``parse()``-able
+        string form) describing how searches execute: executor, chains, pool
+        width, shared columnar store, and pool policy.  Takes precedence over
+        the legacy per-knob spelling; see :class:`DanceConfig.plan`.
     chain_pool_workers:
-        Size of the persistent executor pool serving multi-chain MCMC walks;
-        ``None`` uses the chain scheduler's default (``min(chains, 8)``).
+        **Deprecated** alias for ``ExecutionPlan(workers=...)`` — size of the
+        persistent executor pool serving multi-chain MCMC walks; ``None``
+        uses the plan's default (``min(chains, 8)``, additionally capped at
+        the CPU count for process pools).  Emits a :class:`DeprecationWarning`
+        when set; kept for one release.
     share_caches:
         Whether the service keeps its evaluation memo and JI cache across
         requests (on by default; disabling isolates every request, which is
@@ -65,6 +74,7 @@ class ServiceConfig:
 
     seed: int | None = None
     max_batch_workers: int = 4
+    plan: ExecutionPlan | str | None = None
     chain_pool_workers: int | None = None
     share_caches: bool = True
     cache_stripes: int = 16
@@ -75,6 +85,7 @@ class ServiceConfig:
     catalog_path: str | None = None
 
     def __post_init__(self) -> None:
+        self.plan = ExecutionPlan.normalize(self.plan)
         if self.max_batch_workers < 1:
             raise ReproError(
                 f"max_batch_workers must be >= 1, got {self.max_batch_workers}"
@@ -82,6 +93,10 @@ class ServiceConfig:
         if self.chain_pool_workers is not None and self.chain_pool_workers < 1:
             raise ReproError(
                 f"chain_pool_workers must be >= 1, got {self.chain_pool_workers}"
+            )
+        if self.chain_pool_workers is not None:
+            warn_legacy_option(
+                "ServiceConfig(chain_pool_workers=...)", "ExecutionPlan(workers=...)"
             )
         if self.cache_stripes < 1:
             raise ReproError(f"cache_stripes must be >= 1, got {self.cache_stripes}")
@@ -145,6 +160,15 @@ class DanceConfig:
         applied process-wide when the :class:`~repro.core.dance.DANCE`
         middleware is constructed (see :mod:`repro.relational.backend`).
         Both backends produce bit-identical results.
+    plan:
+        An :class:`~repro.search.plan.ExecutionPlan` (object or
+        ``parse()``-able string like ``"executor=process,chains=4"``)
+        consolidating every execution knob: it overrides
+        ``mcmc.chains`` / ``mcmc.executor`` and supplies the service's pool
+        width, shared-store switch, and pool policy.  ``None`` (the default)
+        derives an equivalent plan from the legacy knobs
+        (:meth:`execution_plan`), so old configurations behave identically.
+        A plan set on ``service`` applies too; a plan set here wins.
     storage:
         Default catalog storage backend kind for
         :meth:`~repro.core.dance.DANCE.persist`: ``"memory"``, ``"sqlite"``,
@@ -174,8 +198,15 @@ class DanceConfig:
     backend: str | None = None
     storage: str | None = None
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    plan: ExecutionPlan | str | None = None
 
     def __post_init__(self) -> None:
+        plan = ExecutionPlan.normalize(self.plan)
+        if plan is None and isinstance(self.service, ServiceConfig):
+            plan = self.service.plan
+        if plan is not None:
+            self.plan = plan
+            self.mcmc = replace(self.mcmc, chains=plan.chains, executor=plan.executor)
         if self.backend is not None:
             # Normalises aliases and raises early on unknown backend names.
             self.backend = relational_backend.normalize(self.backend)
@@ -199,6 +230,20 @@ class DanceConfig:
                 f"{self.refinement_rate_multiplier}"
             )
 
+    @property
+    def execution_plan(self) -> ExecutionPlan:
+        """The effective plan: ``plan`` when set, else the legacy knobs folded
+        into an equivalent :class:`ExecutionPlan` (no deprecation warning —
+        this is the internal bridge that keeps old spellings working)."""
+        if isinstance(self.plan, ExecutionPlan):
+            return self.plan
+        workers = None
+        if isinstance(self.service, ServiceConfig):
+            workers = self.service.chain_pool_workers
+        return ExecutionPlan.from_legacy(
+            executor=self.mcmc.executor, chains=self.mcmc.chains, workers=workers
+        )
+
     def refined(self) -> "DanceConfig":
         """The configuration for one refinement round: a higher sampling rate."""
         new_rate = min(1.0, self.sampling_rate * self.refinement_rate_multiplier)
@@ -216,4 +261,5 @@ class DanceConfig:
             backend=self.backend,
             storage=self.storage,
             service=self.service,
+            plan=self.plan,
         )

@@ -124,8 +124,11 @@ class DANCE:
         Returns a summary: which names were added vs. replaced, how the graph
         was refreshed (``"deferred"`` before the offline phase,
         ``"incremental"`` for pure additions, ``"rebuild"`` for
-        replacements), and how many I-edge weight maps were actually
-        recomputed.
+        replacements, ``"noop"`` when every "replacement" is the identical
+        table object already in the graph), and how many I-edge weight maps
+        were actually recomputed.  A no-op refresh does **not** bump
+        :attr:`graph_version` — re-registering unchanged tables must not tear
+        down session caches or warm worker pools keyed on the version.
         """
         added: list[str] = []
         replaced: list[str] = []
@@ -138,6 +141,14 @@ class DANCE:
         summary: dict[str, object] = {"added": added, "replaced": replaced}
         if not tables or self._join_graph is None:
             summary["mode"] = "deferred"
+            summary["edge_recomputes"] = 0
+            return summary
+        if not added and all(
+            table.name in self._join_graph
+            and self._join_graph.sample(table.name) is table
+            for table in tables
+        ):
+            summary["mode"] = "noop"
             summary["edge_recomputes"] = 0
             return summary
         if replaced:
@@ -415,6 +426,12 @@ class DANCE:
         resampling.reset()
         seed = runtime.mcmc_seed if runtime.mcmc_seed is not None else self.config.mcmc.seed
         mcmc_config = self.config.mcmc
+        if runtime.plan is not None:
+            # A runtime plan re-routes where chains execute; (seed, chains)
+            # still pins the results bit for bit.
+            mcmc_config = replace(
+                mcmc_config, chains=runtime.plan.chains, executor=runtime.plan.executor
+            )
         if seed != mcmc_config.seed:
             mcmc_config = replace(mcmc_config, seed=seed)
         heuristic = heuristic_acquisition(

@@ -247,6 +247,19 @@ class JoinGraph:
     def samples(self, names: Sequence[str]) -> list[Table]:
         return [self.sample(name) for name in names]
 
+    def instance_tables(self) -> dict[str, Table]:
+        """Snapshot of every instance's sample table, keyed by name."""
+        return dict(self._samples)
+
+    def ji_weights(self) -> dict[tuple[str, str, frozenset[str]], float]:
+        """Snapshot of the JI cache (``(left, right, attrs) -> weight``).
+
+        The keys are purely structural, so the snapshot can be shipped across
+        process boundaries and preloaded into another graph
+        (``JoinGraph(preload_ji=...)`` / ``add_instance(preload_ji=...)``) to
+        make its edge recomputation hit the cache instead of re-measuring."""
+        return dict(self._ji_cache)
+
     def lattice(self, name: str) -> AttributeSetLattice:
         self.sample(name)
         return self._lattices[name]
@@ -293,11 +306,22 @@ class JoinGraph:
         return self.pricing.price(table, attributes)
 
     # ---------------------------------------------------------------- mutation
-    def add_instance(self, table: Table, *, is_source: bool = False) -> None:
+    def add_instance(
+        self,
+        table: Table,
+        *,
+        is_source: bool = False,
+        preload_ji: Mapping[tuple[str, str, frozenset[str]], float] | None = None,
+    ) -> None:
         """Add (or replace) one instance sample and update the affected edges.
 
         Used by the online phase's iterative refinement: when no feasible
         target graph exists, DANCE purchases more samples and updates the graph.
+
+        ``preload_ji`` seeds the JI cache *after* the stale entries of a
+        replaced instance are dropped, so a caller that already knows the new
+        edge weights (a shared-memory worker applying a versioned delta, see
+        :mod:`repro.search.shm`) turns the recomputation into pure cache hits.
         """
         name = table.name
         replacing = name in self._samples
@@ -314,6 +338,10 @@ class JoinGraph:
                 del self._ji_cache[key]
             if self._graph.has_node(name):
                 self._graph.remove_node(name)
+        if preload_ji:
+            for (left, right, attrs), weight in preload_ji.items():
+                if left in self._samples and right in self._samples:
+                    self._ji_cache[(left, right, frozenset(attrs))] = float(weight)
         self._graph.add_node(name, num_rows=len(table), attributes=table.schema.names)
         self._lattices[name] = AttributeSetLattice(name, table.schema.names)
         for other_name, other in self._samples.items():

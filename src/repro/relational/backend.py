@@ -165,3 +165,38 @@ def make_codes(codes: Sequence[int]):
     if active_backend() == NUMPY:
         return _NUMPY.asarray(codes, dtype=_NUMPY.int64)
     return codes if isinstance(codes, list) else list(codes)
+
+
+def codes_to_bytes(codes) -> tuple[bytes, int, str]:
+    """Serialize a codes/counts container to raw int64 bytes.
+
+    Returns ``(data, length, container)`` where ``container`` records the
+    original type (``"ndarray"`` or ``"list"``) so :func:`codes_from_buffer`
+    can rebuild the exact same representation on the other side of a shared
+    memory segment.  Both containers serialize to identical little-endian
+    int64 layout, so a buffer written under one backend can be re-mapped
+    under the other."""
+    if is_array(codes):
+        arr = _NUMPY.ascontiguousarray(codes, dtype=_NUMPY.int64)
+        return arr.tobytes(), len(arr), "ndarray"
+    from array import array as _array
+
+    return _array("q", codes).tobytes(), len(codes), "list"
+
+
+def codes_from_buffer(buffer, length: int, container: str):
+    """Rebuild a codes/counts container from a raw int64 buffer.
+
+    ``"ndarray"`` containers come back as *read-only* views over ``buffer``
+    (zero copy — the caller must keep the buffer alive); ``"list"``
+    containers (and ``"ndarray"`` when numpy is unavailable) are copied out
+    into a plain python list of ints."""
+    if container == "ndarray" and _NUMPY is not None:
+        view = _NUMPY.frombuffer(buffer, dtype=_NUMPY.int64, count=length)
+        view.flags.writeable = False
+        return view
+    from array import array as _array
+
+    out = _array("q")
+    out.frombytes(bytes(buffer[: length * 8]))
+    return out.tolist()

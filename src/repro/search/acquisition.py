@@ -25,6 +25,7 @@ from repro.relational.table import Table
 from repro.search.candidates import build_initial_target_graph, terminal_instances
 from repro.search.chains import ChainPoolState, MultiChainResult
 from repro.search.mcmc import MCMCConfig, MCMCResult, mcmc_search
+from repro.search.plan import ExecutionPlan
 
 
 @dataclass
@@ -73,6 +74,12 @@ class SearchRuntime:
         the per-shard winners are folded with the same tie-break rule the
         unfiltered loop applies — so the folded answer is bit-identical to
         the unfiltered one for any partition of the candidates.
+    ``plan``
+        An :class:`~repro.search.plan.ExecutionPlan` overriding the
+        configured executor and chain count for this search.  Results stay
+        bit-identical for a fixed ``(seed, chains)`` whatever the executor,
+        so a runtime plan can re-route *where* chains run without changing
+        *what* they compute.
     """
 
     evaluation_cache: MutableMapping | None = None
@@ -84,6 +91,7 @@ class SearchRuntime:
     resampling: object | None = None
     allow_refinement: bool = False
     candidate_filter: "Callable[[int, IGraph], bool] | None" = None
+    plan: ExecutionPlan | None = None
 
 
 @dataclass

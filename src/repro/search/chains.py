@@ -50,7 +50,9 @@ from repro.graph.join_graph import JoinGraph
 from repro.graph.target import TargetGraph, TargetGraphEvaluation
 from repro.quality.fd import FunctionalDependency
 from repro.relational.table import Table
+from repro.search import shm as _shm
 from repro.search.mcmc import EXECUTORS, MCMCConfig, MCMCResult, mcmc_search
+from repro.search.plan import ExecutionPlan
 
 _MAX_WORKERS = 8
 
@@ -153,6 +155,10 @@ class MultiChainResult:
     executor: str = "serial"
     evaluation_cache_size: int = 0
     ji_cache_size: int = 0
+    # Shared-store pools only (see repro.search.shm): summed per-call worker
+    # session accounting — cold_loads / resyncs / deltas_applied.  Empty for
+    # every other executor path.
+    worker_stats: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------ aggregate
     @property
@@ -347,6 +353,113 @@ def _run_chain_from_state(payload: tuple) -> tuple[MCMCResult, dict, dict]:
     )
 
 
+def _preload_shared_worker(spec: "_shm.WorkerSpec") -> None:
+    """Shared-store pool initializer: attach and materialize once per worker.
+
+    Failures are deliberately swallowed — the first chain call re-attaches
+    lazily and surfaces the real error through the future instead of leaving
+    the pool permanently broken from its initializer."""
+    try:
+        _shm.ensure_session(spec)
+    except Exception:
+        pass
+
+
+def _run_chain_shared(payload: tuple) -> tuple[MCMCResult, dict, dict, dict]:
+    """Run one chain against the shared-memory worker session (see shm.py).
+
+    Unlike :func:`_run_chain_from_state`, the worker state is *versioned*:
+    ``ensure_session`` applies any published deltas before the walk, so a
+    warm pool survives catalog updates without teardown.  The evaluation / JI
+    memos persist inside the worker across calls (plain dicts — no lock
+    traffic); only the entries this call *added* are returned for merging, so
+    warm calls ship back almost nothing."""
+    (
+        spec,
+        table_names,
+        initial,
+        source_attributes,
+        target_attributes,
+        budget,
+        max_weight,
+        min_quality,
+        config,
+        intermediate_hook,
+        memo_key,
+    ) = payload
+    session, stats = _shm.ensure_session(spec)
+    join_graph = session.graph
+    tables = {name: join_graph.sample(name) for name in table_names}
+    evaluation_cache = session.evaluation_cache(memo_key)
+    ji_cache = session.ji_cache if memo_key is not None else {}
+    known_evaluations = set(evaluation_cache)
+    known_ji = set(ji_cache)
+    result = mcmc_search(
+        join_graph,
+        initial,
+        tables,
+        source_attributes,
+        target_attributes,
+        session.fds,
+        budget=budget,
+        max_weight=max_weight,
+        min_quality=min_quality,
+        config=config,
+        intermediate_hook=intermediate_hook,
+        evaluation_cache=evaluation_cache,
+        ji_cache=ji_cache,
+    )
+    evaluation_delta = {
+        key: evaluation_cache[key]
+        for key in evaluation_cache.keys() - known_evaluations
+    }
+    ji_delta = {key: ji_cache[key] for key in ji_cache.keys() - known_ji}
+    return result, evaluation_delta, ji_delta, stats
+
+
+def _run_chain_batch(batch: tuple) -> list[tuple]:
+    """Run a contiguous chunk of chain payloads inside one worker task.
+
+    Ships several chains per IPC round-trip; ``worker`` is one of the
+    module-level chain runners (they pickle by reference)."""
+    worker, payloads = batch
+    return [worker(payload) for payload in payloads]
+
+
+def shared_chain_pool(
+    join_graph: JoinGraph,
+    fds: Sequence[FunctionalDependency],
+    *,
+    token: str,
+    max_workers: int = _MAX_WORKERS,
+    version: int = 0,
+    share_worker_caches: bool = True,
+) -> "tuple[ProcessPoolExecutor, _shm.SharedChainState]":
+    """A persistent process pool fed from a shared-memory column store.
+
+    The zero-copy counterpart of :func:`process_chain_pool`: instead of
+    pickling the join graph into every worker, the encoded columnar state is
+    published once into ``multiprocessing.shared_memory`` and workers map the
+    code arrays read-only.  The returned
+    :class:`~repro.search.shm.SharedChainState` is the pool state to hand to
+    :class:`ChainScheduler` *and* the version manager: publish deltas on
+    catalog changes instead of rebuilding the pool, and ``close()`` it after
+    the pool shuts down to unlink the segments."""
+    state = _shm.SharedChainState(
+        join_graph,
+        fds,
+        token=token,
+        version=version,
+        share_worker_caches=share_worker_caches,
+    )
+    pool = ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_preload_shared_worker,
+        initargs=(state.spec(),),
+    )
+    return pool, state
+
+
 @dataclass(frozen=True)
 class ChainPoolState:
     """What a persistent process pool's workers were preloaded with.
@@ -431,22 +544,37 @@ class ChainScheduler:
         across many ``mcmc_search`` calls.  ``None`` (the default) creates and
         disposes a private pool per :meth:`run`, the one-shot behaviour.
     pool_state:
-        The :class:`ChainPoolState` of a persistent process pool built by
-        :func:`process_chain_pool`.  When it covers the call's graph and
-        tables, chain payloads reference tables by name instead of pickling
-        the graph and samples per chain; otherwise full payloads are sent
-        (identical results, just slower).  Meaningless without ``pool``.
+        The state of a persistent process pool: a :class:`ChainPoolState`
+        from :func:`process_chain_pool` (pickled worker state) or a
+        :class:`~repro.search.shm.SharedChainState` from
+        :func:`shared_chain_pool` (versioned shared-memory store).  When it
+        covers the call's graph and tables, chain payloads reference tables
+        by name instead of pickling the graph and samples per chain;
+        otherwise full payloads are sent (identical results, just slower).
+        Meaningless without ``pool``.
+    plan:
+        An :class:`~repro.search.plan.ExecutionPlan` supplying defaults for
+        ``chains`` / ``executor`` / ``max_workers`` in one value object;
+        explicitly-passed arguments win over the plan's fields.
     """
 
     def __init__(
         self,
-        chains: int,
-        executor: str = "serial",
+        chains: int | None = None,
+        executor: str | None = None,
         *,
         max_workers: int | None = None,
         pool: Executor | None = None,
-        pool_state: ChainPoolState | None = None,
+        pool_state: "ChainPoolState | _shm.SharedChainState | None" = None,
+        plan: ExecutionPlan | None = None,
     ) -> None:
+        if plan is not None:
+            chains = plan.chains if chains is None else chains
+            executor = plan.executor if executor is None else executor
+            max_workers = plan.resolved_workers() if max_workers is None else max_workers
+        if chains is None:
+            raise SearchError("ChainScheduler needs chains (directly or via plan=)")
+        executor = executor or "serial"
         if chains < 1:
             raise SearchError(f"chains must be >= 1, got {chains}")
         if executor not in EXECUTORS:
@@ -458,6 +586,10 @@ class ChainScheduler:
         self.pool_state = pool_state
 
     def _pool_size(self) -> int:
+        if self.pool is not None:
+            width = getattr(self.pool, "_max_workers", None)
+            if width:
+                return max(1, min(width, self.chains))
         if self.max_workers is not None:
             return max(1, min(self.max_workers, self.chains))
         return min(self.chains, _MAX_WORKERS)
@@ -491,13 +623,46 @@ class ChainScheduler:
         """
         config = config or MCMCConfig()
         configs = _chain_configs(replace(config, chains=self.chains))
-        use_light = (
+        covered = (
             self.executor == "process"
             and self.pool is not None
             and self.pool_state is not None
             and self.pool_state.covers(join_graph, tables, fds)
         )
-        if use_light:
+        shared_state = (
+            self.pool_state
+            if covered and isinstance(self.pool_state, _shm.SharedChainState)
+            else None
+        )
+        use_light = covered and shared_state is None
+        if shared_state is not None:
+            spec = shared_state.spec()
+            # Namespacing the worker-persistent evaluation memo on the request
+            # attributes mirrors the service's per-signature caches; the
+            # remaining validity dimensions (samples, fds, pricing) are pinned
+            # by the session version, which ensure_session brings up to date.
+            memo_key = (
+                (tuple(source_attributes), tuple(target_attributes))
+                if shared_state.share_worker_caches
+                else None
+            )
+            payloads = [
+                (
+                    spec,
+                    tuple(sorted(tables)),
+                    initial,
+                    source_attributes,
+                    target_attributes,
+                    budget,
+                    max_weight,
+                    min_quality,
+                    chain_config,
+                    _chain_hook(intermediate_hook, index),
+                    memo_key,
+                )
+                for index, chain_config in enumerate(configs)
+            ]
+        elif use_light:
             payloads = [
                 (
                     self.pool_state.token,
@@ -531,9 +696,21 @@ class ChainScheduler:
                 for index, chain_config in enumerate(configs)
             ]
 
+        worker_stats: dict = {}
         if self.executor == "process":
+            if shared_state is not None:
+                worker = _run_chain_shared
+            elif use_light:
+                worker = _run_chain_from_state
+            else:
+                worker = _run_chain
             chain_results, evaluation_cache, ji_cache = self._run_process(
-                payloads, evaluation_cache, ji_cache, light=use_light
+                payloads,
+                evaluation_cache,
+                ji_cache,
+                worker=worker,
+                shared_state=shared_state,
+                worker_stats=worker_stats,
             )
         else:
             chain_results, evaluation_cache, ji_cache = self._run_shared(
@@ -546,6 +723,7 @@ class ChainScheduler:
             executor=self.executor,
             evaluation_cache_size=len(evaluation_cache),
             ji_cache_size=len(ji_cache),
+            worker_stats=worker_stats,
         )
 
     # ------------------------------------------------------------ executors
@@ -602,25 +780,59 @@ class ChainScheduler:
         return chain_results, evaluation_cache, ji_cache
 
     def _run_process(
-        self, payloads: list[tuple], evaluation_cache, ji_cache, *, light: bool = False
+        self,
+        payloads: list[tuple],
+        evaluation_cache,
+        ji_cache,
+        *,
+        worker=_run_chain,
+        shared_state: "_shm.SharedChainState | None" = None,
+        worker_stats: dict | None = None,
     ):
-        """Process execution: private caches per worker, merged afterwards."""
+        """Process execution: private caches per worker, merged afterwards.
+
+        Shared-store workers (:func:`_run_chain_shared`) return a fourth
+        element — per-call session stats — which is summed into
+        ``worker_stats`` and reported to the parent-side ``shared_state``."""
         merged_evaluations = evaluation_cache if evaluation_cache is not None else {}
         merged_ji = ji_cache if ji_cache is not None else {}
         chain_results: list[MCMCResult] = []
-        worker = _run_chain_from_state if light else _run_chain
 
         def collect(outcomes) -> None:
-            for result, chain_evaluations, chain_ji in outcomes:
+            for outcome in outcomes:
+                if len(outcome) == 4:
+                    result, chain_evaluations, chain_ji, stats = outcome
+                    if worker_stats is not None:
+                        for key, value in stats.items():
+                            worker_stats[key] = worker_stats.get(key, 0) + value
+                    if shared_state is not None:
+                        shared_state.note_worker_stats(stats)
+                else:
+                    result, chain_evaluations, chain_ji = outcome
                 chain_results.append(result)
                 merged_evaluations.update(chain_evaluations)
                 merged_ji.update(chain_ji)
 
+        # One IPC round-trip per worker, not per chain: contiguous chunks
+        # preserve chain order (map is ordered), and each worker walks its
+        # chunk serially — results depend only on each chain's config, so
+        # the grouping cannot change a single bit.
+        width = self._pool_size()
+        step = max(1, -(-len(payloads) // width))
+        batches = [
+            (worker, tuple(payloads[start : start + step]))
+            for start in range(0, len(payloads), step)
+        ]
         if self.pool is not None:
-            collect(self.pool.map(worker, payloads))
+            outcome_lists = self.pool.map(_run_chain_batch, batches)
+            collect(outcome for outcomes in outcome_lists for outcome in outcomes)
         else:
-            with ProcessPoolExecutor(max_workers=self._pool_size()) as pool:
-                collect(pool.map(worker, payloads))
+            with ProcessPoolExecutor(max_workers=width) as pool:
+                collect(
+                    outcome
+                    for outcomes in pool.map(_run_chain_batch, batches)
+                    for outcome in outcomes
+                )
         return chain_results, merged_evaluations, merged_ji
 
 

@@ -93,7 +93,9 @@ from repro.search.chains import (
     ChainPoolState,
     LockStripedCache,
     process_chain_pool,
+    shared_chain_pool,
 )
+from repro.search.shm import SharedChainState
 from repro.service.admission import AdmissionQueue, fair_order
 from repro.service.batch import BatchResult, ServedRequest, request_seed
 from repro.service.metrics import CountingCache, ServiceMetrics
@@ -386,7 +388,7 @@ class AcquisitionService:
             candidate_filter=self._candidate_filter,
         )
 
-    def _sync_locked(self) -> None:
+    def _sync_locked(self, changed: Sequence[str] | None = None) -> None:
         """Re-derive session state after a join-graph change (caller holds the lock).
 
         Any version bump means sample tables may have been replaced, which
@@ -396,6 +398,11 @@ class AcquisitionService:
         valid, but a pool preloaded without the new instance must not serve
         graphs that contain it, and a full reset keeps the invalidation rule
         simple and obviously correct.
+
+        Pools over a shared columnar store are *versioned*, not disposable:
+        when ``changed`` names the touched instances, only their deltas are
+        published (workers apply them in place); otherwise the published
+        snapshot is rebased wholesale.  Either way the warm pool survives.
         """
         version = self._dance.graph_version
         if version == self._synced_version:
@@ -412,8 +419,33 @@ class AcquisitionService:
         self._step1_memo = (
             CountingCache(stripes) if self.config.service.step1_memo else None
         )
-        self._dispose_chain_pool_locked()
+        if not self._refresh_chain_pool_locked(version, changed):
+            self._dispose_chain_pool_locked()
         self._restore_caches_locked()
+
+    def _refresh_chain_pool_locked(
+        self, version: int, changed: Sequence[str] | None
+    ) -> bool:
+        """Ship a graph change to a warm shared-store pool instead of killing it.
+
+        Returns ``True`` when the pool's published state now matches the
+        current graph (delta shipped, or snapshot rebased); ``False`` when
+        there is no shared-store pool to refresh, so the caller falls back to
+        the dispose-and-rebuild path.
+        """
+        state = self._chain_pool_state
+        if self._chain_pool is None or not isinstance(state, SharedChainState):
+            return False
+        graph = self._dance._join_graph
+        if graph is None:
+            return False
+        if changed:
+            state.publish_delta(
+                graph, self._dance.fds, version=version, changed=tuple(changed)
+            )
+        else:
+            state.rebase(graph, self._dance.fds, version=version)
+        return True
 
     def _attach_catalog(self, path: str | Path) -> None:
         """Attach an existing catalog at ``path`` to the session's marketplace.
@@ -499,22 +531,42 @@ class AcquisitionService:
         return cache
 
     def _chain_pool_locked(self):
-        """The persistent executor for multi-chain walks (caller holds the lock)."""
-        mcmc = self.config.mcmc
-        if mcmc.chains <= 1 or mcmc.executor == "serial":
+        """The persistent executor for multi-chain walks (caller holds the lock).
+
+        Driven by the effective :class:`~repro.search.plan.ExecutionPlan`:
+        ``pool_policy="per_call"`` opts out of persistence (the scheduler
+        builds a fresh pool per search); process pools with the shared store
+        enabled get a :func:`~repro.search.chains.shared_chain_pool` whose
+        workers map the columnar segments read-only and survive catalog
+        updates through versioned deltas.
+        """
+        plan = self.config.execution_plan
+        if plan.chains <= 1 or plan.executor == "serial":
+            return None, None
+        if plan.pool_policy == "per_call":
             return None, None
         if self._chain_pool is None:
-            workers = self.config.service.chain_pool_workers
-            if workers is None:
-                workers = min(mcmc.chains, 8)
-            if mcmc.executor == "process":
-                token = f"acquisition-service-{self._service_id}-v{self._synced_version}"
-                self._chain_pool, self._chain_pool_state = process_chain_pool(
-                    self._dance.join_graph,
-                    self._dance.fds,
-                    token=token,
-                    max_workers=workers,
-                )
+            workers = plan.resolved_workers()
+            if plan.executor == "process":
+                if plan.wants_shared_store:
+                    self._chain_pool, self._chain_pool_state = shared_chain_pool(
+                        self._dance.join_graph,
+                        self._dance.fds,
+                        token=f"acqsvc-{self._service_id}",
+                        max_workers=workers,
+                        version=self._dance.graph_version,
+                        share_worker_caches=self.config.service.share_caches,
+                    )
+                else:
+                    token = (
+                        f"acquisition-service-{self._service_id}-v{self._synced_version}"
+                    )
+                    self._chain_pool, self._chain_pool_state = process_chain_pool(
+                        self._dance.join_graph,
+                        self._dance.fds,
+                        token=token,
+                        max_workers=workers,
+                    )
             else:
                 self._chain_pool = ThreadPoolExecutor(
                     max_workers=workers,
@@ -540,6 +592,11 @@ class AcquisitionService:
     def _dispose_chain_pool_locked(self) -> None:
         if self._chain_pool is not None:
             self._chain_pool.shutdown(wait=True)
+            if isinstance(self._chain_pool_state, SharedChainState):
+                # Unlink the published segments only after the workers exit —
+                # POSIX keeps the memory alive for attached mappings, but the
+                # leak check wants /dev/shm clean the moment the pool is gone.
+                self._chain_pool_state.close()
             self._chain_pool = None
             self._chain_pool_state = None
 
@@ -561,7 +618,11 @@ class AcquisitionService:
         with self._lock:
             summary = self._dance.register_source_tables(tables)
             if self._dance._join_graph is not None:
-                self._sync_locked()
+                # Shared-store pools take a per-instance delta instead of a
+                # teardown; a "noop" refresh did not bump the version, so
+                # _sync_locked leaves every cache and pool untouched.
+                changed = list(summary["added"]) + list(summary["replaced"])
+                self._sync_locked(changed)
             if self.config.service.catalog_path is not None:
                 try:
                     self._persist_locked(self.config.service.catalog_path)
@@ -695,6 +756,12 @@ class AcquisitionService:
                     0 if self._step1_memo is None else len(self._step1_memo)
                 ),
                 "chain_pool": None if self._chain_pool is None else self.config.mcmc.executor,
+                "execution_plan": self.config.execution_plan.spec(),
+                "shared_store": (
+                    self._chain_pool_state.stats()
+                    if isinstance(self._chain_pool_state, SharedChainState)
+                    else None
+                ),
                 "batch_workers": self.config.service.max_batch_workers,
                 "metrics": metrics,
                 "dance": self._dance.describe(),

@@ -1,0 +1,356 @@
+"""Tests for the zero-copy shared-memory executor substrate (``repro.search.shm``).
+
+The contracts under test: a :class:`SharedColumnStore` round-trips the encoded
+columnar state bit-identically (codes, histograms, value order) — in-process
+and across a real spawned interpreter, under both columnar backends; worker
+sessions apply versioned deltas in place and hard-resync only on version gaps
+or fingerprint changes; and every published segment is unlinked on close.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import tempfile
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.graph.join_graph import JoinGraph
+from repro.quality.fd import FunctionalDependency
+from repro.relational import backend as relational_backend
+from repro.relational.table import Table
+from repro.search import shm
+from repro.search.chains import ChainScheduler, shared_chain_pool
+from repro.search.mcmc import MCMCConfig
+from repro.search.candidates import build_initial_target_graph
+from repro.graph.steiner import minimal_weight_igraph
+
+BACKENDS = ["python"] + (["numpy"] if relational_backend.numpy_available() else [])
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src")
+
+
+def assert_tables_identical(original: Table, rebuilt: Table) -> None:
+    assert rebuilt.name == original.name
+    assert rebuilt.schema.names == original.schema.names
+    assert list(rebuilt.iter_rows()) == list(original.iter_rows())
+    for key, encoding in original._encodings.items():
+        copy = rebuilt._encodings[key]
+        assert list(shm._as_code_iter(copy.codes)) == list(
+            shm._as_code_iter(encoding.codes)
+        )
+        assert copy.values == encoding.values  # value order is part of the contract
+        assert list(copy.counts()) == list(encoding.counts())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRoundTripInProcess:
+    def test_codes_values_and_counts_round_trip(self, backend):
+        with relational_backend.use_backend(backend):
+            facts = Table.from_rows(
+                "facts",
+                ["good_key", "bad_key", "measure"],
+                [(i % 10, i % 3, float(i % 8) * 10 + i % 3) for i in range(64)],
+            )
+            # Force the multi-column key path and the histogram caches so the
+            # export carries them (shared codes objects must dedup too).
+            facts.encoded_key(["good_key", "bad_key"])
+            for column in facts.schema.names:
+                facts.encoded(column).counts()
+            store = shm.SharedColumnStore("test-roundtrip")
+            try:
+                manifest = store.export_tables(
+                    {"facts": facts}, version=0, kind="base", meta={"k": "v"}
+                )
+                attached, meta, attachments = shm.attach_tables(manifest)
+                try:
+                    assert meta == {"k": "v"}
+                    assert_tables_identical(facts, attached["facts"])
+                finally:
+                    attached.clear()
+                    for segment in attachments:
+                        try:
+                            segment.close()
+                        except BufferError:
+                            pass
+            finally:
+                store.close()
+
+    def test_fingerprint_mismatch_is_rejected(self, backend):
+        with relational_backend.use_backend(backend):
+            table = Table.from_rows("t", ["a"], [(1,), (2,), (1,)])
+            store = shm.SharedColumnStore("test-corrupt")
+            try:
+                manifest = store.export_tables(
+                    {"t": table}, version=0, kind="base", meta={}
+                )
+                forged = replace(
+                    manifest,
+                    meta=replace(manifest.meta, digest="00" * 16),
+                )
+                with pytest.raises(ReproError, match="fingerprint"):
+                    shm.attach_tables(forged)
+            finally:
+                store.close()
+
+
+# The spawned child re-attaches the manifest from nothing but segment names
+# and pickles the rebuilt tables back — proving a fresh interpreter (no
+# inherited objects, fork or not) sees bit-identical state.
+CHILD_SCRIPT = """
+import pickle, sys
+from repro.search import shm
+
+with open(sys.argv[1], "rb") as fh:
+    manifest = pickle.load(fh)
+tables, meta, attachments = shm.attach_tables(manifest)
+payload = {
+    name: {
+        "rows": list(table.iter_rows()),
+        "encodings": {
+            repr(key): (
+                list(shm._as_code_iter(encoding.codes)),
+                encoding.values,
+                list(encoding.counts()),
+            )
+            for key, encoding in table._encodings.items()
+        },
+    }
+    for name, table in tables.items()
+}
+with open(sys.argv[2], "wb") as fh:
+    pickle.dump({"meta": meta, "tables": payload}, fh)
+tables.clear()
+for segment in attachments:
+    try:
+        segment.close()
+    except BufferError:
+        pass
+"""
+
+
+@st.composite
+def column_values(draw, num_rows):
+    kind = draw(st.sampled_from(["int", "float", "text"]))
+    if kind == "int":
+        element = st.integers(-3, 3)
+    elif kind == "float":
+        element = st.floats(allow_nan=False, width=64)
+    else:
+        element = st.text(alphabet="abxyz", max_size=3)
+    return draw(st.lists(element, min_size=num_rows, max_size=num_rows))
+
+
+@st.composite
+def small_tables(draw):
+    num_rows = draw(st.integers(1, 12))
+    num_cols = draw(st.integers(1, 3))
+    columns = {
+        f"c{index}": draw(column_values(num_rows)) for index in range(num_cols)
+    }
+    rows = list(zip(*columns.values())) if columns else []
+    return Table.from_rows("prop", list(columns), rows)
+
+
+class TestSpawnedProcessProperty:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(table=small_tables(), backend=st.sampled_from(BACKENDS))
+    def test_round_trips_bit_identically_across_a_process(self, table, backend):
+        with relational_backend.use_backend(backend):
+            rebuilt = Table.from_rows(
+                table.name, list(table.schema.names), list(table.iter_rows())
+            )
+            for column in rebuilt.schema.names:
+                rebuilt.encoded(column).counts()
+            if len(rebuilt.schema.names) > 1:
+                rebuilt.encoded_key(list(rebuilt.schema.names))
+            store = shm.SharedColumnStore("test-spawn")
+            try:
+                manifest = store.export_tables(
+                    {rebuilt.name: rebuilt}, version=0, kind="base", meta={"n": 1}
+                )
+                with tempfile.TemporaryDirectory() as tmp:
+                    manifest_path = os.path.join(tmp, "manifest.pkl")
+                    out_path = os.path.join(tmp, "out.pkl")
+                    with open(manifest_path, "wb") as fh:
+                        pickle.dump(manifest, fh)
+                    env = dict(os.environ)
+                    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+                    subprocess.run(
+                        [sys.executable, "-c", CHILD_SCRIPT, manifest_path, out_path],
+                        env=env,
+                        check=True,
+                        timeout=120,
+                    )
+                    with open(out_path, "rb") as fh:
+                        seen = pickle.load(fh)
+            finally:
+                store.close()
+        assert seen["meta"] == {"n": 1}
+        child = seen["tables"][rebuilt.name]
+        assert child["rows"] == list(rebuilt.iter_rows())
+        for key, encoding in rebuilt._encodings.items():
+            codes, values, counts = child["encodings"][repr(key)]
+            assert codes == list(shm._as_code_iter(encoding.codes))
+            assert values == encoding.values
+            assert counts == list(encoding.counts())
+
+
+@pytest.fixture
+def graph_setup():
+    facts = Table.from_rows(
+        "facts",
+        ["good_key", "bad_key", "measure"],
+        [(i % 10, i % 3, float(i % 8) * 10 + i % 3) for i in range(64)],
+    )
+    dims = Table.from_rows(
+        "dims",
+        ["good_key", "bad_key", "label"],
+        [(i, i % 2, f"lbl{i}") for i in range(8)],
+    )
+    join_graph = JoinGraph([facts, dims], source_instances=["facts"])
+    fds = [FunctionalDependency("good_key", "label")]
+    return join_graph, {"facts": facts, "dims": dims}, fds
+
+
+class TestWorkerSessions:
+    def test_cold_load_then_warm_reuse(self, graph_setup):
+        join_graph, _, fds = graph_setup
+        state = shm.SharedChainState(join_graph, fds, token="test-session")
+        try:
+            _, stats = shm.ensure_session(state.spec())
+            assert stats == {"cold_load": 1, "resyncs": 0, "deltas_applied": 0}
+            session, stats = shm.ensure_session(state.spec())
+            assert stats == {"cold_load": 0, "resyncs": 0, "deltas_applied": 0}
+            # Zero JI recomputation: the preloaded weights cover every edge.
+            assert session.graph.edge_recomputes == 0
+            assert sorted(session.graph.instance_tables()) == ["dims", "facts"]
+        finally:
+            shm.drop_session("test-session")
+            state.close()
+
+    def test_delta_applies_in_place_without_resync(self, graph_setup):
+        join_graph, tables, fds = graph_setup
+        state = shm.SharedChainState(join_graph, fds, token="test-delta")
+        try:
+            session, _ = shm.ensure_session(state.spec())
+            dims2 = Table.from_rows(
+                "dims",
+                ["good_key", "bad_key", "label"],
+                [(i, i % 2, f"new{i}") for i in range(8)],
+            )
+            new_graph = JoinGraph([tables["facts"], dims2], source_instances=["facts"])
+            state.publish_delta(new_graph, fds, version=1, changed=("dims",))
+            assert state.stats()["rebases"] == 0
+            session, stats = shm.ensure_session(state.spec())
+            assert stats == {"cold_load": 0, "resyncs": 0, "deltas_applied": 1}
+            assert session.version == 1
+            assert list(session.graph.sample("dims").column("label")) == [
+                f"new{i}" for i in range(8)
+            ]
+        finally:
+            shm.drop_session("test-delta")
+            state.close()
+
+    def test_version_jump_falls_back_to_rebase_and_resync(self, graph_setup):
+        join_graph, tables, fds = graph_setup
+        state = shm.SharedChainState(join_graph, fds, token="test-gap")
+        try:
+            shm.ensure_session(state.spec())
+            new_graph = JoinGraph(
+                [tables["facts"], tables["dims"]], source_instances=["facts"]
+            )
+            # version jumps 0 -> 5: the state must rebase, and the worker
+            # session must hard-resync off the changed base fingerprint.
+            state.publish_delta(new_graph, fds, version=5, changed=("dims",))
+            assert state.stats()["rebases"] == 1
+            session, stats = shm.ensure_session(state.spec())
+            assert stats["resyncs"] == 1
+            assert session.version == 5
+        finally:
+            shm.drop_session("test-gap")
+            state.close()
+
+    def test_close_unlinks_every_segment(self, graph_setup):
+        join_graph, _, fds = graph_setup
+        state = shm.SharedChainState(join_graph, fds, token="test-unlink")
+        names = state.segment_names()
+        assert names and all(os.path.exists(f"/dev/shm/{n}") for n in names)
+        state.close()
+        assert not any(os.path.exists(f"/dev/shm/{n}") for n in names)
+        state.close()  # idempotent
+
+
+class TestSharedSchedulerParity:
+    """ChainScheduler over a shared-store pool is bit-identical to serial,
+    and a warm pool survives a published delta with zero resyncs."""
+
+    def run_scheduler(self, join_graph, tables, fds, *, pool=None, pool_state=None,
+                      executor="serial"):
+        igraph = minimal_weight_igraph(join_graph, ["facts", "dims"], rng=0)
+        initial = build_initial_target_graph(
+            join_graph, igraph, ["measure"], ["label"]
+        )
+        scheduler = ChainScheduler(
+            chains=3, executor=executor, pool=pool, pool_state=pool_state
+        )
+        return scheduler.run(
+            join_graph,
+            initial,
+            tables,
+            ["measure"],
+            ["label"],
+            fds,
+            budget=1e9,
+            config=MCMCConfig(iterations=40, seed=0),
+        )
+
+    def test_shared_pool_matches_serial_and_survives_deltas(self, graph_setup):
+        join_graph, tables, fds = graph_setup
+        reference = self.run_scheduler(join_graph, tables, fds)
+        pool, state = shared_chain_pool(
+            join_graph, fds, token="test-shared-parity", max_workers=2
+        )
+        try:
+            assert state.covers(join_graph, tables, fds)
+            warm = self.run_scheduler(
+                join_graph, tables, fds, pool=pool, pool_state=state,
+                executor="process",
+            )
+            assert warm.chain_correlations == reference.chain_correlations
+            # Ship a delta: the same pool keeps serving, zero full resyncs.
+            dims2 = Table.from_rows(
+                "dims",
+                ["good_key", "bad_key", "label"],
+                [(i, i % 2, f"lbl{i}") for i in range(8)],
+            )
+            new_tables = {"facts": tables["facts"], "dims": dims2}
+            new_graph = JoinGraph(
+                [tables["facts"], dims2], source_instances=["facts"]
+            )
+            state.publish_delta(new_graph, fds, version=1, changed=("dims",))
+            assert state.covers(new_graph, new_tables, fds)
+            after = self.run_scheduler(
+                new_graph, new_tables, fds, pool=pool, pool_state=state,
+                executor="process",
+            )
+            serial_after = self.run_scheduler(new_graph, new_tables, fds)
+            assert after.chain_correlations == serial_after.chain_correlations
+            stats = state.stats()
+            assert stats["rebases"] == 0
+            assert stats["worker_resyncs"] == 0
+            assert stats["worker_deltas_applied"] >= 1
+        finally:
+            pool.shutdown()
+            state.close()
+        assert shm.live_segments() == []

@@ -169,3 +169,23 @@ def test_router_rejects_invalid_configuration():
             num_shards=2,
             assignment={"facts": 5},
         )
+
+
+def test_execution_plan_rides_to_every_shard():
+    """PR 8: a plan on the router's config drives each shard's pool the same
+    way, and the sharded answer stays bit-identical to the unsharded one."""
+    from repro.search.plan import ExecutionPlan
+
+    plan = ExecutionPlan(executor="process", chains=2)
+    config = DanceConfig(
+        sampling_rate=1.0, mcmc=MCMCConfig(iterations=40, seed=0), plan=plan
+    )
+    with AcquisitionService(
+        small_marketplace(),
+        DanceConfig(sampling_rate=1.0, mcmc=MCMCConfig(iterations=40, seed=0), plan=plan),
+    ) as service:
+        reference = served_bits(service.acquire(REQUEST, seed=7))
+    with ShardRouter(small_marketplace(), config, num_shards=2) as router:
+        for shard in router.shards:
+            assert shard.config.execution_plan == plan
+        assert served_bits(router.acquire(REQUEST, seed=7)) == reference

@@ -392,3 +392,95 @@ class TestServiceConfigValidation:
             marketplace, DanceConfig(sampling_rate=1.0, mcmc=MCMCConfig(seed=123))
         ) as service:
             assert service.seed == 123
+
+
+class TestExecutionPlanPooling:
+    """PR 8: the plan drives the session pool; shared-store pools survive
+    catalog updates; a no-op refresh tears nothing down."""
+
+    def plan_config(self, plan: str) -> DanceConfig:
+        return DanceConfig(
+            sampling_rate=1.0, mcmc=MCMCConfig(iterations=40, seed=0), plan=plan
+        )
+
+    def test_noop_refresh_keeps_pool_and_caches(self):
+        source = Table.from_rows(
+            "myshop", ["bad_key", "score"], [(i % 3, i) for i in range(9)]
+        )
+        with AcquisitionService(
+            small_marketplace(),
+            self.plan_config("executor=thread,chains=2"),
+            source_tables=[source],
+        ) as service:
+            service.acquire(REQUEST)
+            pool = service._chain_pool
+            assert pool is not None
+            version = service.dance.graph_version
+            entries = service.describe()["evaluation_cache_entries"]
+            assert entries > 0
+            summary = service.register_source_tables([source])
+            assert summary["mode"] == "noop"
+            assert summary["edge_recomputes"] == 0
+            assert service.dance.graph_version == version
+            assert service._chain_pool is pool
+            assert service.describe()["evaluation_cache_entries"] == entries
+            assert service.describe()["cache_resets"] == 0
+
+    def test_shared_pool_survives_register_delta_with_zero_resyncs(self):
+        plan = "executor=process,chains=3"
+        source = Table.from_rows(
+            "myshop", ["bad_key", "score"], [(i % 3, i) for i in range(9)]
+        )
+        outcomes = []
+        for spec in ("executor=serial,chains=3", plan):
+            with AcquisitionService(
+                small_marketplace(), self.plan_config(spec)
+            ) as service:
+                first = service.acquire(REQUEST)
+                pool = service._chain_pool
+                summary = service.register_source_tables([source])
+                assert summary["mode"] == "incremental"
+                second = service.acquire(REQUEST)
+                description = service.describe()
+                outcomes.append((first, second))
+                if spec == plan:
+                    # The warm pool survived the delta: same executor object,
+                    # one delta published, zero full resyncs anywhere.
+                    assert service._chain_pool is pool
+                    store = description["shared_store"]
+                    assert store is not None
+                    assert store["deltas_published"] == 1
+                    assert store["rebases"] == 0
+                    assert store["worker_resyncs"] == 0
+        (serial_first, serial_second), (shm_first, shm_second) = outcomes
+        assert shm_first.mcmc_chain_correlations == serial_first.mcmc_chain_correlations
+        assert shm_second.mcmc_chain_correlations == serial_second.mcmc_chain_correlations
+        assert shm_first.sql() == serial_first.sql()
+        assert shm_second.sql() == serial_second.sql()
+
+    def test_per_call_policy_builds_no_persistent_pool(self):
+        plan = "executor=thread,chains=2,pool_policy=per_call"
+        with AcquisitionService(small_marketplace(), self.plan_config(plan)) as service:
+            per_call = service.acquire(REQUEST)
+            assert service._chain_pool is None
+            assert service.describe()["chain_pool"] is None
+        with AcquisitionService(
+            small_marketplace(), self.plan_config("executor=thread,chains=2")
+        ) as service:
+            pooled = service.acquire(REQUEST)
+            assert service._chain_pool is not None
+        assert per_call.mcmc_chain_correlations == pooled.mcmc_chain_correlations
+
+    def test_shared_store_segments_unlink_on_close(self):
+        from repro.search.shm import live_segments
+
+        service = AcquisitionService(
+            small_marketplace(), self.plan_config("executor=process,chains=2")
+        )
+        try:
+            service.acquire(REQUEST)
+            assert service.describe()["shared_store"] is not None
+            assert live_segments() != []
+        finally:
+            service.close()
+        assert live_segments() == []
