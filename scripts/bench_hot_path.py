@@ -36,7 +36,11 @@ throwaway sqlite catalog versus a warm ``Marketplace.open()`` + build-offline
 cold run.  ``--serve`` appends a mode='serve' entry (``repro/service/server``):
 a real HTTP server driven by concurrent urllib clients at 1, 2 and 4 shards,
 recording requests/second plus client-side and service-side p50/p95/p99
-latency, parity-checked across shard counts.  ``--scale`` / ``--iterations``
+latency, parity-checked across shard counts.  ``--qos`` appends a mode='qos'
+entry (``repro/service/qos``, PR 9): a gold/silver/bronze request mix driven
+through one qos-enabled service under contention, recording per-tier
+queue-wait p50/p95/p99 from the weighted-fair-queue scheduler and asserting
+gold waits less than bronze at the p95.  ``--scale`` / ``--iterations``
 / ``--sampling-rate`` shrink the scenario for smoke runs (e.g. in CI).  Run
 with::
 
@@ -48,6 +52,7 @@ with::
                                                     [--catalog]
                                                     [--serve]
                                                     [--shm]
+                                                    [--qos]
 """
 
 from __future__ import annotations
@@ -646,6 +651,73 @@ def bench_serve(workload, args: argparse.Namespace) -> dict[str, object]:
     }
 
 
+QOS_TIER_LADDER = ("gold", "silver", "bronze")
+
+
+def bench_qos(workload, args: argparse.Namespace) -> dict[str, object]:
+    """Per-tier queue-wait percentiles under WFQ contention (PR 9).
+
+    Every workload query is submitted once per SLA tier per round through one
+    qos-enabled service whose four batch workers contend for the single
+    execution slot, so the weighted fair queue decides who waits.  The
+    per-tier percentiles come from the scheduler's own queue-wait histograms
+    (``metrics()["qos"]["tiers"]``); under contention gold (weight 4) must
+    wait measurably less than bronze (weight 1) at the p95, which the entry
+    records as ``gold_p95_below_bronze``.
+    """
+    executor = args.executor if args.executor != "all" else "thread"
+    config = DanceConfig(
+        sampling_rate=args.sampling_rate,
+        mcmc=MCMCConfig(
+            iterations=args.iterations, seed=0, chains=args.chains, executor=executor
+        ),
+        service=ServiceConfig(max_batch_workers=4, qos=True),
+    )
+    requests = [
+        AcquisitionRequest(
+            source_attributes=list(query.source_attributes),
+            target_attributes=list(query.target_attributes),
+            budget=BUDGET,
+            shopper=f"{tier}-shopper",
+            tier=tier,
+        )
+        for query in queries_for(workload).values()
+        for tier in QOS_TIER_LADDER
+    ]
+    with AcquisitionService(_marketplace_for(workload), config) as service:
+        service.acquire_batch(requests)  # warm the session caches first
+        all_ok = True
+        start = time.perf_counter()
+        for _ in range(args.qos_rounds):
+            all_ok = service.acquire_batch(requests).ok and all_ok
+        wall_seconds = time.perf_counter() - start
+        metrics = service.metrics()
+
+    tiers = {
+        name: {
+            "weight": stats["weight"],
+            "requests": stats["requests"],
+            "queue_wait_p50_seconds": stats["queue_wait"]["p50_seconds"],
+            "queue_wait_p95_seconds": stats["queue_wait"]["p95_seconds"],
+            "queue_wait_p99_seconds": stats["queue_wait"]["p99_seconds"],
+        }
+        for name, stats in metrics["qos"]["tiers"].items()
+    }
+    gold_p95 = tiers["gold"]["queue_wait_p95_seconds"]
+    bronze_p95 = tiers["bronze"]["queue_wait_p95_seconds"]
+    return {
+        "rounds": args.qos_rounds,
+        "requests_per_round": len(requests),
+        "batch_workers": 4,
+        "batch_ok": all_ok,
+        "wall_seconds": wall_seconds,
+        "queue_wait_p50_seconds": metrics["queue_wait"]["p50_seconds"],
+        "execution_p50_seconds": metrics["execution"]["p50_seconds"],
+        "tiers": tiers,
+        "gold_p95_below_bronze": gold_p95 < bronze_p95,
+    }
+
+
 def _base_entry(args: argparse.Namespace, resolved_backend: str, executor: str) -> dict:
     return {
         "label": args.label,
@@ -716,6 +788,11 @@ def bench_backend(backend_name: str, args: argparse.Namespace) -> list[dict[str,
         shm_entry["mode"] = "shm"
         shm_entry["shm"] = bench_shm(workload, args)
         entries.append(shm_entry)
+    if args.qos:
+        qos_entry = _base_entry(args, resolved, args.executor)
+        qos_entry["mode"] = "qos"
+        qos_entry["qos"] = bench_qos(workload, args)
+        entries.append(qos_entry)
     return entries
 
 
@@ -773,6 +850,18 @@ def main() -> None:
         help="additionally measure the PR 8 shared-memory executor sweep "
         "through a long-lived service: cold pool, warm pool and "
         "warm-after-delta passes per plan (appends a mode='shm' entry)",
+    )
+    parser.add_argument(
+        "--qos",
+        action="store_true",
+        help="additionally measure per-tier queue-wait percentiles through a "
+        "qos-enabled service under contention (appends a mode='qos' entry)",
+    )
+    parser.add_argument(
+        "--qos-rounds",
+        type=int,
+        default=12,
+        help="measured batch passes over the tiered request set (--qos)",
     )
     parser.add_argument(
         "--serve-rounds",

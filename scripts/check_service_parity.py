@@ -16,9 +16,15 @@ changes results), and a saturated queue under ``reject`` must shed requests
 with ``AdmissionRejectedError`` while leaving every *served* request
 bit-identical — then recover fully once the queue drains.
 
+``--wfq`` runs the QoS smoke: a contended three-tier workload under the
+weighted-fair-queueing scheduler (``ServiceConfig(qos=True)``) must serve
+bit-identically to the serial single-FIFO reference, and a batch of
+already-expired deadlines must be shed whole with ``DeadlineExceededError``
+and recover bit-identically afterwards.
+
 Used by the CI ``service-smoke`` job.  Run locally with::
 
-    PYTHONPATH=src python scripts/check_service_parity.py [--queue]
+    PYTHONPATH=src python scripts/check_service_parity.py [--queue] [--wfq]
 """
 
 from __future__ import annotations
@@ -144,12 +150,111 @@ def check_queue(workload, requests, reference_prints) -> int:
     return failures
 
 
+def check_wfq(workload, requests, reference_prints) -> int:
+    """The QoS smoke (``--wfq``): WFQ bit-identity and deadline shedding."""
+    from repro.exceptions import DeadlineExceededError
+
+    failures = 0
+    ladder = [("goldie", "gold"), ("silvia", "silver"), ("bronn", "bronze")]
+    tiered = [
+        AcquisitionRequest(
+            source_attributes=list(request.source_attributes),
+            target_attributes=list(request.target_attributes),
+            budget=request.budget,
+            shopper=ladder[index % len(ladder)][0],
+            tier=ladder[index % len(ladder)][1],
+        )
+        for index, request in enumerate(requests)
+    ]
+    config = DanceConfig(
+        sampling_rate=SAMPLING_RATE,
+        mcmc=MCMCConfig(iterations=ITERATIONS, seed=0),
+        service=ServiceConfig(max_batch_workers=BATCH_WORKERS, qos=True),
+    )
+
+    # Contended mixed-tier batch: three shoppers on three tiers fight for the
+    # scheduler's single execution slot.  WFQ may reorder the grants any way
+    # it likes — the served bytes must match the serial single-FIFO reference
+    # exactly, because seeds and positions follow the request index.
+    with AcquisitionService(build_marketplace(workload), config) as service:
+        shaped = service.acquire_batch(tiered)
+        qos = service.metrics()["qos"]
+    if not shaped.ok:
+        failures += 1
+        print("FAIL[wfq]: contended mixed-tier batch reported errors")
+    elif [fingerprint(item.result) for item in shaped] != reference_prints:
+        failures += 1
+        print("MISMATCH[wfq]: WFQ-scheduled batch differs from the serial reference")
+    if not qos["enabled"]:
+        failures += 1
+        print("FAIL[wfq]: the metrics payload does not report QoS enabled")
+    granted = {name: stats["requests"] for name, stats in qos["tiers"].items()}
+    expected = {}
+    for index in range(len(tiered)):
+        tier = ladder[index % len(ladder)][1]
+        expected[tier] = expected.get(tier, 0) + 1
+    for name in granted:
+        if granted.get(name, 0) != expected.get(name, 0):
+            failures += 1
+            print(f"FAIL[wfq]: per-tier grant counters {granted} != {expected}")
+            break
+
+    # Deadline shedding: a batch whose deadlines are already expired at
+    # dequeue is shed whole with DeadlineExceededError (no request ever
+    # burns a slot), and the service recovers bit-identically afterwards.
+    expired = [
+        AcquisitionRequest(
+            source_attributes=list(request.source_attributes),
+            target_attributes=list(request.target_attributes),
+            budget=request.budget,
+            shopper=f"hurried-{index}",
+            deadline=0.0,
+        )
+        for index, request in enumerate(requests)
+    ]
+    with AcquisitionService(build_marketplace(workload), config) as service:
+        shed = service.acquire_batch(expired)
+        if shed.ok or any(item.ok for item in shed):
+            failures += 1
+            print("FAIL[wfq]: expired-deadline batch served requests")
+        if not all(isinstance(item.error, DeadlineExceededError) for item in shed):
+            failures += 1
+            print("FAIL[wfq]: shed requests did not report DeadlineExceededError")
+        recovered_prints = [
+            fingerprint(service.acquire(request, seed=request_seed(0, index)))
+            for index, request in enumerate(requests)
+        ]
+        deadline_exceeded = service.metrics()["qos"]["deadline_exceeded"]
+    if recovered_prints != reference_prints:
+        failures += 1
+        print("MISMATCH[wfq]: post-shed requests differ from the serial reference")
+    if deadline_exceeded != len(requests):
+        failures += 1
+        print(
+            f"FAIL[wfq]: expected {len(requests)} deadline sheds, "
+            f"counted {deadline_exceeded}"
+        )
+
+    if not failures:
+        print(
+            f"OK[wfq]: contended 3-tier WFQ batch bit-identical to serial "
+            f"reference (grants {granted}); {len(requests)} deadline sheds "
+            f"recovered bit-identically"
+        )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--queue",
         action="store_true",
         help="additionally run the admission-saturation smoke (block + reject policies)",
+    )
+    parser.add_argument(
+        "--wfq",
+        action="store_true",
+        help="additionally run the QoS smoke (WFQ bit-identity + deadline sheds)",
     )
     parser.add_argument(
         "--plan",
@@ -219,6 +324,8 @@ def main() -> int:
 
     if args.queue:
         failures += check_queue(workload, requests, cold_prints)
+    if args.wfq:
+        failures += check_wfq(workload, requests, cold_prints)
 
     if failures:
         print(f"\n{failures} service-parity failure(s)")

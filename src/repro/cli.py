@@ -21,8 +21,9 @@ shell without writing Python:
     Serve a JSON file of acquisition requests through one long-lived
     :class:`~repro.service.AcquisitionService` — one offline phase, shared
     caches, concurrent execution with deterministic per-request seeds,
-    bounded admission (``--queue-depth`` / ``--admission``) — and print one
-    summary per request plus the service metrics.  ``--catalog PATH`` makes
+    bounded admission (``--queue-depth`` / ``--admission``), optional priced
+    QoS scheduling (``--qos on`` / ``--tier``) — and print one summary per
+    request plus the service metrics.  ``--catalog PATH`` makes
     the service persistent: an existing catalog is opened instead of
     regenerating the workload (warm offline phase, restored session caches),
     and the session is checkpointed back after serving.
@@ -235,12 +236,16 @@ def cmd_acquire(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_batch_requests(path: Path, workload) -> list[AcquisitionRequest]:
+def _parse_batch_requests(
+    path: Path, workload, default_tier: str | None = None
+) -> list[AcquisitionRequest]:
     """Read a JSON list of request specs into ``AcquisitionRequest`` objects.
 
     Each entry either names a predefined workload query (``{"query": "Q1",
     "budget": 100}``) or spells the attributes out (``{"source": [...],
-    "target": [...], "budget": 100, "alpha": 2.5, "beta": 0.8}``).
+    "target": [...], "budget": 100, "alpha": 2.5, "beta": 0.8}``); both forms
+    additionally take ``shopper`` / ``tier`` / ``deadline``.  ``default_tier``
+    (the ``--tier`` flag) applies to specs that name no tier of their own.
     """
     try:
         specs = json.loads(path.read_text())
@@ -265,6 +270,7 @@ def _parse_batch_requests(path: Path, workload) -> list[AcquisitionRequest]:
         else:
             source = list(spec.get("source", []))
             target = list(spec.get("target", []))
+        deadline = spec.get("deadline")
         requests.append(
             AcquisitionRequest(
                 source_attributes=source,
@@ -273,6 +279,8 @@ def _parse_batch_requests(path: Path, workload) -> list[AcquisitionRequest]:
                 max_join_informativeness=float(spec.get("alpha", float("inf"))),
                 min_quality=float(spec.get("beta", 0.0)),
                 shopper=spec.get("shopper"),
+                tier=spec.get("tier", default_tier),
+                deadline=float(deadline) if deadline is not None else None,
             )
         )
     return requests
@@ -295,6 +303,7 @@ def _service_config(args: argparse.Namespace) -> DanceConfig:
             max_batch_workers=args.batch_workers,
             max_queue_depth=args.queue_depth,
             admission=args.admission,
+            qos=(True if getattr(args, "qos", "off") == "on" else None),
             catalog_path=(
                 None if getattr(args, "catalog", None) is None else str(args.catalog)
             ),
@@ -304,7 +313,7 @@ def _service_config(args: argparse.Namespace) -> DanceConfig:
 
 def cmd_batch(args: argparse.Namespace) -> int:
     marketplace, workload = _service_marketplace(args)
-    requests = _parse_batch_requests(args.requests, workload)
+    requests = _parse_batch_requests(args.requests, workload, default_tier=args.tier)
     config = _service_config(args)
     with AcquisitionService(marketplace, config) as service:
         batch = service.acquire_batch(requests)
@@ -319,9 +328,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 "batch_workers": config.service.max_batch_workers,
                 "queue_depth": config.service.max_queue_depth,
                 "admission": config.service.admission,
+                "qos": metrics["qos"]["enabled"],
                 "requests": len(requests),
                 "errors": len(batch.errors()),
                 "rejected": metrics["queue"]["rejected"],
+                "rate_limited": metrics["qos"]["rate_limited"],
+                "deadline_exceeded": metrics["qos"]["deadline_exceeded"],
                 "latency_p50_seconds": metrics["latency"]["p50_seconds"],
                 "latency_p95_seconds": metrics["latency"]["p95_seconds"],
             },
@@ -332,11 +344,35 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if batch.ok else 1
 
 
+def _print_tier_table(metrics: dict) -> None:
+    """Human-readable SLA tier summary (stderr: stdout stays pure JSON)."""
+    tiers = metrics.get("qos", {}).get("tiers") or {}
+    if not tiers:
+        return
+    print(
+        f"{'tier':<10}{'weight':>8}{'requests':>10}{'rate_lim':>10}"
+        f"{'deadline':>10}{'wait_p50':>12}{'wait_p95':>12}",
+        file=sys.stderr,
+    )
+    for name, tier in tiers.items():
+        wait = tier.get("queue_wait") or {}
+
+        def fmt(value: object) -> str:
+            return "-" if value is None else f"{float(value):.4f}"
+
+        print(
+            f"{name:<10}{tier['weight']:>8g}{tier['requests']:>10}"
+            f"{tier['rate_limited']:>10}{tier['deadline_exceeded']:>10}"
+            f"{fmt(wait.get('p50_seconds')):>12}{fmt(wait.get('p95_seconds')):>12}",
+            file=sys.stderr,
+        )
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Serve requests through one service and dump only the metrics."""
     marketplace, workload = _service_marketplace(args)
     if args.requests is not None:
-        batches = [_parse_batch_requests(args.requests, workload)]
+        batches = [_parse_batch_requests(args.requests, workload, default_tier=args.tier)]
     else:
         # Default traffic: the predefined workload queries as one batch,
         # served twice — the repeat reuses the per-index seeds, so the dump
@@ -346,6 +382,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
                 source_attributes=list(query.source_attributes),
                 target_attributes=list(query.target_attributes),
                 budget=args.budget,
+                tier=args.tier,
             )
             for query in queries_for(workload).values()
         ]
@@ -357,6 +394,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             service.persist()
         payload = service.metrics()
     print(json.dumps(payload, indent=2, default=str))
+    _print_tier_table(payload)
     # Same contract as `batch`: non-zero exit when any request failed.
     return 0 if all(outcome.ok for outcome in outcomes) else 1
 
@@ -374,7 +412,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         service = AcquisitionService(marketplace, config)
     with service:
         server = AcquisitionHTTPServer(
-            (args.host, args.port), service, queries=queries_for(workload)
+            (args.host, args.port),
+            service,
+            queries=queries_for(workload),
+            default_tier=args.tier,
         )
         thread = server.serve_background()
         print(
@@ -384,6 +425,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     "shards": args.shards,
                     "queue_depth": config.service.max_queue_depth,
                     "admission": config.service.admission,
+                    "qos": config.service.qos is not None,
                 }
             ),
             flush=True,
@@ -531,6 +573,20 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="persistent catalog file: opened when it exists (warm "
             "restart), checkpointed after serving",
+        )
+        sub.add_argument(
+            "--qos",
+            choices=("off", "on"),
+            default="off",
+            help="QoS scheduling: weighted fair queueing over SLA tiers, "
+            "per-shopper token-bucket rate limits, deadline-aware shedding "
+            "(served bits are identical either way)",
+        )
+        sub.add_argument(
+            "--tier",
+            choices=("bronze", "silver", "gold"),
+            default=None,
+            help="default SLA tier stamped on requests that name none",
         )
 
     batch = subparsers.add_parser(

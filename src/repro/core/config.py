@@ -70,6 +70,16 @@ class ServiceConfig:
         memo) from the catalog at startup and checkpoints marketplace, graph,
         and caches back to it after ``register_source_tables``.  ``None``
         (the default) keeps the service fully in-memory.
+    qos:
+        QoS scheduling (:mod:`repro.service.qos`).  ``None`` (the default)
+        keeps the PR 5 FIFO admission queue.  A
+        :class:`~repro.service.qos.QosConfig` — or ``True``/``"on"`` for the
+        default tier ladder — replaces it with the weighted-fair-queueing
+        scheduler: SLA-tier weights, per-shopper token buckets, and
+        deadline-aware shedding.  ``max_queue_depth``/``admission`` keep
+        their meaning (the scheduler enforces the same bound and policy).
+        QoS never changes a served request's result, only whether/when it
+        runs.
     """
 
     seed: int | None = None
@@ -83,9 +93,15 @@ class ServiceConfig:
     metrics_window: int = 256
     step1_memo: bool = True
     catalog_path: str | None = None
+    qos: "object | bool | str | None" = None
 
     def __post_init__(self) -> None:
         self.plan = ExecutionPlan.normalize(self.plan)
+        if self.qos is not None:
+            # Deferred import: repro.service.qos imports this module's siblings.
+            from repro.service.qos import QosConfig
+
+            self.qos = QosConfig.normalize(self.qos)
         if self.max_batch_workers < 1:
             raise ReproError(
                 f"max_batch_workers must be >= 1, got {self.max_batch_workers}"

@@ -57,7 +57,43 @@ class GraphConstructionError(ReproError):
 
 
 class AdmissionRejectedError(ReproError):
-    """The service's bounded admission queue is full and the policy is ``reject``."""
+    """The service's bounded admission queue is full and the policy is ``reject``.
+
+    ``retry_after`` optionally carries the service's backoff hint in seconds
+    (derived from the current queue depth and recent execution time); the HTTP
+    tier surfaces it as the ``Retry-After`` header of the 503 response.
+    """
+
+    def __init__(
+        self, message: str = "admission queue is full", retry_after: float | None = None
+    ) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class RateLimitedError(ReproError):
+    """A shopper exceeded its SLA tier's token-bucket rate limit.
+
+    Raised at submission time by :class:`repro.service.qos.QosScheduler` —
+    the request never reaches a worker.  ``retry_after`` is the seconds until
+    the shopper's bucket refills one token (the HTTP tier maps this error to
+    429 with a ``Retry-After`` header).
+    """
+
+    def __init__(
+        self, message: str = "rate limit exceeded", retry_after: float | None = None
+    ) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class DeadlineExceededError(ReproError):
+    """A request could no longer meet its deadline when it reached the front
+    of the QoS queue, so it was shed instead of burning a worker.
+
+    The HTTP tier maps this error to 504.  Shedding happens at dequeue time
+    only — a request granted a slot always runs to completion.
+    """
 
 
 class StorageError(ReproError):

@@ -8,6 +8,7 @@ from typing import Sequence
 from repro.exceptions import SearchError
 from repro.marketplace.market import Marketplace, ProjectionQuery, PurchaseReceipt
 from repro.pricing.budget import Budget
+from repro.pricing.sla import SlaTier, resolve_tier
 from repro.relational.table import Table
 
 
@@ -33,6 +34,17 @@ class AcquisitionRequest:
         service's batch API uses it for round-robin admission fairness (one
         shopper's burst cannot starve another's requests); it never affects
         the search itself.
+    tier:
+        Optional SLA tier *name* the request is served under
+        (:mod:`repro.pricing.sla`).  The QoS scheduler resolves the name
+        against its own tier table for the weight/rate/burst — the request
+        never carries scheduling parameters, so a shopper cannot self-assign
+        a weight.  Like ``shopper``, it never affects the search itself.
+    deadline:
+        Optional deadline in seconds from submission.  A request that can no
+        longer meet it when the QoS scheduler would grant it a slot is shed
+        with :class:`~repro.exceptions.DeadlineExceededError` instead of
+        burning a worker.  Ignored when QoS is off.
     """
 
     source_attributes: tuple[str, ...]
@@ -41,6 +53,8 @@ class AcquisitionRequest:
     max_join_informativeness: float = float("inf")
     min_quality: float = 0.0
     shopper: str | None = None
+    tier: str | None = None
+    deadline: float | None = None
 
     def __init__(
         self,
@@ -50,6 +64,8 @@ class AcquisitionRequest:
         max_join_informativeness: float = float("inf"),
         min_quality: float = 0.0,
         shopper: str | None = None,
+        tier: str | None = None,
+        deadline: float | None = None,
     ) -> None:
         if not target_attributes:
             raise SearchError("an acquisition request needs at least one target attribute")
@@ -59,12 +75,16 @@ class AcquisitionRequest:
             raise SearchError(f"min_quality must be in [0, 1], got {min_quality}")
         if max_join_informativeness < 0:
             raise SearchError("max_join_informativeness must be non-negative")
+        if deadline is not None and deadline < 0:
+            raise SearchError(f"deadline must be non-negative, got {deadline}")
         object.__setattr__(self, "source_attributes", tuple(source_attributes))
         object.__setattr__(self, "target_attributes", tuple(target_attributes))
         object.__setattr__(self, "budget", float(budget))
         object.__setattr__(self, "max_join_informativeness", float(max_join_informativeness))
         object.__setattr__(self, "min_quality", float(min_quality))
         object.__setattr__(self, "shopper", shopper)
+        object.__setattr__(self, "tier", tier)
+        object.__setattr__(self, "deadline", float(deadline) if deadline is not None else None)
 
     def with_budget(self, budget: float) -> "AcquisitionRequest":
         """The same request under a different budget (used by budget-ratio sweeps)."""
@@ -75,6 +95,8 @@ class AcquisitionRequest:
             self.max_join_informativeness,
             self.min_quality,
             self.shopper,
+            self.tier,
+            self.deadline,
         )
 
 
@@ -85,12 +107,24 @@ class DataShopper:
     The shopper never talks to the marketplace's raw data directly: it submits
     an :class:`AcquisitionRequest` to DANCE, receives a set of projection
     queries, and then buys those queries from the marketplace.
+
+    A shopper may :meth:`subscribe` to an SLA tier
+    (:mod:`repro.pricing.sla`): its requests are then stamped with the tier
+    name (the QoS scheduler weighs them accordingly) and its purchases are
+    charged at the tier's price multiplier — better service is a product,
+    not a configuration knob.
     """
 
     name: str
     source_tables: list[Table] = field(default_factory=list)
     budget: Budget = field(default_factory=lambda: Budget(total=0.0))
     purchased: list[PurchaseReceipt] = field(default_factory=list)
+    tier: SlaTier | None = None
+
+    def subscribe(self, tier: SlaTier | str) -> SlaTier:
+        """Subscribe the shopper to an SLA tier (object or default-table name)."""
+        self.tier = resolve_tier(tier)
+        return self.tier
 
     def source_attribute_names(self) -> tuple[str, ...]:
         """All attribute names available in the shopper's local instances."""
@@ -111,6 +145,7 @@ class DataShopper:
         source_attributes: Sequence[str] | None = None,
         max_join_informativeness: float = float("inf"),
         min_quality: float = 0.0,
+        deadline: float | None = None,
     ) -> AcquisitionRequest:
         """Build an acquisition request using the shopper's remaining budget."""
         sources = (
@@ -125,15 +160,23 @@ class DataShopper:
             max_join_informativeness=max_join_informativeness,
             min_quality=min_quality,
             shopper=self.name,
+            tier=self.tier.name if self.tier is not None else None,
+            deadline=deadline,
         )
 
     def purchase(
         self, marketplace: Marketplace, queries: Sequence[ProjectionQuery]
     ) -> list[PurchaseReceipt]:
-        """Buy the projection queries recommended by DANCE, charging the budget."""
+        """Buy the projection queries recommended by DANCE, charging the budget.
+
+        A subscribed shopper pays the tier-multiplied price: the premium that
+        funds its scheduling weight (:class:`~repro.pricing.sla.SlaTier`).
+        """
         receipts: list[PurchaseReceipt] = []
         for query in queries:
             price = marketplace.price_query(query)
+            if self.tier is not None:
+                price = self.tier.charge(price)
             self.budget.charge(price)
             receipts.append(marketplace.execute(query))
         self.purchased.extend(receipts)

@@ -15,6 +15,10 @@ whole datasets, and prices are assigned by an entropy-based pricing function
 ``budget``
     Budget bookkeeping: lower/upper bounds over candidate target graphs and the
     paper's "budget ratio" parameterisation.
+``sla``
+    Priced service levels: :class:`SlaTier` (WFQ weight, token-bucket rate and
+    burst, price multiplier) and :class:`TieredPricingModel`, which scales any
+    base model by a tier's multiplier while staying arbitrage-free.
 """
 
 from repro.pricing.models import (
@@ -25,6 +29,13 @@ from repro.pricing.models import (
 )
 from repro.pricing.arbitrage import is_monotone, is_subadditive, verify_arbitrage_free
 from repro.pricing.budget import Budget, budget_from_ratio, price_bounds
+from repro.pricing.sla import (
+    DEFAULT_TIER_NAME,
+    DEFAULT_TIERS,
+    SlaTier,
+    TieredPricingModel,
+    resolve_tier,
+)
 
 __all__ = [
     "PricingModel",
@@ -37,4 +48,9 @@ __all__ = [
     "Budget",
     "budget_from_ratio",
     "price_bounds",
+    "SlaTier",
+    "TieredPricingModel",
+    "resolve_tier",
+    "DEFAULT_TIERS",
+    "DEFAULT_TIER_NAME",
 ]

@@ -25,6 +25,12 @@ the online phase into a long-lived *session*:
     Per-request latency percentiles, cache hit-rate trends over a sliding
     window, and the counting cache behind the Step-1 memo.
 
+:class:`QosScheduler` / :class:`QosConfig` (:mod:`repro.service.qos`)
+    The priced QoS layer (``ServiceConfig(qos=...)``): weighted fair
+    queueing over SLA tiers (:mod:`repro.pricing.sla`), per-shopper
+    token-bucket rate limits, and deadline-aware shedding — whether/when a
+    request runs, never what it computes.
+
 :class:`ShardRouter` (:mod:`repro.service.router`)
     Scale-out: N in-process service shards over one marketplace, each
     searching only the Step-1 candidates it owns, folded back into an answer
@@ -46,6 +52,13 @@ what it computes.
 from repro.service.admission import AdmissionQueue, fair_order
 from repro.service.batch import BatchResult, ServedRequest, request_seed
 from repro.service.metrics import CountingCache, LatencyHistogram, ServiceMetrics
+from repro.service.qos import (
+    QosConfig,
+    QosScheduler,
+    TokenBucket,
+    WeightedFairQueue,
+    retry_after_hint,
+)
 from repro.service.router import ShardRouter
 from repro.service.server import AcquisitionHTTPServer, render_prometheus
 from repro.service.session import AcquisitionService
@@ -57,10 +70,15 @@ __all__ = [
     "BatchResult",
     "CountingCache",
     "LatencyHistogram",
+    "QosConfig",
+    "QosScheduler",
     "ServedRequest",
     "ServiceMetrics",
     "ShardRouter",
+    "TokenBucket",
+    "WeightedFairQueue",
     "fair_order",
     "render_prometheus",
     "request_seed",
+    "retry_after_hint",
 ]

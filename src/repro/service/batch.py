@@ -40,6 +40,8 @@ class ServedRequest:
     result: AcquisitionResult | None = None
     error: ReproError | None = None
     elapsed_seconds: float = 0.0
+    queued_seconds: float = 0.0
+    execution_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -59,6 +61,9 @@ class ServedRequest:
             fresh = type(self.error)(str(self.error))
         except TypeError:
             fresh = ReproError(str(self.error))
+        retry_after = getattr(self.error, "retry_after", None)
+        if retry_after is not None and hasattr(fresh, "retry_after"):
+            fresh.retry_after = retry_after
         raise fresh from self.error
 
     def summary(self) -> dict[str, object]:
@@ -67,9 +72,13 @@ class ServedRequest:
             "seed": self.seed,
             "ok": self.ok,
             "elapsed_seconds": self.elapsed_seconds,
+            "queued_seconds": self.queued_seconds,
+            "execution_seconds": self.execution_seconds,
         }
         if self.request.shopper is not None:
             payload["shopper"] = self.request.shopper
+        if self.request.tier is not None:
+            payload["tier"] = self.request.tier
         if self.result is not None:
             payload["result"] = self.result.summary()
         if self.error is not None:

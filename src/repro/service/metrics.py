@@ -123,20 +123,40 @@ class LatencyHistogram:
 
 
 class ServiceMetrics:
-    """Per-request latency, outcome, and cache hit-rate trend of one service."""
+    """Per-request latency, outcome, and cache hit-rate trend of one service.
+
+    End-to-end latency is tracked in three histograms: ``latency``
+    (queue wait + execution, what the caller observes), ``queue_wait``
+    (admission block and, under QoS, the scheduler's weighted-fair wait), and
+    ``execution`` (worker time only).  The split is what makes scheduling
+    effects visible — WFQ moves queue wait between tiers while execution
+    time stays put.
+    """
 
     def __init__(self, window: int = 256):
         self.latency = LatencyHistogram(window=window)
+        self.queue_wait = LatencyHistogram(window=window)
+        self.execution = LatencyHistogram(window=window)
         self._hit_rates: deque[float] = deque(maxlen=window)
         self._requests = 0
         self._errors = 0
         self._lock = threading.Lock()
 
     def record_request(
-        self, elapsed_seconds: float, *, ok: bool, cache_hit_rate: float | None = None
+        self,
+        elapsed_seconds: float,
+        *,
+        ok: bool,
+        cache_hit_rate: float | None = None,
+        queued_seconds: float | None = None,
+        execution_seconds: float | None = None,
     ) -> None:
         """Record one executed request (rejected requests never reach here)."""
         self.latency.record(elapsed_seconds)
+        if queued_seconds is not None:
+            self.queue_wait.record(queued_seconds)
+        if execution_seconds is not None:
+            self.execution.record(execution_seconds)
         with self._lock:
             self._requests += 1
             if not ok:
@@ -176,6 +196,8 @@ class ServiceMetrics:
             "requests": requests,
             "errors": errors,
             "latency": self.latency.snapshot(),
+            "queue_wait": self.queue_wait.snapshot(),
+            "execution": self.execution.snapshot(),
             "cache_hit_rate": hit_rate,
         }
 

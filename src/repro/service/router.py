@@ -37,7 +37,11 @@ phase.
 Admission lives at the router, not the shards: shards are built with an
 unbounded queue so a single bounded :class:`~repro.service.admission.AdmissionQueue`
 decides whether a request runs — a per-shard bound could admit a request on
-some shards and reject it on others, silently breaking fold coverage.
+some shards and reject it on others, silently breaking fold coverage.  The
+same ownership rule covers QoS (``ServiceConfig(qos=...)``): the router owns
+the one :class:`~repro.service.qos.QosScheduler` and shards are built with
+``qos=None``, so weighted fair queueing, rate limiting, and deadline
+shedding are decided exactly once per request.
 Likewise only shard 0 keeps ``ServiceConfig.catalog_path`` (all shards still
 *restore* from the shared marketplace's attached catalog; one shard
 checkpointing avoids N redundant writes).
@@ -57,6 +61,7 @@ from repro.core.config import DanceConfig
 from repro.core.result import AcquisitionResult
 from repro.exceptions import (
     AdmissionRejectedError,
+    DeadlineExceededError,
     InfeasibleAcquisitionError,
     NoOwnedCandidatesError,
     ReproError,
@@ -69,7 +74,8 @@ from repro.relational.table import Table
 from repro.service.admission import AdmissionQueue, fair_order
 from repro.service.batch import BatchResult, ServedRequest, request_seed
 from repro.service.metrics import ServiceMetrics
-from repro.service.session import AcquisitionService
+from repro.service.qos import QosScheduler, disabled_qos_snapshot, retry_after_hint
+from repro.service.session import SHED_ERRORS, AcquisitionService
 
 # ------------------------------------------------------------- candidate ownership
 
@@ -250,6 +256,16 @@ class ShardRouter:
             service_config.max_queue_depth, service_config.admission
         )
         self._metrics = ServiceMetrics(window=service_config.metrics_window)
+        self._qos: QosScheduler | None = (
+            QosScheduler(
+                service_config.qos,
+                max_depth=service_config.max_queue_depth,
+                policy=service_config.admission,
+                execution_estimate=lambda: self._metrics.execution.percentile(0.5),
+            )
+            if service_config.qos is not None
+            else None
+        )
         self._fan_pool: ThreadPoolExecutor | None = None
         self._request_pool: ThreadPoolExecutor | None = None
         self._shards: list[AcquisitionService] = []
@@ -257,6 +273,7 @@ class ShardRouter:
             shard_service = replace(
                 service_config,
                 max_queue_depth=None,
+                qos=None,
                 catalog_path=service_config.catalog_path if index == 0 else None,
             )
             self._shards.append(
@@ -291,16 +308,27 @@ class ShardRouter:
 
         Admission semantics match :meth:`AcquisitionService.acquire`: a full
         router queue blocks under the ``block`` policy and raises
-        :class:`~repro.exceptions.AdmissionRejectedError` under ``reject``.
+        :class:`~repro.exceptions.AdmissionRejectedError` under ``reject``;
+        under QoS the call may raise
+        :class:`~repro.exceptions.RateLimitedError` or
+        :class:`~repro.exceptions.DeadlineExceededError` instead.
         """
+        resolved_seed = self._seed if seed is None else seed
+        if self._qos is not None:
+            item = self._qos_serve(request, 0, resolved_seed)
+            if not isinstance(item.error, SHED_ERRORS):
+                self._count(item)
+            return item.require_result()
+        submitted = time.perf_counter()
         if not self._admission.admit():
             raise AdmissionRejectedError(
                 "admission queue is full "
-                f"(max_queue_depth={self.config.service.max_queue_depth})"
+                f"(max_queue_depth={self.config.service.max_queue_depth})",
+                retry_after=self._retry_after_hint(),
             )
         try:
             item = self._serve_item(
-                request, index=0, seed=self._seed if seed is None else seed
+                request, index=0, seed=resolved_seed, submitted_at=submitted
             )
         finally:
             self._admission.release()
@@ -331,26 +359,50 @@ class ShardRouter:
         pool = self._ensure_request_pool()
         order = fair_order([request.shopper for request in requests])
         items: list[ServedRequest | None] = [None] * len(requests)
-        if pool is None:
+        if self._qos is not None:
+            if pool is None:
+                for index in order:
+                    items[index] = self._qos_serve(
+                        requests[index], index, seeds[index]
+                    )
+            else:
+                futures = {
+                    index: pool.submit(
+                        self._qos_serve, requests[index], index, seeds[index]
+                    )
+                    for index in order
+                }
+                for index, future in futures.items():
+                    items[index] = future.result()
+        elif pool is None:
             for index in order:
+                submitted = time.perf_counter()
                 if not self._admission.admit():
                     items[index] = self._rejected_item(requests[index], index, seeds[index])
                     continue
                 try:
                     items[index] = self._serve_item(
-                        requests[index], index=index, seed=seeds[index]
+                        requests[index],
+                        index=index,
+                        seed=seeds[index],
+                        submitted_at=submitted,
                     )
                 finally:
                     self._admission.release()
         else:
             futures = {}
             for index in order:
+                submitted = time.perf_counter()
                 if not self._admission.admit():
                     items[index] = self._rejected_item(requests[index], index, seeds[index])
                     continue
                 try:
                     futures[index] = pool.submit(
-                        self._serve_admitted, requests[index], index, seeds[index]
+                        self._serve_admitted,
+                        requests[index],
+                        index,
+                        seeds[index],
+                        submitted,
                     )
                 except BaseException:
                     self._admission.release()
@@ -361,17 +413,52 @@ class ShardRouter:
         with self._lock:
             self._batches_served += 1
         for item in items:
-            if not isinstance(item.error, AdmissionRejectedError):
+            if not isinstance(item.error, SHED_ERRORS):
                 self._count(item)
         return batch
 
     def _serve_admitted(
-        self, request: AcquisitionRequest, index: int, seed: int
+        self,
+        request: AcquisitionRequest,
+        index: int,
+        seed: int,
+        submitted_at: float | None = None,
     ) -> ServedRequest:
         try:
-            return self._serve_item(request, index=index, seed=seed)
+            return self._serve_item(
+                request, index=index, seed=seed, submitted_at=submitted_at
+            )
         finally:
             self._admission.release()
+
+    def _qos_serve(
+        self, request: AcquisitionRequest, index: int, seed: int
+    ) -> ServedRequest:
+        """One request through the router's QoS scheduler, then the fan."""
+        qos = self._qos
+        assert qos is not None
+        try:
+            ticket = qos.submit(request)
+        except SHED_ERRORS as error:
+            return ServedRequest(index=index, request=request, seed=seed, error=error)
+        try:
+            queued = qos.await_grant(ticket)
+        except DeadlineExceededError as error:
+            return ServedRequest(index=index, request=request, seed=seed, error=error)
+        except BaseException:
+            qos.abandon(ticket)
+            raise
+        try:
+            return self._serve_item(
+                request, index=index, seed=seed, queued_seconds=queued
+            )
+        finally:
+            qos.release(ticket)
+
+    def _retry_after_hint(self) -> int:
+        return retry_after_hint(
+            self._admission.depth, self._metrics.execution.percentile(0.5)
+        )
 
     def _rejected_item(
         self, request: AcquisitionRequest, index: int, seed: int
@@ -382,23 +469,34 @@ class ShardRouter:
             seed=seed,
             error=AdmissionRejectedError(
                 f"request {index} rejected: admission queue full "
-                f"(max_queue_depth={self.config.service.max_queue_depth})"
+                f"(max_queue_depth={self.config.service.max_queue_depth})",
+                retry_after=self._retry_after_hint(),
             ),
         )
 
     def _serve_item(
-        self, request: AcquisitionRequest, *, index: int, seed: int
+        self,
+        request: AcquisitionRequest,
+        *,
+        index: int,
+        seed: int,
+        submitted_at: float | None = None,
+        queued_seconds: float = 0.0,
     ) -> ServedRequest:
         item = ServedRequest(index=index, request=request, seed=seed)
         with self._lock:
             self._in_flight += 1
         start = time.perf_counter()
+        if submitted_at is not None:
+            queued_seconds = max(0.0, start - submitted_at)
         try:
             item.result = self._fan(request, seed)
         except ReproError as error:
             item.error = error
         finally:
-            item.elapsed_seconds = time.perf_counter() - start
+            item.execution_seconds = time.perf_counter() - start
+            item.queued_seconds = queued_seconds
+            item.elapsed_seconds = queued_seconds + item.execution_seconds
             with self._lock:
                 self._in_flight -= 1
             self._metrics.record_request(
@@ -407,6 +505,8 @@ class ShardRouter:
                 cache_hit_rate=(
                     item.result.mcmc_cache_hit_rate if item.result is not None else None
                 ),
+                queued_seconds=queued_seconds,
+                execution_seconds=item.execution_seconds,
             )
         return item
 
@@ -538,7 +638,12 @@ class ShardRouter:
             step1.update(totals)
         payload = self._metrics.snapshot()
         payload["in_flight"] = in_flight
-        payload["queue"] = self._admission.snapshot()
+        payload["queue"] = (
+            self._qos.snapshot() if self._qos is not None else self._admission.snapshot()
+        )
+        payload["qos"] = (
+            self._qos.qos_snapshot() if self._qos is not None else disabled_qos_snapshot()
+        )
         payload["step1_memo"] = step1
         payload["shards"] = self.num_shards
         return payload

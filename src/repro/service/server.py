@@ -26,10 +26,12 @@ library:
     once a graceful shutdown began.
 
 Error mapping (the typed-error contract): admission rejections surface as
-``503`` with a ``Retry-After`` header, search errors (including
-infeasibility) as ``422``, storage errors as ``500``, any other library
-error as ``400`` — always as ``{"error": {"type": <exception class name>,
-"message": ...}}``, never a traceback.
+``503``, token-bucket sheds as ``429``, deadline sheds as ``504`` — the
+retryable statuses carry a *computed* ``Retry-After`` header (queue depth x
+recent p50 execution for 503, the bucket's refill time for 429) — search
+errors (including infeasibility) as ``422``, storage errors as ``500``, any
+other library error as ``400`` — always as ``{"error": {"type": <exception
+class name>, "message": ...}}``, never a traceback.
 
 Graceful shutdown (:meth:`AcquisitionHTTPServer.graceful_shutdown`) flips
 ``/healthz`` to draining, refuses new ``/acquire`` work, waits for in-flight
@@ -40,6 +42,7 @@ configured), and only then closes the listener.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -47,6 +50,8 @@ from typing import Mapping
 
 from repro.exceptions import (
     AdmissionRejectedError,
+    DeadlineExceededError,
+    RateLimitedError,
     ReproError,
     SearchError,
     StorageError,
@@ -72,6 +77,22 @@ FIELD_METRICS: dict[str, str] = {
     "latency.p50_seconds": "dance_request_latency_p50_seconds",
     "latency.p95_seconds": "dance_request_latency_p95_seconds",
     "latency.p99_seconds": "dance_request_latency_p99_seconds",
+    "queue_wait.count": "dance_queue_wait_seconds_count",
+    "queue_wait.mean_seconds": "dance_queue_wait_seconds_sum",
+    "queue_wait.max_seconds": "dance_queue_wait_max_seconds",
+    "queue_wait.window_size": "dance_queue_wait_window_size",
+    "queue_wait.buckets": "dance_queue_wait_seconds_bucket",
+    "queue_wait.p50_seconds": "dance_queue_wait_p50_seconds",
+    "queue_wait.p95_seconds": "dance_queue_wait_p95_seconds",
+    "queue_wait.p99_seconds": "dance_queue_wait_p99_seconds",
+    "execution.count": "dance_execution_seconds_count",
+    "execution.mean_seconds": "dance_execution_seconds_sum",
+    "execution.max_seconds": "dance_execution_max_seconds",
+    "execution.window_size": "dance_execution_window_size",
+    "execution.buckets": "dance_execution_seconds_bucket",
+    "execution.p50_seconds": "dance_execution_p50_seconds",
+    "execution.p95_seconds": "dance_execution_p95_seconds",
+    "execution.p99_seconds": "dance_execution_p99_seconds",
     "cache_hit_rate.window_size": "dance_cache_hit_rate_window_size",
     "cache_hit_rate.window_mean": "dance_cache_hit_rate_window_mean",
     "cache_hit_rate.older_half_mean": "dance_cache_hit_rate_older_half_mean",
@@ -85,6 +106,11 @@ FIELD_METRICS: dict[str, str] = {
     "queue.admitted": "dance_admission_admitted_total",
     "queue.rejected": "dance_admission_rejected_total",
     "queue.blocked_seconds": "dance_admission_blocked_seconds_total",
+    "qos.enabled": "dance_qos_enabled",
+    "qos.slots": "dance_qos_slots",
+    "qos.rate_limited": "dance_qos_rate_limited_total",
+    "qos.deadline_exceeded": "dance_qos_deadline_exceeded_total",
+    "qos.tiers": "dance_tier_requests_total",
     "step1_memo.enabled": "dance_step1_memo_enabled",
     "step1_memo.entries": "dance_step1_memo_entries",
     "step1_memo.hits": "dance_step1_memo_hits_total",
@@ -97,14 +123,21 @@ FIELD_METRICS: dict[str, str] = {
 def error_status(error: BaseException) -> int:
     """The HTTP status of a library error (the typed-error contract).
 
-    Admission rejection is the backpressure signal (retryable, 503); search
-    errors describe the *request* (422, unprocessable); storage errors are
-    server-side (500); any other :class:`~repro.exceptions.ReproError` is a
-    bad request (400).  Order matters: ``AdmissionRejectedError`` and
-    ``SearchError`` both derive from ``ReproError``.
+    Admission rejection is the backpressure signal (retryable, 503); a
+    token-bucket shed is the client's own pacing problem (429, with
+    ``Retry-After``); a deadline missed in queue is a timeout the *service*
+    could not meet (504); search errors describe the *request* (422,
+    unprocessable); storage errors are server-side (500); any other
+    :class:`~repro.exceptions.ReproError` is a bad request (400).  Order
+    matters: the typed shed errors and ``SearchError`` all derive from
+    ``ReproError``.
     """
     if isinstance(error, AdmissionRejectedError):
         return 503
+    if isinstance(error, RateLimitedError):
+        return 429
+    if isinstance(error, DeadlineExceededError):
+        return 504
     if isinstance(error, SearchError):
         return 422
     if isinstance(error, StorageError):
@@ -119,16 +152,32 @@ def error_body(error: BaseException) -> dict[str, object]:
     return {"error": {"type": type(error).__name__, "message": str(error)}}
 
 
+def retry_after_header(hint: float | None) -> str:
+    """The ``Retry-After`` header value of a shed response.
+
+    Whole seconds, at least 1 (the pre-computed-hint constant), from the
+    error's computed ``retry_after`` when one is attached.
+    """
+    if hint is None or not math.isfinite(hint) or hint <= 0:
+        return "1"
+    return str(max(1, math.ceil(hint)))
+
+
 # ------------------------------------------------------------- request parsing
 def request_from_spec(
-    spec: object, queries: Mapping[str, object] | None = None
+    spec: object,
+    queries: Mapping[str, object] | None = None,
+    *,
+    default_tier: str | None = None,
 ) -> AcquisitionRequest:
     """Build an :class:`AcquisitionRequest` from a JSON spec.
 
     The same format the CLI ``batch`` file uses: either ``{"query": "Q1"}``
     naming a predefined workload query (resolved through ``queries``) or
     explicit ``source`` / ``target`` attribute lists, plus ``budget`` /
-    ``alpha`` / ``beta`` / ``shopper``.  Raises
+    ``alpha`` / ``beta`` / ``shopper`` / ``tier`` / ``deadline``.
+    ``default_tier`` (the server passes the ``X-Dance-Tier`` header here)
+    applies to specs that name no ``tier`` of their own.  Raises
     :class:`~repro.exceptions.ReproError` (HTTP 400) for malformed specs;
     request validation itself (e.g. empty targets) raises ``SearchError``
     (HTTP 422) from the :class:`AcquisitionRequest` constructor.
@@ -152,6 +201,8 @@ def request_from_spec(
         budget = float(spec.get("budget", 100.0))
         alpha = float(spec.get("alpha", float("inf")))
         beta = float(spec.get("beta", 0.0))
+        deadline = spec.get("deadline")
+        deadline = float(deadline) if deadline is not None else None
     except (TypeError, ValueError) as error:
         raise ReproError(f"invalid numeric field in request spec: {error}") from error
     return AcquisitionRequest(
@@ -161,6 +212,8 @@ def request_from_spec(
         max_join_informativeness=alpha,
         min_quality=beta,
         shopper=spec.get("shopper"),
+        tier=spec.get("tier", default_tier),
+        deadline=deadline,
     )
 
 
@@ -181,6 +234,58 @@ def _metric(lines: list[str], name: str, kind: str, help_text: str) -> None:
     lines.append(f"# TYPE {name} {kind}")
 
 
+def _render_histogram(
+    lines: list[str],
+    prefix: str,
+    stem: str,
+    snapshot: Mapping[str, object],
+    *,
+    subject: str,
+    window_noun: str,
+) -> None:
+    """One :class:`LatencyHistogram` snapshot as a Prometheus histogram family.
+
+    Emits ``{prefix}_{stem}_seconds`` (cumulative ``le`` buckets, ``_sum``
+    reconstructed from the reported mean, ``_count``) plus the max /
+    window-size / exact-percentile gauges — the same layout for the
+    end-to-end latency, queue-wait, and execution histograms.
+    """
+    count = int(snapshot.get("count", 0) or 0)
+    mean = snapshot.get("mean_seconds")
+    total_sum = float(mean) * count if mean is not None else 0.0
+    bucket_counts = list((snapshot.get("buckets") or {}).values())
+    if len(bucket_counts) != len(BUCKET_BOUNDS) + 1:
+        bucket_counts = [0] * (len(BUCKET_BOUNDS) + 1)
+    _metric(
+        lines,
+        f"{prefix}_{stem}_seconds",
+        "histogram",
+        f"Lifetime {subject} distribution.",
+    )
+    cumulative = 0
+    for bound, bucket in zip(BUCKET_BOUNDS, bucket_counts):
+        cumulative += int(bucket)
+        lines.append(f'{prefix}_{stem}_seconds_bucket{{le="{bound:g}"}} {cumulative}')
+    lines.append(f'{prefix}_{stem}_seconds_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{prefix}_{stem}_seconds_sum {_format_value(total_sum)}")
+    lines.append(f"{prefix}_{stem}_seconds_count {count}")
+
+    for field, help_text in (
+        ("max_seconds", f"Largest {subject} observed."),
+        ("window_size", f"{window_noun} samples in the sliding percentile window."),
+        ("p50_seconds", f"Median {subject} over the sliding window."),
+        ("p95_seconds", f"95th-percentile {subject} over the sliding window."),
+        ("p99_seconds", f"99th-percentile {subject} over the sliding window."),
+    ):
+        name = (
+            f"{prefix}_{stem}_window_size"
+            if field == "window_size"
+            else f"{prefix}_{stem}_{field}"
+        )
+        _metric(lines, name, "gauge", help_text)
+        lines.append(f"{name} {_format_value(snapshot.get(field))}")
+
+
 def render_prometheus(
     metrics: Mapping[str, object],
     *,
@@ -199,8 +304,11 @@ def render_prometheus(
     """
     lines: list[str] = []
     latency = metrics.get("latency", {})
+    queue_wait = metrics.get("queue_wait", {})
+    execution = metrics.get("execution", {})
     hit_rate = metrics.get("cache_hit_rate", {})
     queue = metrics.get("queue", {})
+    qos = metrics.get("qos", {})
     step1 = metrics.get("step1_memo", {})
 
     _metric(
@@ -212,42 +320,32 @@ def render_prometheus(
     )
     lines.append(f"{prefix}_request_errors_total {_format_value(metrics.get('errors', 0))}")
 
-    # Lifetime histogram: the snapshot's per-bucket counts are non-cumulative
+    # Lifetime histograms: each snapshot's per-bucket counts are non-cumulative
     # and insertion-ordered over BUCKET_BOUNDS plus one overflow bucket.
-    count = int(latency.get("count", 0) or 0)
-    mean = latency.get("mean_seconds")
-    total_sum = float(mean) * count if mean is not None else 0.0
-    bucket_counts = list((latency.get("buckets") or {}).values())
-    if len(bucket_counts) != len(BUCKET_BOUNDS) + 1:
-        bucket_counts = [0] * (len(BUCKET_BOUNDS) + 1)
-    _metric(
+    _render_histogram(
         lines,
-        f"{prefix}_request_latency_seconds",
-        "histogram",
-        "Lifetime request latency distribution.",
+        prefix,
+        "request_latency",
+        latency,
+        subject="request latency",
+        window_noun="Latency",
     )
-    cumulative = 0
-    for bound, bucket in zip(BUCKET_BOUNDS, bucket_counts):
-        cumulative += int(bucket)
-        lines.append(
-            f'{prefix}_request_latency_seconds_bucket{{le="{bound:g}"}} {cumulative}'
-        )
-    lines.append(f'{prefix}_request_latency_seconds_bucket{{le="+Inf"}} {count}')
-    lines.append(f"{prefix}_request_latency_seconds_sum {_format_value(total_sum)}")
-    lines.append(f"{prefix}_request_latency_seconds_count {count}")
-
-    for field, help_text in (
-        ("max_seconds", "Largest request latency observed."),
-        ("window_size", "Latency samples in the sliding percentile window."),
-        ("p50_seconds", "Median request latency over the sliding window."),
-        ("p95_seconds", "95th-percentile request latency over the sliding window."),
-        ("p99_seconds", "99th-percentile request latency over the sliding window."),
-    ):
-        name = f"{prefix}_request_latency_{field}"
-        if field == "window_size":
-            name = f"{prefix}_request_latency_window_size"
-        _metric(lines, name, "gauge", help_text)
-        lines.append(f"{name} {_format_value(latency.get(field))}")
+    _render_histogram(
+        lines,
+        prefix,
+        "queue_wait",
+        queue_wait,
+        subject="queue wait",
+        window_noun="Queue-wait",
+    )
+    _render_histogram(
+        lines,
+        prefix,
+        "execution",
+        execution,
+        subject="execution time",
+        window_noun="Execution-time",
+    )
 
     for field, help_text in (
         ("window_size", "Hit-rate samples in the sliding window."),
@@ -284,6 +382,77 @@ def render_prometheus(
         name = f"{prefix}_admission_{field}{suffix}"
         _metric(lines, name, kind, help_text)
         lines.append(f"{name} {_format_value(queue.get(field))}")
+
+    for field, kind, help_text in (
+        ("enabled", "gauge", "Whether the QoS scheduler is on (1) or off (0)."),
+        ("slots", "gauge", "Concurrent execution slots of the scheduler (NaN = unlimited/off)."),
+        ("rate_limited", "counter", "Requests shed by a token-bucket rate limit."),
+        ("deadline_exceeded", "counter", "Requests shed because their deadline passed at dequeue."),
+    ):
+        suffix = "_total" if kind == "counter" else ""
+        name = f"{prefix}_qos_{field}{suffix}"
+        _metric(lines, name, kind, help_text)
+        lines.append(f"{name} {_format_value(qos.get(field))}")
+
+    tiers = qos.get("tiers") or {}
+    if tiers:
+        for field, kind, help_text in (
+            ("weight", "gauge", "WFQ weight of the SLA tier."),
+            ("requests", "counter", "Requests granted execution on the SLA tier."),
+            ("rate_limited", "counter", "Tier requests shed by the token bucket."),
+            ("deadline_exceeded", "counter", "Tier requests shed at their deadline."),
+        ):
+            suffix = "_total" if kind == "counter" else ""
+            name = f"{prefix}_tier_{field}{suffix}"
+            _metric(lines, name, kind, help_text)
+            for tier_name, tier in tiers.items():
+                lines.append(
+                    f'{name}{{tier="{tier_name}"}} {_format_value(tier.get(field))}'
+                )
+        _metric(
+            lines,
+            f"{prefix}_tier_queue_wait_seconds",
+            "histogram",
+            "Queue-wait distribution per SLA tier.",
+        )
+        for tier_name, tier in tiers.items():
+            snapshot = tier.get("queue_wait") or {}
+            count = int(snapshot.get("count", 0) or 0)
+            mean = snapshot.get("mean_seconds")
+            total_sum = float(mean) * count if mean is not None else 0.0
+            bucket_counts = list((snapshot.get("buckets") or {}).values())
+            if len(bucket_counts) != len(BUCKET_BOUNDS) + 1:
+                bucket_counts = [0] * (len(BUCKET_BOUNDS) + 1)
+            cumulative = 0
+            for bound, bucket in zip(BUCKET_BOUNDS, bucket_counts):
+                cumulative += int(bucket)
+                lines.append(
+                    f'{prefix}_tier_queue_wait_seconds_bucket'
+                    f'{{tier="{tier_name}",le="{bound:g}"}} {cumulative}'
+                )
+            lines.append(
+                f'{prefix}_tier_queue_wait_seconds_bucket'
+                f'{{tier="{tier_name}",le="+Inf"}} {count}'
+            )
+            lines.append(
+                f'{prefix}_tier_queue_wait_seconds_sum{{tier="{tier_name}"}} '
+                f"{_format_value(total_sum)}"
+            )
+            lines.append(
+                f'{prefix}_tier_queue_wait_seconds_count{{tier="{tier_name}"}} {count}'
+            )
+        for field, help_text in (
+            ("p50_seconds", "Median tier queue wait over the sliding window."),
+            ("p95_seconds", "95th-percentile tier queue wait over the sliding window."),
+            ("p99_seconds", "99th-percentile tier queue wait over the sliding window."),
+        ):
+            name = f"{prefix}_tier_queue_wait_{field}"
+            _metric(lines, name, "gauge", help_text)
+            for tier_name, tier in tiers.items():
+                snapshot = tier.get("queue_wait") or {}
+                lines.append(
+                    f'{name}{{tier="{tier_name}"}} {_format_value(snapshot.get(field))}'
+                )
 
     for field, kind, help_text in (
         ("enabled", "gauge", "Whether the Step-1 memo is on (1) or off (0)."),
@@ -331,10 +500,12 @@ class AcquisitionHTTPServer(ThreadingHTTPServer):
         service,
         *,
         queries: Mapping[str, object] | None = None,
+        default_tier: str | None = None,
     ) -> None:
         super().__init__(address, _AcquisitionHandler)
         self.service = service
         self.queries = dict(queries or {})
+        self.default_tier = default_tier
         self._state = threading.Condition(threading.Lock())
         self._http_in_flight = 0
         self._draining = False
@@ -435,7 +606,13 @@ class _AcquisitionHandler(BaseHTTPRequestHandler):
 
     def _send_error_response(self, error: BaseException) -> None:
         status = error_status(error)
-        headers = {"Retry-After": "1"} if status == 503 else None
+        headers = None
+        if status in (503, 429):
+            # Computed backoff: the scheduler attaches queue-depth x p50 (503)
+            # or the token bucket's refill time (429) to the error.
+            headers = {
+                "Retry-After": retry_after_header(getattr(error, "retry_after", None))
+            }
         self._send_json(status, error_body(error), headers)
 
     def _not_found(self) -> None:
@@ -507,8 +684,15 @@ class _AcquisitionHandler(BaseHTTPRequestHandler):
                 },
             )
 
+    def _default_tier(self) -> str | None:
+        """The connection-level SLA tier: ``X-Dance-Tier`` header, falling
+        back to the server-wide default (CLI ``--tier``); specs override both."""
+        return self.headers.get("X-Dance-Tier") or self.server.default_tier
+
     def _serve_single(self, spec: object) -> None:
-        request = request_from_spec(spec, self.server.queries)
+        request = request_from_spec(
+            spec, self.server.queries, default_tier=self._default_tier()
+        )
         seed = spec.get("seed") if isinstance(spec, dict) else None
         if seed is not None:
             seed = int(seed)
@@ -526,7 +710,11 @@ class _AcquisitionHandler(BaseHTTPRequestHandler):
         specs = spec["requests"]
         if not isinstance(specs, list):
             raise ReproError('"requests" must be a JSON list of request objects')
-        requests = [request_from_spec(item, self.server.queries) for item in specs]
+        default_tier = self._default_tier()
+        requests = [
+            request_from_spec(item, self.server.queries, default_tier=default_tier)
+            for item in specs
+        ]
         seeds = spec.get("seeds")
         if seeds is not None:
             if not isinstance(seeds, list):
@@ -536,10 +724,32 @@ class _AcquisitionHandler(BaseHTTPRequestHandler):
         rejected = sum(
             1 for item in batch if isinstance(item.error, AdmissionRejectedError)
         )
-        payload = {"ok": batch.ok, "rejected": rejected, "results": batch.summary()}
-        if batch.items and rejected == len(batch.items):
+        rate_limited = sum(
+            1 for item in batch if isinstance(item.error, RateLimitedError)
+        )
+        deadline_exceeded = sum(
+            1 for item in batch if isinstance(item.error, DeadlineExceededError)
+        )
+        payload = {
+            "ok": batch.ok,
+            "rejected": rejected,
+            "rate_limited": rate_limited,
+            "deadline_exceeded": deadline_exceeded,
+            "results": batch.summary(),
+        }
+        shed = rejected + rate_limited + deadline_exceeded
+        if batch.items and shed == len(batch.items):
             # Nothing ran at all: the whole batch was shed — surface the same
-            # backpressure signal a single rejected request gets.
-            self._send_json(503, payload, {"Retry-After": "1"})
+            # backpressure signal a single rejected request gets, with the
+            # largest computed backoff among the shed items.
+            hints = [
+                getattr(item.error, "retry_after", None)
+                for item in batch
+                if item.error is not None
+            ]
+            hints = [hint for hint in hints if hint is not None and math.isfinite(hint)]
+            self._send_json(
+                503, payload, {"Retry-After": retry_after_header(max(hints, default=None))}
+            )
         else:
             self._send_json(200, payload)

@@ -30,6 +30,14 @@ keeps one marketplace *hot* instead:
   in per-shopper round-robin order (:func:`~repro.service.admission.fair_order`)
   so one shopper's burst cannot starve another's requests.  Admission only
   decides whether/when a request runs — never what it computes.
+* **QoS scheduling.**  With ``ServiceConfig(qos=...)`` the FIFO admission
+  queue is replaced by the :class:`~repro.service.qos.QosScheduler`:
+  weighted fair queueing over SLA tiers (:mod:`repro.pricing.sla`),
+  per-shopper token-bucket rate limits
+  (:class:`~repro.exceptions.RateLimitedError`), and deadline-aware shedding
+  at dequeue time (:class:`~repro.exceptions.DeadlineExceededError`).  The
+  same invariant holds: QoS permutes whether/when a request runs, never its
+  served bits — seeds and result positions follow the request index.
 * **Step-1 memo.**  ``minimal_weight_igraphs`` is a pure function of
   ``(terminal set, alpha, num_landmarks, landmark seed, graph version)``, so
   the service memoises it per that key
@@ -82,7 +90,13 @@ from typing import Mapping, Sequence
 from repro.core.config import DanceConfig
 from repro.core.dance import DANCE
 from repro.core.result import AcquisitionResult
-from repro.exceptions import AdmissionRejectedError, ReproError, StorageError
+from repro.exceptions import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    RateLimitedError,
+    ReproError,
+    StorageError,
+)
 from repro.graph.join_graph import JoinGraph
 from repro.marketplace.market import Marketplace
 from repro.marketplace.shopper import AcquisitionRequest
@@ -99,8 +113,14 @@ from repro.search.shm import SharedChainState
 from repro.service.admission import AdmissionQueue, fair_order
 from repro.service.batch import BatchResult, ServedRequest, request_seed
 from repro.service.metrics import CountingCache, ServiceMetrics
+from repro.service.qos import QosScheduler, disabled_qos_snapshot, retry_after_hint
 
 _SERVICE_COUNTER = itertools.count()
+
+#: Errors that mean "the scheduler shed this request before it executed".
+#: Shed requests appear in the queue/qos counters, never in
+#: requests_served/errors — the accounting a rejected acquire() always had.
+SHED_ERRORS = (AdmissionRejectedError, RateLimitedError, DeadlineExceededError)
 
 
 class AcquisitionService:
@@ -170,6 +190,16 @@ class AcquisitionService:
             service_config.max_queue_depth, service_config.admission
         )
         self._metrics = ServiceMetrics(window=service_config.metrics_window)
+        self._qos: QosScheduler | None = (
+            QosScheduler(
+                service_config.qos,
+                max_depth=service_config.max_queue_depth,
+                policy=service_config.admission,
+                execution_estimate=lambda: self._metrics.execution.percentile(0.5),
+            )
+            if service_config.qos is not None
+            else None
+        )
         if service_config.catalog_path is not None:
             # Attach before the offline phase so build_offline can adopt the
             # catalog's persisted JI weights and FDs (warm restart).
@@ -212,16 +242,28 @@ class AcquisitionService:
 
         Raises :class:`~repro.exceptions.AdmissionRejectedError` when the
         admission queue is full under the ``reject`` policy; under ``block``
-        the call waits for a slot instead.
+        the call waits for a slot instead.  Under QoS
+        (``ServiceConfig(qos=...)``) the call may additionally raise
+        :class:`~repro.exceptions.RateLimitedError` (token bucket empty) or
+        :class:`~repro.exceptions.DeadlineExceededError` (deadline missed at
+        dequeue) — all three carry a retry-after hint where meaningful.
         """
+        resolved_seed = self._seed if seed is None else seed
+        if self._qos is not None:
+            item = self._qos_serve(request, 0, resolved_seed)
+            if not isinstance(item.error, SHED_ERRORS):
+                self._count(item)
+            return item.require_result()
+        submitted = time.perf_counter()
         if not self._admission.admit():
             raise AdmissionRejectedError(
                 "admission queue is full "
-                f"(max_queue_depth={self.config.service.max_queue_depth})"
+                f"(max_queue_depth={self.config.service.max_queue_depth})",
+                retry_after=self._retry_after_hint(),
             )
         try:
             item = self._serve_item(
-                request, index=0, seed=self._seed if seed is None else seed
+                request, index=0, seed=resolved_seed, submitted_at=submitted
             )
         finally:
             self._admission.release()
@@ -268,26 +310,53 @@ class AcquisitionService:
         pool = self._ensure_request_pool()
         order = fair_order([request.shopper for request in requests])
         items: list[ServedRequest | None] = [None] * len(requests)
-        if pool is None:
+        if self._qos is not None:
+            # The scheduler subsumes admission: workers submit into the WFQ
+            # themselves (token bucket + depth bound applied there) and block
+            # until their grant, so this thread only fans the batch out.
+            if pool is None:
+                for index in order:
+                    items[index] = self._qos_serve(
+                        requests[index], index, seeds[index]
+                    )
+            else:
+                futures = {
+                    index: pool.submit(
+                        self._qos_serve, requests[index], index, seeds[index]
+                    )
+                    for index in order
+                }
+                for index, future in futures.items():
+                    items[index] = future.result()
+        elif pool is None:
             for index in order:
+                submitted = time.perf_counter()
                 if not self._admission.admit():
                     items[index] = self._rejected_item(requests[index], index, seeds[index])
                     continue
                 try:
                     items[index] = self._serve_item(
-                        requests[index], index=index, seed=seeds[index]
+                        requests[index],
+                        index=index,
+                        seed=seeds[index],
+                        submitted_at=submitted,
                     )
                 finally:
                     self._admission.release()
         else:
             futures = {}
             for index in order:
+                submitted = time.perf_counter()
                 if not self._admission.admit():
                     items[index] = self._rejected_item(requests[index], index, seeds[index])
                     continue
                 try:
                     futures[index] = pool.submit(
-                        self._serve_admitted, requests[index], index, seeds[index]
+                        self._serve_admitted,
+                        requests[index],
+                        index,
+                        seeds[index],
+                        submitted,
                     )
                 except BaseException:
                     self._admission.release()
@@ -298,21 +367,62 @@ class AcquisitionService:
         with self._lock:
             self._batches_served += 1
         for item in items:
-            # Rejected items never executed: they appear in the admission
-            # queue's `rejected` counter, not in requests_served/errors —
-            # the same accounting a rejected single acquire() gets.
-            if not isinstance(item.error, AdmissionRejectedError):
+            # Shed items never executed: they appear in the queue/qos shed
+            # counters, not in requests_served/errors — the same accounting
+            # a rejected single acquire() gets.
+            if not isinstance(item.error, SHED_ERRORS):
                 self._count(item)
         return batch
 
     def _serve_admitted(
-        self, request: AcquisitionRequest, index: int, seed: int
+        self,
+        request: AcquisitionRequest,
+        index: int,
+        seed: int,
+        submitted_at: float | None = None,
     ) -> ServedRequest:
         """Worker-side wrapper: always give the admission slot back."""
         try:
-            return self._serve_item(request, index=index, seed=seed)
+            return self._serve_item(
+                request, index=index, seed=seed, submitted_at=submitted_at
+            )
         finally:
             self._admission.release()
+
+    def _qos_serve(
+        self, request: AcquisitionRequest, index: int, seed: int
+    ) -> ServedRequest:
+        """One request's trip through the QoS scheduler (worker-side).
+
+        Shed requests — rate-limited at submit, queue-full under ``reject``,
+        deadline-missed at grant — land their typed error on the batch item
+        without ever holding an execution slot.
+        """
+        qos = self._qos
+        assert qos is not None
+        try:
+            ticket = qos.submit(request)
+        except SHED_ERRORS as error:
+            return ServedRequest(index=index, request=request, seed=seed, error=error)
+        try:
+            queued = qos.await_grant(ticket)
+        except DeadlineExceededError as error:
+            return ServedRequest(index=index, request=request, seed=seed, error=error)
+        except BaseException:
+            qos.abandon(ticket)
+            raise
+        try:
+            return self._serve_item(
+                request, index=index, seed=seed, queued_seconds=queued
+            )
+        finally:
+            qos.release(ticket)
+
+    def _retry_after_hint(self) -> int:
+        """The computed ``Retry-After`` of a request shed at admission."""
+        return retry_after_hint(
+            self._admission.depth, self._metrics.execution.percentile(0.5)
+        )
 
     def _rejected_item(
         self, request: AcquisitionRequest, index: int, seed: int
@@ -323,24 +433,43 @@ class AcquisitionService:
             seed=seed,
             error=AdmissionRejectedError(
                 f"request {index} rejected: admission queue full "
-                f"(max_queue_depth={self.config.service.max_queue_depth})"
+                f"(max_queue_depth={self.config.service.max_queue_depth})",
+                retry_after=self._retry_after_hint(),
             ),
         )
 
     def _serve_item(
-        self, request: AcquisitionRequest, *, index: int, seed: int
+        self,
+        request: AcquisitionRequest,
+        *,
+        index: int,
+        seed: int,
+        submitted_at: float | None = None,
+        queued_seconds: float = 0.0,
     ) -> ServedRequest:
+        """Execute one admitted request.
+
+        ``queued_seconds`` carries a wait already measured by the caller (the
+        QoS scheduler's grant delay); ``submitted_at`` lets the non-QoS paths
+        measure their own wait (admission block plus batch-pool queueing)
+        against the submission timestamp.  ``elapsed_seconds`` is always
+        queue wait + execution — what the caller observed end to end.
+        """
         runtime = self._runtime_for(request, seed)
         item = ServedRequest(index=index, request=request, seed=seed)
         with self._lock:
             self._in_flight += 1
         start = time.perf_counter()
+        if submitted_at is not None:
+            queued_seconds = max(0.0, start - submitted_at)
         try:
             item.result = self._dance.acquire(request, runtime=runtime)
         except ReproError as error:
             item.error = error
         finally:
-            item.elapsed_seconds = time.perf_counter() - start
+            item.execution_seconds = time.perf_counter() - start
+            item.queued_seconds = queued_seconds
+            item.elapsed_seconds = queued_seconds + item.execution_seconds
             with self._lock:
                 self._in_flight -= 1
             self._metrics.record_request(
@@ -349,6 +478,8 @@ class AcquisitionService:
                 cache_hit_rate=(
                     item.result.mcmc_cache_hit_rate if item.result is not None else None
                 ),
+                queued_seconds=queued_seconds,
+                execution_seconds=item.execution_seconds,
             )
         return item
 
@@ -731,7 +862,14 @@ class AcquisitionService:
                 )
         payload = self._metrics.snapshot()
         payload["in_flight"] = in_flight
-        payload["queue"] = self._admission.snapshot()
+        # Under QoS the scheduler *is* the admission queue; its snapshot keeps
+        # the same schema, so the payload shape is configuration-independent.
+        payload["queue"] = (
+            self._qos.snapshot() if self._qos is not None else self._admission.snapshot()
+        )
+        payload["qos"] = (
+            self._qos.qos_snapshot() if self._qos is not None else disabled_qos_snapshot()
+        )
         payload["step1_memo"] = step1
         return payload
 

@@ -1,0 +1,176 @@
+"""Tests for priced SLA tiers: validation, tiered pricing, shopper subscription."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BudgetExceededError, PricingError
+from repro.marketplace.shopper import AcquisitionRequest, DataShopper
+from repro.pricing.budget import Budget
+from repro.pricing.arbitrage import verify_arbitrage_free
+from repro.pricing.models import EntropyPricingModel
+from repro.pricing.sla import (
+    DEFAULT_TIER_NAME,
+    DEFAULT_TIERS,
+    SlaTier,
+    TieredPricingModel,
+    resolve_tier,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def small_table() -> Table:
+    rows = [(i % 4, f"c{i % 2}", f"d{i % 3}") for i in range(24)]
+    return Table.from_rows("small", ["a", "b", "c"], rows)
+
+
+class TestSlaTier:
+    def test_defaults_are_an_unlimited_weight_one_tier(self):
+        tier = SlaTier("basic")
+        assert tier.weight == 1.0
+        assert tier.rate is None
+        assert tier.burst == 8
+        assert tier.price_multiplier == 1.0
+        assert tier.charge(10.0) == 10.0
+
+    def test_charge_applies_the_multiplier(self):
+        tier = SlaTier("gold", weight=4.0, price_multiplier=2.5)
+        assert tier.charge(10.0) == 25.0
+        assert tier.charge(0.0) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "t", "weight": 0.0},
+            {"name": "t", "weight": -1.0},
+            {"name": "t", "weight": float("inf")},
+            {"name": "t", "rate": -0.5},
+            {"name": "t", "burst": 0},
+            {"name": "t", "price_multiplier": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(PricingError):
+            SlaTier(**kwargs)
+
+    def test_default_ladder_is_ordered_by_weight_and_price(self):
+        bronze, silver, gold = (
+            DEFAULT_TIERS["bronze"],
+            DEFAULT_TIERS["silver"],
+            DEFAULT_TIERS["gold"],
+        )
+        assert bronze.weight < silver.weight < gold.weight
+        assert bronze.price_multiplier < silver.price_multiplier < gold.price_multiplier
+        assert DEFAULT_TIER_NAME == "bronze"
+
+
+class TestResolveTier:
+    def test_none_resolves_to_the_default(self):
+        assert resolve_tier(None) is DEFAULT_TIERS[DEFAULT_TIER_NAME]
+
+    def test_name_and_object_spellings(self):
+        assert resolve_tier("gold") is DEFAULT_TIERS["gold"]
+        custom = SlaTier("custom", weight=3.0)
+        assert resolve_tier(custom) is custom  # objects pass through untouched
+
+    def test_unknown_name_lists_known_tiers(self):
+        with pytest.raises(PricingError, match="bronze"):
+            resolve_tier("platinum")
+
+    def test_custom_table_and_default(self):
+        table = {"only": SlaTier("only")}
+        assert resolve_tier(None, table, default="only") is table["only"]
+        with pytest.raises(PricingError):
+            resolve_tier("bronze", table)
+
+
+class TestTieredPricingModel:
+    def test_price_is_base_times_multiplier(self, small_table):
+        base = EntropyPricingModel()
+        tiered = TieredPricingModel(base, DEFAULT_TIERS["gold"])
+        for attributes in (["a"], ["a", "b"], ["a", "b", "c"]):
+            assert tiered.price(small_table, attributes) == pytest.approx(
+                2.5 * base.price(small_table, attributes)
+            )
+
+    def test_tiered_model_stays_arbitrage_free(self, small_table):
+        # A non-negative constant multiplier preserves monotonicity and
+        # subadditivity, so the priced tier cannot introduce arbitrage.
+        for tier in DEFAULT_TIERS.values():
+            model = TieredPricingModel(EntropyPricingModel(), tier)
+            report = verify_arbitrage_free(model, [small_table])
+            assert report == {"small": True}
+
+
+class TestShopperSubscription:
+    def shopper(self, budget: float = 100.0) -> DataShopper:
+        table = Table.from_rows("mine", ["k", "v"], [(i, i % 3) for i in range(8)])
+        return DataShopper(
+            name="alice", source_tables=[table], budget=Budget(total=budget)
+        )
+
+    def test_requests_are_stamped_with_the_tier_name(self):
+        shopper = self.shopper()
+        assert shopper.make_request(["v"]).tier is None
+        subscribed = shopper.subscribe("gold")
+        assert subscribed is DEFAULT_TIERS["gold"]
+        request = shopper.make_request(["v"], deadline=2.0)
+        assert request.tier == "gold"
+        assert request.deadline == 2.0
+
+    def test_request_carries_name_never_parameters(self):
+        shopper = self.shopper()
+        shopper.subscribe(SlaTier("gold", weight=4.0, price_multiplier=2.5))
+        request = shopper.make_request(["v"])
+        # Only the name travels: the scheduler reads weight/rate/burst from
+        # its own tier table, so a shopper cannot self-assign a weight.
+        assert request.tier == "gold"
+        assert not hasattr(request, "weight")
+
+    def test_request_validation_rejects_negative_deadline(self):
+        from repro.exceptions import SearchError
+
+        with pytest.raises(SearchError):
+            AcquisitionRequest(
+                source_attributes=["a"],
+                target_attributes=["b"],
+                budget=1.0,
+                deadline=-1.0,
+            )
+
+    def test_subscribed_purchase_charges_the_multiplier(self):
+        charged: list[float] = []
+
+        class _Budget(Budget):
+            def charge(self, amount: float) -> None:
+                charged.append(amount)
+                super().charge(amount)
+
+        class _Marketplace:
+            def price_query(self, query) -> float:
+                return 4.0
+
+            def execute(self, query):
+                return query
+
+        shopper = self.shopper()
+        shopper.budget = _Budget(total=100.0)
+        shopper.purchase(_Marketplace(), ["q1"])
+        shopper.subscribe("gold")
+        shopper.purchase(_Marketplace(), ["q2"])
+        assert charged == [4.0, 10.0]  # 4.0 base, then 4.0 x 2.5 gold
+
+    def test_tier_premium_still_bounded_by_budget(self):
+        class _Marketplace:
+            def price_query(self, query) -> float:
+                return 4.0
+
+            def execute(self, query):
+                return query
+
+        shopper = self.shopper(budget=5.0)
+        shopper.subscribe("gold")  # 4.0 x 2.5 = 10.0 > 5.0
+        with pytest.raises(BudgetExceededError):
+            shopper.purchase(_Marketplace(), ["q1"])

@@ -1,0 +1,189 @@
+"""Hypothesis property tests for the QoS mechanics (WFQ and token buckets).
+
+The scheduler's fairness claims reduce to three WFQ properties — weighted
+sharing under backlog, per-flow FIFO, no starvation — plus two token-bucket
+properties: the level never exceeds the burst capacity and refill is monotone
+in time.  All mechanics are pure (explicit clocks, no threads), so hypothesis
+can drive them directly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service.qos import TokenBucket, WeightedFairQueue
+
+flow_names = st.sampled_from(["a", "b", "c"])
+weights = st.sampled_from([0.5, 1.0, 2.0, 4.0])
+
+
+class TestWeightedFairQueueProperties:
+    @given(
+        wa=st.integers(min_value=1, max_value=5),
+        wb=st.integers(min_value=1, max_value=5),
+        rounds=st.integers(min_value=1, max_value=4),
+    )
+    def test_backlogged_flows_share_in_weight_proportion(self, wa, wb, rounds):
+        # Two continuously backlogged flows with integer weights: every
+        # virtual-time unit grants exactly wa : wb (start-time fair queueing
+        # is exactly proportional under backlog, not just in expectation).
+        queue = WeightedFairQueue()
+        for _ in range(rounds * wa):
+            queue.push("a", float(wa))
+        for _ in range(rounds * wb):
+            queue.push("b", float(wb))
+        popped = [queue.pop()[3] for _ in range((wa + wb) * rounds)]
+        for unit in range(rounds):
+            window = popped[unit * (wa + wb) : (unit + 1) * (wa + wb)]
+            assert window.count("a") == wa
+            assert window.count("b") == wb
+
+    @given(st.lists(flow_names, min_size=1, max_size=40), st.data())
+    def test_per_flow_requests_never_reorder(self, flows, data):
+        # Whatever the weights, one flow's own requests pop in push order
+        # (finish tags are strictly increasing within a flow).
+        queue = WeightedFairQueue()
+        weight_of = {
+            flow: data.draw(weights, label=f"weight[{flow}]") for flow in set(flows)
+        }
+        position = {
+            id(queue.push(flow, weight_of[flow])): index
+            for index, flow in enumerate(flows)
+        }
+        last_seen: dict[object, int] = {}
+        for _ in range(len(flows)):
+            entry = queue.pop()
+            flow, index = entry[3], position[id(entry)]
+            assert last_seen.get(flow, -1) < index
+            last_seen[flow] = index
+
+    @given(
+        st.lists(
+            st.tuples(flow_names, st.sampled_from(["push", "pop", "cancel"])),
+            min_size=1,
+            max_size=60,
+        ),
+        st.data(),
+    )
+    def test_no_push_is_ever_lost_or_starved(self, ops, data):
+        # Any interleaving of pushes, pops and cancels drains to exactly the
+        # non-cancelled pushes: nothing is lost, nothing waits forever.
+        queue = WeightedFairQueue()
+        weight_of = {
+            flow: data.draw(weights, label=f"weight[{flow}]")
+            for flow in {flow for flow, _ in ops}
+        }
+        waiting: list[list] = []
+        expected: list[int] = []
+        popped: list[int] = []
+        for flow, op in ops:
+            if op == "push":
+                entry = queue.push(flow, weight_of[flow])
+                entry_id = id(entry)
+                waiting.append(entry)
+                expected.append(entry_id)
+            elif op == "pop" and len(queue):
+                entry = queue.pop()
+                waiting.remove(entry)
+                popped.append(id(entry))
+            elif op == "cancel" and waiting:
+                entry = waiting.pop()
+                queue.cancel(entry)
+                expected.remove(id(entry))
+        while len(queue):
+            popped.append(id(queue.pop()))
+        assert sorted(popped) == sorted(expected)
+        assert len(queue) == 0
+
+    @given(
+        backlog=st.integers(min_value=1, max_value=20),
+        heavy_weight=st.sampled_from([2.0, 4.0, 8.0]),
+    )
+    def test_waiting_flow_is_served_within_a_bounded_number_of_grants(
+        self, backlog, heavy_weight
+    ):
+        # Starvation-freedom, concretely: a weight-1 request waiting behind a
+        # heavy flow pops after at most ceil(weight) grants of that flow —
+        # its finish tag is fixed while the heavy flow's tags keep climbing.
+        queue = WeightedFairQueue()
+        queue.push("light", 1.0)
+        for _ in range(backlog):
+            queue.push("heavy", heavy_weight)
+        grants_before_light = 0
+        while queue.pop()[3] != "light":
+            grants_before_light += 1
+        assert grants_before_light <= heavy_weight
+
+
+class TestTokenBucketProperties:
+    @given(
+        rate=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        burst=st.integers(min_value=1, max_value=10),
+        steps=st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=0.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                st.booleans(),
+            ),
+            max_size=30,
+        ),
+    )
+    def test_level_never_exceeds_burst(self, rate, burst, steps):
+        # Whatever the take/idle pattern, the level stays within [0, burst].
+        bucket = TokenBucket(rate, burst)
+        now = 0.0
+        for elapsed, take in steps:
+            now += elapsed
+            if take:
+                bucket.take(now)
+            else:
+                bucket.retry_after(now)  # refill-only observation
+            assert 0.0 <= bucket.tokens <= burst
+
+    @given(
+        rate=st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+        burst=st.integers(min_value=1, max_value=10),
+        drains=st.integers(min_value=0, max_value=10),
+        t1=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        t2=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    def test_refill_is_monotone_in_time(self, rate, burst, drains, t1, t2):
+        # Draining the same number of tokens and then waiting longer never
+        # leaves fewer tokens (refill is monotone, capped at burst).
+        t_lo, t_hi = sorted((t1, t2))
+
+        def level_after(elapsed: float) -> float:
+            bucket = TokenBucket(rate, burst)
+            for _ in range(drains):
+                bucket.take(0.0)
+            bucket.retry_after(elapsed)  # refills to `elapsed`
+            return bucket.tokens
+
+        assert level_after(t_lo) <= level_after(t_hi) + 1e-9
+
+    @given(
+        burst=st.integers(min_value=1, max_value=10),
+        rate=st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+    )
+    def test_burst_takes_succeed_then_shed_until_refill(self, burst, rate):
+        bucket = TokenBucket(rate, burst)
+        assert all(bucket.take(0.0) for _ in range(burst))
+        assert not bucket.take(0.0)  # the bucket is empty at time zero
+        hint = bucket.retry_after(0.0)
+        assert hint > 0.0
+        assert bucket.take(hint * 1.001)  # one refill interval later it admits
+
+    @given(
+        burst=st.integers(min_value=1, max_value=10),
+        takes=st.integers(min_value=1, max_value=50),
+    )
+    def test_unlimited_bucket_always_admits(self, burst, takes):
+        for rate in (None, float("inf")):
+            bucket = TokenBucket(rate, burst)
+            assert all(bucket.take(0.0) for _ in range(takes))
+            assert bucket.retry_after(0.0) == 0.0

@@ -217,9 +217,9 @@ class TestBatchFairness:
         ) as service:
             original = service._serve_item
 
-            def spy(request, *, index, seed):
+            def spy(request, *, index, seed, **kwargs):
                 served_order.append(index)
-                return original(request, index=index, seed=seed)
+                return original(request, index=index, seed=seed, **kwargs)
 
             service._serve_item = spy
             batch = service.acquire_batch(requests)

@@ -1,0 +1,403 @@
+"""Tests for the QoS scheduler: tiers, token buckets, deadlines, bit-identity.
+
+The contract mirrors the admission layer's: QoS decides *whether and when* a
+request runs — weighted by its SLA tier, paced by its token bucket, shed at
+its deadline — never what it computes.  A contended mixed-tier batch must be
+bit-identical to the plain serial service.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.config import DanceConfig, ServiceConfig
+from repro.exceptions import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    RateLimitedError,
+    ReproError,
+)
+from repro.marketplace.dataset import MarketplaceDataset
+from repro.marketplace.market import Marketplace
+from repro.marketplace.shopper import AcquisitionRequest
+from repro.pricing.models import EntropyPricingModel
+from repro.pricing.sla import DEFAULT_TIERS, SlaTier
+from repro.relational.table import Table
+from repro.search.mcmc import MCMCConfig
+from repro.service import AcquisitionService, request_seed
+from repro.service.qos import QosConfig, QosScheduler, disabled_qos_snapshot, retry_after_hint
+
+
+def request(shopper=None, tier=None, deadline=None) -> AcquisitionRequest:
+    return AcquisitionRequest(
+        source_attributes=["measure"],
+        target_attributes=["label"],
+        budget=1e9,
+        shopper=shopper,
+        tier=tier,
+        deadline=deadline,
+    )
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ------------------------------------------------------------------ the config
+class TestQosConfig:
+    def test_normalize_spellings(self):
+        assert QosConfig.normalize(None) is None
+        assert QosConfig.normalize(False) is None
+        for spelling in (True, "on", "default", "TRUE", "1"):
+            config = QosConfig.normalize(spelling)
+            assert isinstance(config, QosConfig)
+            assert set(config.tiers) == {"bronze", "silver", "gold"}
+            assert config.slots == 1
+        ready = QosConfig(slots=2)
+        assert QosConfig.normalize(ready) is ready
+
+    def test_normalize_rejects_unknown_spellings(self):
+        with pytest.raises(ReproError):
+            QosConfig.normalize("sometimes")
+        with pytest.raises(ReproError):
+            QosConfig.normalize(3.14)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            QosConfig(tiers={})
+        with pytest.raises(ReproError):
+            QosConfig(tiers={"a": SlaTier("b")})  # key / name mismatch
+        with pytest.raises(ReproError):
+            QosConfig(default_tier="platinum")
+        with pytest.raises(ReproError):
+            QosConfig(slots=0)
+        assert QosConfig(slots=None).slots is None
+
+
+# ----------------------------------------------------------------- retry hints
+class TestRetryAfterHint:
+    def test_degrades_to_one_without_history(self):
+        assert retry_after_hint(10, None) == 1
+        assert retry_after_hint(10, 0.0) == 1
+
+    def test_scales_with_depth_times_p50(self):
+        assert retry_after_hint(4, 2.0) == 8
+        assert retry_after_hint(0, 2.0) == 2  # depth clamps to at least 1
+        assert retry_after_hint(3, 0.1) == 1  # rounds up, floors at 1
+        assert retry_after_hint(10_000, 60.0) == 600  # ceiling at 10 minutes
+
+
+# --------------------------------------------------------------- the scheduler
+class TestScheduler:
+    def scheduler(self, clock=None, **kwargs) -> QosScheduler:
+        return QosScheduler(QosConfig(), clock=clock or FakeClock(), **kwargs)
+
+    def test_serial_grant_flow(self):
+        clock = FakeClock()
+        scheduler = self.scheduler(clock)
+        ticket = scheduler.submit(request(shopper="a"))
+        clock.advance(0.5)
+        assert scheduler.await_grant(ticket) == 0.5
+        assert scheduler.depth == 1  # executing counts toward depth
+        scheduler.release(ticket)
+        assert scheduler.depth == 0
+        snapshot = scheduler.qos_snapshot()
+        assert snapshot["enabled"] is True
+        assert snapshot["tiers"]["bronze"]["requests"] == 1
+
+    def test_default_tier_applies_to_anonymous_requests(self):
+        scheduler = self.scheduler()
+        assert scheduler.resolve_tier(request()) is DEFAULT_TIERS["bronze"]
+        assert scheduler.resolve_tier(request(tier="gold")) is DEFAULT_TIERS["gold"]
+
+    def test_unknown_tier_is_a_caller_error(self):
+        scheduler = self.scheduler()
+        with pytest.raises(ReproError, match="platinum"):
+            scheduler.submit(request(tier="platinum"))
+
+    def test_rate_limit_sheds_with_retry_after(self):
+        clock = FakeClock()
+        tiers = dict(DEFAULT_TIERS)
+        tiers["bronze"] = SlaTier("bronze", rate=0.5, burst=2)
+        scheduler = QosScheduler(QosConfig(tiers=tiers), clock=clock)
+        for _ in range(2):  # the burst passes
+            ticket = scheduler.submit(request(shopper="a"))
+            scheduler.await_grant(ticket)
+            scheduler.release(ticket)
+        with pytest.raises(RateLimitedError) as excinfo:
+            scheduler.submit(request(shopper="a"))
+        assert excinfo.value.retry_after == pytest.approx(2.0)  # 1 token / 0.5 per s
+        # Another shopper's bucket is untouched.
+        ticket = scheduler.submit(request(shopper="b"))
+        scheduler.await_grant(ticket)
+        scheduler.release(ticket)
+        # And the shed shopper recovers once the bucket refills.
+        clock.advance(2.0)
+        ticket = scheduler.submit(request(shopper="a"))
+        scheduler.await_grant(ticket)
+        scheduler.release(ticket)
+        snapshot = scheduler.qos_snapshot()
+        assert snapshot["rate_limited"] == 1
+        assert snapshot["tiers"]["bronze"]["rate_limited"] == 1
+
+    def test_zero_rate_bucket_has_no_finite_retry_after(self):
+        tiers = dict(DEFAULT_TIERS)
+        tiers["bronze"] = SlaTier("bronze", rate=0.0, burst=1)
+        scheduler = QosScheduler(QosConfig(tiers=tiers), clock=FakeClock())
+        scheduler.submit(request(shopper="a"))
+        with pytest.raises(RateLimitedError) as excinfo:
+            scheduler.submit(request(shopper="a"))
+        assert excinfo.value.retry_after is None  # never refills: no hint
+
+    def test_expired_deadline_sheds_at_dequeue(self):
+        clock = FakeClock()
+        scheduler = self.scheduler(clock)
+        ticket = scheduler.submit(request(shopper="a", deadline=1.0))
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceededError):
+            scheduler.await_grant(ticket)
+        # The shed never occupied a slot: the next request grants immediately.
+        ticket = scheduler.submit(request(shopper="a"))
+        scheduler.await_grant(ticket)
+        scheduler.release(ticket)
+        snapshot = scheduler.qos_snapshot()
+        assert snapshot["deadline_exceeded"] == 1
+        assert snapshot["tiers"]["bronze"]["deadline_exceeded"] == 1
+
+    def test_deadline_shed_uses_execution_estimate_headroom(self):
+        clock = FakeClock()
+        scheduler = QosScheduler(
+            QosConfig(), clock=clock, execution_estimate=lambda: 2.0
+        )
+        # 1s of headroom is not enough for an estimated 2s execution.
+        ticket = scheduler.submit(request(shopper="a", deadline=1.0))
+        with pytest.raises(DeadlineExceededError):
+            scheduler.await_grant(ticket)
+        # 3s of headroom is.
+        ticket = scheduler.submit(request(shopper="a", deadline=3.0))
+        assert scheduler.await_grant(ticket) == 0.0
+        scheduler.release(ticket)
+
+    def test_reject_policy_sheds_at_max_depth(self):
+        scheduler = self.scheduler(max_depth=1, policy="reject")
+        ticket = scheduler.submit(request(shopper="a"))
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            scheduler.submit(request(shopper="b"))
+        assert excinfo.value.retry_after >= 1
+        snapshot = scheduler.snapshot()
+        assert snapshot["rejected"] == 1
+        assert snapshot["admitted"] == 1
+        scheduler.await_grant(ticket)
+        scheduler.release(ticket)
+
+    def test_block_policy_waits_for_capacity(self):
+        scheduler = self.scheduler(max_depth=1, policy="block")
+        first = scheduler.submit(request(shopper="a"))
+        scheduler.await_grant(first)
+        submitted = threading.Event()
+        tickets: list[object] = []
+
+        def blocked_submit():
+            tickets.append(scheduler.submit(request(shopper="b")))
+            submitted.set()
+
+        thread = threading.Thread(target=blocked_submit, daemon=True)
+        thread.start()
+        assert not submitted.wait(0.05)  # full: the submitter is blocked
+        scheduler.release(first)
+        assert submitted.wait(2.0)
+        thread.join(2.0)
+        scheduler.await_grant(tickets[0])
+        scheduler.release(tickets[0])
+        assert scheduler.snapshot()["blocked_seconds"] > 0.0
+
+    def test_grants_follow_wfq_weight_order(self):
+        scheduler = self.scheduler()
+        # All submitted before any grant: bronze (weight 1) tags 1.0, 2.0;
+        # gold (weight 4) tags 0.25, 0.5 — gold drains first.
+        tickets = [
+            scheduler.submit(request(shopper="slow", tier="bronze")),
+            scheduler.submit(request(shopper="slow", tier="bronze")),
+            scheduler.submit(request(shopper="fast", tier="gold")),
+            scheduler.submit(request(shopper="fast", tier="gold")),
+        ]
+        granted: list[str] = []
+        done = threading.Barrier(len(tickets) + 1)
+
+        def serve(ticket, name):
+            scheduler.await_grant(ticket)
+            granted.append(name)
+            scheduler.release(ticket)
+            done.wait(timeout=10.0)
+
+        names = ["bronze-1", "bronze-2", "gold-1", "gold-2"]
+        for ticket, name in zip(tickets, names):
+            threading.Thread(target=serve, args=(ticket, name), daemon=True).start()
+        done.wait(timeout=10.0)
+        assert granted == ["gold-1", "gold-2", "bronze-1", "bronze-2"]
+
+    def test_abandon_withdraws_an_ungranted_ticket(self):
+        scheduler = self.scheduler()
+        first = scheduler.submit(request(shopper="a"))
+        second = scheduler.submit(request(shopper="b"))
+        scheduler.abandon(second)
+        scheduler.await_grant(first)
+        scheduler.release(first)
+        assert scheduler.depth == 0
+        # abandon() on a granted ticket is a programming error.
+        ticket = scheduler.submit(request(shopper="d"))
+        scheduler.await_grant(ticket)
+        with pytest.raises(ReproError):
+            scheduler.abandon(ticket)
+        scheduler.release(ticket)
+
+    def test_snapshot_keeps_the_admission_queue_schema(self):
+        scheduler = self.scheduler(max_depth=4, policy="reject")
+        assert set(scheduler.snapshot()) == {
+            "max_depth",
+            "policy",
+            "depth",
+            "peak_depth",
+            "admitted",
+            "rejected",
+            "blocked_seconds",
+        }
+        assert set(scheduler.qos_snapshot()) == set(disabled_qos_snapshot())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            self.scheduler(policy="fifo")
+        with pytest.raises(ReproError):
+            self.scheduler(max_depth=0)
+
+
+# ------------------------------------------------------------- the service path
+def small_marketplace() -> Marketplace:
+    pricing = EntropyPricingModel()
+    marketplace = Marketplace(default_pricing=pricing)
+    facts = Table.from_rows(
+        "facts",
+        ["good_key", "bad_key", "measure"],
+        [(i % 10, i % 3, float(i % 8) * 10 + i % 3) for i in range(64)],
+    )
+    dims = Table.from_rows(
+        "dims",
+        ["good_key", "bad_key", "label"],
+        [(i, i % 2, f"lbl{i}") for i in range(8)],
+    )
+    for table in (facts, dims):
+        marketplace.host(MarketplaceDataset(table=table, pricing=pricing))
+    return marketplace
+
+
+def config(**service_kwargs) -> DanceConfig:
+    return DanceConfig(
+        sampling_rate=1.0,
+        mcmc=MCMCConfig(iterations=30, seed=0),
+        service=ServiceConfig(**service_kwargs),
+    )
+
+
+class TestServiceWithQos:
+    def test_contended_mixed_tier_batch_is_bit_identical_to_plain_serial(self):
+        requests = [
+            request(shopper="a", tier="bronze"),
+            request(shopper="b", tier="gold"),
+            request(shopper="a", tier="bronze"),
+            request(shopper="c", tier="silver"),
+            request(shopper="b", tier="gold"),
+        ]
+        plain_requests = [request(shopper=r.shopper) for r in requests]
+        with AcquisitionService(small_marketplace(), config()) as service:
+            plain = service.acquire_batch(plain_requests)
+        with AcquisitionService(
+            small_marketplace(), config(qos=True, max_batch_workers=4)
+        ) as service:
+            shaped = service.acquire_batch(requests)
+            metrics = service.metrics()
+        assert plain.ok and shaped.ok
+        for lhs, rhs in zip(shaped, plain):
+            assert lhs.result.estimated_correlation == rhs.result.estimated_correlation
+            assert lhs.result.sql() == rhs.result.sql()
+        # Results sit at their request position with their index-derived seed.
+        assert [item.index for item in shaped] == list(range(len(requests)))
+        assert [item.seed for item in shaped] == [
+            request_seed(0, i) for i in range(len(requests))
+        ]
+        assert metrics["qos"]["enabled"] is True
+        tier_requests = {
+            name: stats["requests"] for name, stats in metrics["qos"]["tiers"].items()
+        }
+        assert tier_requests == {"bronze": 2, "silver": 1, "gold": 2}
+
+    def test_shed_requests_do_not_poison_the_batch(self):
+        tiers = dict(DEFAULT_TIERS)
+        tiers["bronze"] = SlaTier("bronze", rate=0.0001, burst=1)
+        requests = [
+            request(shopper="a"),  # takes bronze's only token
+            request(shopper="a"),  # rate-shed
+            request(shopper="b", deadline=0.0),  # deadline-shed at dequeue
+            request(shopper="c", tier="gold"),  # unaffected
+        ]
+        with AcquisitionService(
+            small_marketplace(),
+            config(qos=QosConfig(tiers=tiers), max_batch_workers=1),
+        ) as service:
+            batch = service.acquire_batch(requests)
+            description = service.describe()
+        with AcquisitionService(small_marketplace(), config()) as plain:
+            reference = plain.acquire(request(shopper="c"), seed=request_seed(0, 3))
+        assert isinstance(batch[1].error, RateLimitedError)
+        assert batch[1].error.retry_after is not None
+        assert isinstance(batch[2].error, DeadlineExceededError)
+        assert batch[0].ok and batch[3].ok
+        # The survivor's bits match a plain serial service with the same seed.
+        assert batch[3].result.sql() == reference.sql()
+        # Sheds never executed: they count in qos accounting, not as served
+        # requests or search errors.
+        assert description["requests_served"] == 2
+        assert description["errors"] == 0
+
+    def test_single_acquire_sheds_raise_typed_errors(self):
+        with AcquisitionService(
+            small_marketplace(), config(qos=True)
+        ) as service:
+            with pytest.raises(DeadlineExceededError):
+                service.acquire(request(deadline=0.0))
+            # The service recovers: the shed consumed no slot.
+            assert service.acquire(request()).estimated_correlation is not None
+            assert service.metrics()["qos"]["deadline_exceeded"] == 1
+
+    def test_queue_section_keeps_its_schema_under_qos(self):
+        with AcquisitionService(small_marketplace(), config(qos=True)) as service:
+            service.acquire(request())
+            queue = service.metrics()["queue"]
+        assert set(queue) == {
+            "max_depth",
+            "policy",
+            "depth",
+            "peak_depth",
+            "admitted",
+            "rejected",
+            "blocked_seconds",
+        }
+        assert queue["admitted"] == 1
+        assert queue["depth"] == 0
+
+    def test_queue_wait_and_execution_split_in_metrics(self):
+        with AcquisitionService(small_marketplace(), config(qos=True)) as service:
+            service.acquire(request())
+            metrics = service.metrics()
+        assert metrics["queue_wait"]["count"] == 1
+        assert metrics["execution"]["count"] == 1
+        # Execution dominates the end-to-end latency of an uncontended call.
+        assert metrics["execution"]["mean_seconds"] <= metrics["latency"]["mean_seconds"]

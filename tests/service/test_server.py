@@ -21,8 +21,10 @@ import pytest
 from repro.core.config import DanceConfig, ServiceConfig
 from repro.exceptions import (
     AdmissionRejectedError,
+    DeadlineExceededError,
     InfeasibleAcquisitionError,
     NoOwnedCandidatesError,
+    RateLimitedError,
     ReproError,
     SearchError,
     StorageError,
@@ -30,10 +32,12 @@ from repro.exceptions import (
 from repro.marketplace.dataset import MarketplaceDataset
 from repro.marketplace.market import Marketplace
 from repro.pricing.models import EntropyPricingModel
+from repro.pricing.sla import DEFAULT_TIERS, SlaTier
 from repro.relational.table import Table
 from repro.search.mcmc import MCMCConfig
 from repro.service import AcquisitionService, ShardRouter
 from repro.service.metrics import BUCKET_BOUNDS
+from repro.service.qos import QosConfig
 from repro.service.server import (
     FIELD_METRICS,
     PROMETHEUS_CONTENT_TYPE,
@@ -42,6 +46,7 @@ from repro.service.server import (
     error_status,
     render_prometheus,
     request_from_spec,
+    retry_after_header,
 )
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "metrics_golden.prom"
@@ -67,6 +72,38 @@ GOLDEN_PAYLOAD = {
         "p95_seconds": 1.5,
         "p99_seconds": 1.75,
     },
+    "queue_wait": {
+        "count": 5,
+        "mean_seconds": 0.1,
+        "max_seconds": 0.75,
+        "window_size": 4,
+        "buckets": {
+            label: count
+            for label, count in zip(
+                [f"<={bound:g}s" for bound in BUCKET_BOUNDS] + [">10s"],
+                [2, 1, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0],
+            )
+        },
+        "p50_seconds": 0.05,
+        "p95_seconds": 0.4,
+        "p99_seconds": 0.45,
+    },
+    "execution": {
+        "count": 6,
+        "mean_seconds": 0.3,
+        "max_seconds": 1.25,
+        "window_size": 3,
+        "buckets": {
+            label: count
+            for label, count in zip(
+                [f"<={bound:g}s" for bound in BUCKET_BOUNDS] + [">10s"],
+                [1, 0, 2, 0, 0, 1, 0, 1, 0, 1, 0, 0, 0, 0],
+            )
+        },
+        "p50_seconds": 0.2,
+        "p95_seconds": 1.0625,
+        "p99_seconds": 1.125,
+    },
     "cache_hit_rate": {
         "window_size": 5,
         "window_mean": 0.5,
@@ -83,6 +120,58 @@ GOLDEN_PAYLOAD = {
         "admitted": 9,
         "rejected": 2,
         "blocked_seconds": 0.125,
+    },
+    "qos": {
+        "enabled": True,
+        "slots": 3,
+        "rate_limited": 4,
+        "deadline_exceeded": 2,
+        "tiers": {
+            "bronze": {
+                "weight": 1.0,
+                "requests": 5,
+                "rate_limited": 3,
+                "deadline_exceeded": 2,
+                "queue_wait": {
+                    "count": 5,
+                    "mean_seconds": 0.2,
+                    "max_seconds": 0.625,
+                    "window_size": 5,
+                    "buckets": {
+                        label: count
+                        for label, count in zip(
+                            [f"<={bound:g}s" for bound in BUCKET_BOUNDS] + [">10s"],
+                            [1, 1, 0, 1, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0],
+                        )
+                    },
+                    "p50_seconds": 0.1,
+                    "p95_seconds": 0.5625,
+                    "p99_seconds": 0.59375,
+                },
+            },
+            "gold": {
+                "weight": 4.0,
+                "requests": 2,
+                "rate_limited": 1,
+                "deadline_exceeded": 0,
+                "queue_wait": {
+                    "count": 2,
+                    "mean_seconds": 0.015625,
+                    "max_seconds": 0.03125,
+                    "window_size": 2,
+                    "buckets": {
+                        label: count
+                        for label, count in zip(
+                            [f"<={bound:g}s" for bound in BUCKET_BOUNDS] + [">10s"],
+                            [1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+                        )
+                    },
+                    "p50_seconds": 0.0234375,
+                    "p95_seconds": 0.03,
+                    "p99_seconds": 0.031,
+                },
+            },
+        },
     },
     "step1_memo": {"enabled": True, "entries": 3, "hits": 5, "misses": 4},
     "shards": 2,
@@ -116,11 +205,16 @@ def small_config(**service_kwargs) -> DanceConfig:
 
 
 def flatten_paths(payload: dict, prefix: str = "") -> set[str]:
-    """Dotted leaf paths of a metrics payload; bucket dicts are one leaf."""
+    """Dotted leaf paths of a metrics payload.
+
+    Bucket dicts and the per-tier QoS map are one leaf each: buckets render
+    as the ``le``-labelled samples of a single histogram family, tiers as
+    ``tier``-labelled samples of the per-tier families.
+    """
     paths: set[str] = set()
     for key, value in payload.items():
         path = f"{prefix}{key}"
-        if isinstance(value, dict) and key != "buckets":
+        if isinstance(value, dict) and key not in ("buckets", "tiers"):
             paths |= flatten_paths(value, f"{path}.")
         else:
             paths.add(path)
@@ -191,6 +285,8 @@ def test_render_handles_empty_payload_with_nans():
     ("error", "status"),
     [
         (AdmissionRejectedError("full"), 503),
+        (RateLimitedError("paced out"), 429),
+        (DeadlineExceededError("missed in queue"), 504),
         (SearchError("bad request shape"), 422),
         (InfeasibleAcquisitionError("no feasible acquisition"), 422),
         (NoOwnedCandidatesError("filtered"), 422),
@@ -217,6 +313,17 @@ def test_error_body_is_typed_and_traceback_free():
     assert "Traceback" not in json.dumps(body)
 
 
+def test_retry_after_header_rounds_up_computed_hints():
+    # No hint (or a degenerate one) falls back to the old constant "1".
+    assert retry_after_header(None) == "1"
+    assert retry_after_header(0.0) == "1"
+    assert retry_after_header(float("inf")) == "1"
+    # Computed hints round up to whole seconds, never below 1.
+    assert retry_after_header(0.25) == "1"
+    assert retry_after_header(2.1) == "3"
+    assert retry_after_header(600.0) == "600"
+
+
 def test_request_from_spec_rejects_malformed_specs():
     with pytest.raises(ReproError, match="JSON object"):
         request_from_spec(["not", "a", "dict"])
@@ -239,10 +346,23 @@ def test_request_from_spec_builds_explicit_requests():
     assert request.shopper == "s1"
 
 
+def test_request_from_spec_carries_tier_and_deadline():
+    spec = {"source": ["m"], "target": ["l"], "tier": "gold", "deadline": 2.5}
+    request = request_from_spec(spec, default_tier="bronze")
+    assert request.tier == "gold"  # the spec's own tier wins
+    assert request.deadline == 2.5
+    # The default (header-provided) tier applies when the spec names none.
+    request = request_from_spec({"source": ["m"], "target": ["l"]}, default_tier="silver")
+    assert request.tier == "silver"
+    assert request.deadline is None
+
+
 # ------------------------------------------------------------------- lifecycle
-def http_json(url, payload=None, timeout=30.0):
+def http_json(url, payload=None, timeout=30.0, headers=None):
     data = json.dumps(payload).encode("utf-8") if payload is not None else None
-    request = urllib.request.Request(url, data=data, method="POST" if data else "GET")
+    request = urllib.request.Request(
+        url, data=data, method="POST" if data else "GET", headers=headers or {}
+    )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
             return response.status, dict(response.headers), response.read()
@@ -349,6 +469,70 @@ def test_saturated_reject_queue_maps_to_503_and_recovers():
         status, _, raw = http_json(f"{url}/acquire", spec)
         assert status == 200
         assert json.loads(raw)["ok"] is True
+    finally:
+        server.graceful_shutdown(timeout=10.0)
+        thread.join(timeout=10.0)
+        service.close()
+
+
+def test_qos_sheds_map_to_429_and_504_over_http():
+    tiers = dict(DEFAULT_TIERS)
+    tiers["bronze"] = SlaTier("bronze", weight=1.0, rate=0.001, burst=1)
+    service = AcquisitionService(
+        small_marketplace(), small_config(seed=0, qos=QosConfig(tiers=tiers))
+    )
+    server = AcquisitionHTTPServer(("127.0.0.1", 0), service, default_tier="silver")
+    thread = server.serve_background()
+    url = f"http://127.0.0.1:{server.port}"
+    spec = {"source": ["measure"], "target": ["label"], "budget": 1e9}
+    try:
+        # A deadline of zero is already expired at dequeue: 504, never run.
+        # (Distinct shopper so its token draw does not affect the next pair.)
+        status, _, raw = http_json(
+            f"{url}/acquire", {**spec, "shopper": "d", "deadline": 0.0}
+        )
+        assert status == 504
+        assert json.loads(raw)["error"]["type"] == "DeadlineExceededError"
+
+        # Bronze holds a single token refilling at 0.001/s: the first request
+        # runs, the second sheds with 429 and a computed Retry-After.  The
+        # spec's own tier beats the server-wide silver default.
+        bronze = {**spec, "shopper": "a", "tier": "bronze"}
+        status, _, _ = http_json(f"{url}/acquire", bronze)
+        assert status == 200
+        status, headers, raw = http_json(f"{url}/acquire", bronze)
+        assert status == 429
+        assert json.loads(raw)["error"]["type"] == "RateLimitedError"
+        assert int(headers["Retry-After"]) >= 1
+
+        # Sheds never poison other shoppers: a fresh shopper still runs, and
+        # the X-Dance-Tier header stamps its tier into the served summary,
+        # overriding the server-wide default tier.
+        status, _, raw = http_json(
+            f"{url}/acquire",
+            {"requests": [{**spec, "shopper": "b"}]},
+            headers={"X-Dance-Tier": "gold"},
+        )
+        assert status == 200
+        body = json.loads(raw)
+        assert body["ok"] is True
+        assert body["results"][0]["tier"] == "gold"
+
+        # No header and no spec tier: the server-wide default (CLI --tier)
+        # applies instead of the scheduler's bronze fallback.
+        status, _, raw = http_json(
+            f"{url}/acquire", {"requests": [{**spec, "shopper": "c"}]}
+        )
+        assert status == 200
+        assert json.loads(raw)["results"][0]["tier"] == "silver"
+
+        # The shed counters surface in /metrics per tier.
+        status, _, body = http_json(f"{url}/metrics")
+        text = body.decode("utf-8")
+        assert "dance_qos_enabled 1" in text
+        assert "dance_qos_rate_limited_total 1" in text
+        assert "dance_qos_deadline_exceeded_total 1" in text
+        assert 'dance_tier_requests_total{tier="gold"} 1' in text
     finally:
         server.graceful_shutdown(timeout=10.0)
         thread.join(timeout=10.0)
