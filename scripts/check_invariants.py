@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI gate for dancelint, the static determinism/concurrency checker.
+
+Three passes, in order:
+
+1. **Rule self-test** — every shipped rule must fire on its positive fixture
+   (``tests/analysis/fixtures/<CODE>_pos.py``) and stay silent on its
+   negative fixture (``<CODE>_neg.py``).  A rule that cannot catch its own
+   seeded violation is broken, and the gate fails *before* trusting pass 2.
+2. **Strict pass** — ``src/repro`` must be clean under the shipped baseline
+   (``scripts/dancelint_baseline.json``).  Any finding fails the gate: fix
+   it, suppress it with a reason, or deliberately extend the baseline
+   (``repro-dance lint --write-baseline``) so reviewers see the debt.
+3. **Advisory pass** — ``tests/`` and ``scripts/`` are linted without a
+   baseline and reported (the deliberately-dirty rule fixtures are skipped),
+   but never fail the gate.
+
+``--output PATH`` writes the strict pass's findings as the JSON CI artifact.
+Exit codes: 0 all strict passes clean, 1 a rule self-test or the strict pass
+failed, 2 configuration problems (missing fixtures, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import lint_paths, rule_codes  # noqa: E402
+from repro.analysis.baseline import Baseline  # noqa: E402
+from repro.analysis.report import format_text  # noqa: E402
+from repro.exceptions import ReproError  # noqa: E402
+
+FIXTURES = REPO_ROOT / "tests" / "analysis" / "fixtures"
+BASELINE = REPO_ROOT / "scripts" / "dancelint_baseline.json"
+STRICT_PATHS = ["src/repro"]
+ADVISORY_PATHS = ["tests", "scripts"]
+
+
+def self_test() -> list[str]:
+    """Check every shipped rule against its seeded fixtures; return failures."""
+    failures: list[str] = []
+    for code in sorted(rule_codes()):
+        if code.startswith("LNT"):  # framework diagnostics have no fixtures
+            continue
+        positive = FIXTURES / f"{code}_pos.py"
+        negative = FIXTURES / f"{code}_neg.py"
+        for path in (positive, negative):
+            if not path.exists():
+                failures.append(f"{code}: missing fixture {path.name}")
+        if not positive.exists() or not negative.exists():
+            continue
+        fired = lint_paths([positive], select={code}, root=REPO_ROOT).findings
+        silent = lint_paths([negative], select={code}, root=REPO_ROOT).findings
+        if not fired:
+            failures.append(f"{code}: did not fire on {positive.name}")
+        if silent:
+            failures.append(
+                f"{code}: false positive on {negative.name}: "
+                + "; ".join(f.render() for f in silent)
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the strict pass's findings as a JSON artifact",
+    )
+    parser.add_argument(
+        "--skip-advisory",
+        action="store_true",
+        help="skip the advisory tests/ + scripts/ pass",
+    )
+    args = parser.parse_args(argv)
+
+    print("== dancelint self-test ==")
+    failures = self_test()
+    if failures:
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    checked = sorted(c for c in rule_codes() if not c.startswith("LNT"))
+    print(f"  {len(checked)} rules fired on _pos and stayed silent on _neg fixtures")
+
+    print("== strict: src/repro (with shipped baseline) ==")
+    try:
+        baseline = Baseline.load(BASELINE)
+        strict = lint_paths(STRICT_PATHS, baseline=baseline, root=REPO_ROOT)
+    except ReproError as error:
+        print(f"  error: {error}")
+        return 2
+    if args.output is not None:
+        args.output.write_text(
+            json.dumps(strict.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  wrote findings artifact to {args.output}")
+    print("  " + format_text(strict, show_source=True).replace("\n", "\n  "))
+
+    if not args.skip_advisory:
+        print("== advisory: tests/ and scripts/ (informational) ==")
+        advisory_files = [
+            path
+            for root in ADVISORY_PATHS
+            for path in sorted((REPO_ROOT / root).rglob("*.py"))
+            if FIXTURES not in path.parents
+        ]
+        advisory = lint_paths(advisory_files, root=REPO_ROOT)
+        print("  " + format_text(advisory, show_source=False).replace("\n", "\n  "))
+
+    return 0 if strict.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

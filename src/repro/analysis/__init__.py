@@ -1,0 +1,48 @@
+"""dancelint: AST-based determinism & concurrency invariant checking (PR 10).
+
+Every optimisation since PR 1 ships under the contract "served bits are
+identical to the serial reference", but that contract was enforced only
+dynamically, by parity scripts replaying one TPC-H scenario.  This package
+makes the invariants checkable at *lint* time: a visitor-based rule registry
+over the stdlib :mod:`ast` module, per-file findings with code / severity /
+span, a ``# dancelint: disable=RULE`` suppression syntax, and a persisted
+baseline so pre-existing debt does not block CI.
+
+Two rule families ship (see :mod:`repro.analysis.rules_determinism`,
+:mod:`repro.analysis.rules_concurrency`, and
+:mod:`repro.analysis.rules_errors`):
+
+* **Determinism** — unseeded RNG streams, ``PYTHONHASHSEED``-salted
+  ``hash()``, iteration over unordered sets feeding fold order or results,
+  wall-clock / entropy reads outside measurement code.
+* **Concurrency & resources** — ``# guarded-by:`` lock annotations enforced
+  at every attribute access, live shared-dict iteration without the snapshot
+  pattern (the PR 7 bug, now a rule), shared-memory segments without
+  ``close``/``unlink``, and the typed-error contract (:class:`ReproError`
+  subclasses only).
+
+Surfaced three ways: the ``repro-dance lint`` CLI subcommand, the
+``scripts/check_invariants.py`` CI gate, and the importable API below.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import FileContext
+from repro.analysis.engine import LintResult, lint_paths, lint_source
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, all_rules, get_rule, rule_codes
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "rule_codes",
+]

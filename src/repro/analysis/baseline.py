@@ -1,0 +1,113 @@
+"""Persisted finding baselines: pre-existing debt must not block CI.
+
+A baseline is a JSON file mapping ``(path, rule code, content fingerprint)``
+to an occurrence count.  Fingerprints hash the rule code plus the offending
+*line's text* (never its number), so inserting or deleting unrelated lines
+does not un-baseline debt — but editing the flagged line itself does, which
+is exactly when the author should resolve or re-justify it.
+
+The shipped baseline lives at ``scripts/dancelint_baseline.json`` and is
+applied by ``repro-dance lint --baseline`` and ``scripts/check_invariants.py``;
+regenerate it with ``repro-dance lint --write-baseline PATH`` after
+deliberately accepting new debt (reviewers see the diff).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.exceptions import ReproError
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """An occurrence-counted set of accepted findings."""
+
+    def __init__(self, entries: dict[tuple[str, str, str], int] | None = None) -> None:
+        self._entries: dict[tuple[str, str, str], int] = dict(entries or {})
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    @staticmethod
+    def _key(finding: Finding) -> tuple[str, str, str]:
+        return (finding.path, finding.code, finding.fingerprint)
+
+    # --------------------------------------------------------------- matching
+    def filter(self, findings: Iterable[Finding]) -> tuple[list[Finding], int]:
+        """Split findings into (new, number baselined).
+
+        Matching is count-aware: a baseline entry with count 2 absorbs at
+        most two identical findings, so *adding* a third occurrence of
+        already-baselined debt is still reported.
+        """
+        remaining = Counter(self._entries)
+        fresh: list[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            key = self._key(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                absorbed += 1
+            else:
+                fresh.append(finding)
+        return fresh, absorbed
+
+    # ------------------------------------------------------------ persistence
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts = Counter(cls._key(finding) for finding in findings)
+        return cls(dict(counts))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise ReproError(f"baseline file {path} does not exist") from None
+        except (OSError, json.JSONDecodeError) as error:
+            raise ReproError(f"cannot read baseline {path}: {error}") from error
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ReproError(f"baseline {path} is not a dancelint baseline file")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ReproError(
+                f"baseline {path} has version {version!r}; "
+                f"this dancelint reads version {BASELINE_VERSION}"
+            )
+        entries: dict[tuple[str, str, str], int] = {}
+        for entry in payload["entries"]:
+            key = (entry["path"], entry["code"], entry["fingerprint"])
+            entries[key] = int(entry.get("count", 1))
+        return cls(entries)
+
+    def write(self, path: str | Path) -> None:
+        """Persist sorted entries (stable diffs) with their source context."""
+        entries = [
+            {"path": key[0], "code": key[1], "fingerprint": key[2], "count": count}
+            for key, count in sorted(self._entries.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"path": key[0], "code": key[1], "fingerprint": key[2], "count": count}
+                for key, count in sorted(self._entries.items())
+            ],
+        }
+
+    @classmethod
+    def merge(cls, baselines: Sequence["Baseline"]) -> "Baseline":
+        merged: Counter[tuple[str, str, str]] = Counter()
+        for baseline in baselines:
+            merged.update(baseline._entries)
+        return cls(dict(merged))

@@ -1,0 +1,137 @@
+"""Per-file analysis context shared by every dancelint rule.
+
+A :class:`FileContext` owns the parsed tree, the raw source lines, the
+import table (so rules can resolve ``random.Random`` through aliases like
+``import random as rnd`` or ``from random import Random``), the parsed
+``# guarded-by:`` annotations, and the *threaded-module* classification the
+concurrency rules scope themselves to.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import cached_property
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppressions import parse_guards
+
+#: Importing any of these marks a module as *threaded*: its shared state is
+#: reachable from more than one thread, so the concurrency rules apply.
+THREADING_MODULES = frozenset(
+    {"threading", "concurrent.futures", "socketserver", "http.server"}
+)
+
+
+class FileContext:
+    """Everything a rule needs to analyse one file."""
+
+    def __init__(self, path: str | Path, source: str, *, root: Path | None = None) -> None:
+        self.path = Path(path)
+        self.source = source
+        self.lines: list[str] = source.splitlines()
+        if root is not None:
+            try:
+                display = self.path.resolve().relative_to(root.resolve())
+            except ValueError:
+                display = self.path
+        else:
+            display = self.path
+        self.display_path = display.as_posix()
+
+    # ------------------------------------------------------------- structure
+    @cached_property
+    def tree(self) -> ast.Module:
+        """The parsed module; :class:`SyntaxError` propagates to the engine."""
+        return ast.parse(self.source, filename=str(self.path))
+
+    @cached_property
+    def imported_modules(self) -> Mapping[str, str]:
+        """Local alias → module name for every ``import`` statement."""
+        table: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table[alias.asname or alias.name.split(".")[0]] = alias.name
+        return table
+
+    @cached_property
+    def imported_names(self) -> Mapping[str, tuple[str, str]]:
+        """Local alias → ``(module, original name)`` for ``from`` imports."""
+        table: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom) and node.module is not None:
+                for alias in node.names:
+                    table[alias.asname or alias.name] = (node.module, alias.name)
+        return table
+
+    @cached_property
+    def is_threaded(self) -> bool:
+        """Whether this module's state is reachable from multiple threads."""
+        if any(
+            module in THREADING_MODULES or module.split(".")[0] == "threading"
+            for module in self.imported_modules.values()
+        ):
+            return True
+        return any(
+            module in THREADING_MODULES
+            for module, _ in self.imported_names.values()
+        )
+
+    @cached_property
+    def guards(self) -> Mapping[int, str]:
+        """Line → lock expression from ``# guarded-by:`` annotations."""
+        return parse_guards(self.lines)
+
+    # ------------------------------------------------------------ resolution
+    def resolve_call(self, node: ast.Call) -> tuple[str, str] | None:
+        """Resolve a call to ``(module, attribute)`` through the import table.
+
+        ``random.Random(...)`` resolves to ``("random", "Random")`` whether
+        the module was imported plainly, aliased, or the name was imported
+        with ``from random import Random``.  Calls that cannot be traced to
+        an imported module (methods, local helpers) resolve to ``None``.
+        """
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module = self.imported_modules.get(func.value.id)
+            if module is not None:
+                return (module, func.attr)
+            return None
+        if isinstance(func, ast.Name):
+            origin = self.imported_names.get(func.id)
+            if origin is not None:
+                return origin
+        return None
+
+    # --------------------------------------------------------------- output
+    def source_line(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        code: str,
+        message: str,
+        node: ast.AST | None = None,
+        *,
+        line: int | None = None,
+        column: int | None = None,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored to ``node`` (or an explicit line)."""
+        anchor_line = line if line is not None else getattr(node, "lineno", 1)
+        anchor_column = (
+            column if column is not None else getattr(node, "col_offset", 0)
+        )
+        return Finding(
+            code=code,
+            message=message,
+            path=self.display_path,
+            line=anchor_line,
+            column=anchor_column,
+            severity=severity,
+            source_line=self.source_line(anchor_line),
+        )

@@ -1,0 +1,179 @@
+"""The dancelint engine: file discovery, rule execution, suppression logic.
+
+:func:`lint_paths` is the one entry point every surface shares — the
+``repro-dance lint`` CLI subcommand, ``scripts/check_invariants.py``, and the
+test suite all call it, so suppression and baseline semantics cannot drift
+between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import MISSING_REASON, PARSE_ERROR, Rule, all_rules
+from repro.analysis.suppressions import parse_suppressions
+from repro.exceptions import ReproError
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over a set of paths."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "summary": {
+                "files_checked": self.files_checked,
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+            },
+        }
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, sorted for deterministic reports."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ReproError(f"lint path {path} does not exist")
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def _apply_suppressions(
+    context: FileContext, findings: list[Finding], rules_by_code: dict[str, Rule]
+) -> tuple[list[Finding], int]:
+    """Drop suppressed findings; flag reason-less suppressions of audited rules."""
+    table = parse_suppressions(context.lines)
+    kept: list[Finding] = []
+    suppressed = 0
+    flagged_bare: set[int] = set()
+    for finding in findings:
+        suppression = table.get(finding.line)
+        if suppression is None or not suppression.covers(finding.code):
+            kept.append(finding)
+            continue
+        suppressed += 1
+        rule = rules_by_code.get(finding.code)
+        needs_reason = rule is not None and rule.requires_reason
+        if needs_reason and not suppression.reason and suppression.line not in flagged_bare:
+            flagged_bare.add(suppression.line)
+            kept.append(
+                context.finding(
+                    MISSING_REASON,
+                    f"suppressing {finding.code} requires a justification: "
+                    f"'# dancelint: disable={finding.code} -- <reason>'",
+                    line=suppression.line,
+                )
+            )
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str | Path = "<string>",
+    rules: Sequence[Rule] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Lint one source string; suppression-filtered, baseline-free."""
+    active = list(rules) if rules is not None else all_rules()
+    context = FileContext(path, source, root=root)
+    try:
+        context.tree
+    except SyntaxError as error:
+        return [
+            context.finding(
+                PARSE_ERROR,
+                f"cannot parse file: {error.msg}",
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in active:
+        findings.extend(rule.check(context))
+    rules_by_code = {rule.code: rule for rule in active}
+    kept, _ = _apply_suppressions(context, findings, rules_by_code)
+    kept.sort(key=Finding.sort_key)
+    return kept
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
+    root: Path | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``.
+
+    ``select`` restricts to specific rule codes; ``baseline`` absorbs known
+    debt (count-aware, see :class:`~repro.analysis.baseline.Baseline`);
+    ``root`` relativises the reported paths (defaults to the current
+    directory, falling back to absolute paths outside it).
+    """
+    active = all_rules(frozenset(select) if select is not None else None)
+    rules_by_code = {rule.code: rule for rule in active}
+    result = LintResult()
+    root = root if root is not None else Path.cwd()
+    collected: list[Finding] = []
+    for file_path in discover_files(paths):
+        result.files_checked += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            raise ReproError(f"cannot read {file_path}: {error}") from error
+        context = FileContext(file_path, source, root=root)
+        try:
+            context.tree
+        except SyntaxError as error:
+            collected.append(
+                context.finding(
+                    PARSE_ERROR,
+                    f"cannot parse file: {error.msg}",
+                    line=error.lineno or 1,
+                    column=(error.offset or 1) - 1,
+                )
+            )
+            continue
+        file_findings: list[Finding] = []
+        for rule in active:
+            file_findings.extend(rule.check(context))
+        kept, suppressed = _apply_suppressions(context, file_findings, rules_by_code)
+        result.suppressed += suppressed
+        collected.extend(kept)
+    if baseline is not None:
+        collected, absorbed = baseline.filter(collected)
+        result.baselined = absorbed
+    collected.sort(key=Finding.sort_key)
+    result.findings = collected
+    return result

@@ -1,0 +1,72 @@
+"""Finding and severity value objects for the dancelint framework.
+
+A :class:`Finding` is one rule violation at one source span.  Findings are
+plain frozen dataclasses so rules can yield them cheaply, reports can sort
+them deterministically, and the baseline can fingerprint them by content
+(rule code + the source line's text) rather than by line number — edits
+elsewhere in a file must not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Severity(str, Enum):
+    """How a finding gates CI: errors fail strict runs, warnings advise."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: code, message, and the source span it anchors to.
+
+    ``source_line`` carries the stripped text of the offending line; it feeds
+    the baseline fingerprint (stable under unrelated edits) and the text
+    report's context display.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    severity: Severity = Severity.ERROR
+    source_line: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint for baseline matching: code + line text.
+
+        Deliberately excludes the line *number* so pre-existing debt stays
+        baselined while unrelated lines are inserted or removed above it.
+        """
+        digest = hashlib.blake2b(
+            f"{self.code}:{self.source_line}".encode("utf-8"), digest_size=8
+        )
+        return digest.hexdigest()
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.code)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity.value,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col CODE [severity] message``."""
+        return (
+            f"{self.path}:{self.line}:{self.column} "
+            f"{self.code} [{self.severity.value}] {self.message}"
+        )

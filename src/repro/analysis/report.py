@@ -1,0 +1,49 @@
+"""Render dancelint results as human text or machine JSON.
+
+Both formats are deterministic functions of the findings (sorted by path,
+line, column, code), so CI artifacts diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+from repro.analysis.rules import all_rules
+
+
+def format_text(result: LintResult, *, show_source: bool = True) -> str:
+    """The terminal report: one line per finding plus a summary footer."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+        if show_source and finding.source_line:
+            lines.append(f"    {finding.source_line}")
+    footer = (
+        f"{len(result.findings)} finding(s) "
+        f"({result.errors} error(s), {result.warnings} warning(s)) "
+        f"in {result.files_checked} file(s)"
+    )
+    extras: list[str] = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        footer += f" [{', '.join(extras)}]"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def format_rules() -> str:
+    """The ``--explain`` listing: every registered rule with its contract."""
+    lines: list[str] = []
+    for rule in all_rules():
+        reason = " (suppression requires a reason)" if rule.requires_reason else ""
+        lines.append(f"{rule.code} {rule.name} [{rule.severity.value}]{reason}")
+        lines.append(f"    {rule.description}")
+    return "\n".join(lines)

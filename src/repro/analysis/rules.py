@@ -1,0 +1,120 @@
+"""Rule base class and registry for the dancelint framework.
+
+A rule is a small object with a stable ``code`` (``DET101``, ``CON202``,
+``ERR301``, ...), a severity, and a ``check(context)`` generator yielding
+:class:`~repro.analysis.findings.Finding` objects.  Rules register themselves
+with the :func:`register` decorator at import time; the engine instantiates
+one of each per run, so rules must be stateless across files (per-file state
+lives inside ``check``).
+
+Adding a rule (see ARCHITECTURE.md "Static analysis"):
+
+1. Subclass :class:`Rule` in the matching ``rules_*`` module, pick the next
+   free code in its family's range, and decorate with ``@register``.
+2. Yield findings through ``context.finding(self.code, ...)`` so spans and
+   fingerprints stay consistent.
+3. Add a positive and a negative fixture under ``tests/analysis/fixtures/``
+   named ``<CODE>_pos.py`` / ``<CODE>_neg.py`` — the fixture self-test in
+   ``scripts/check_invariants.py`` picks them up by name and fails CI if
+   the rule stops firing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.exceptions import ReproError
+
+#: Framework meta-codes (not backed by Rule subclasses): parse failures and
+#: reason-less suppressions of rules that demand a written justification.
+PARSE_ERROR = "LNT000"
+MISSING_REASON = "LNT001"
+
+
+class Rule(ABC):
+    """One invariant, checkable per file.  Subclasses set the class attrs."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    #: Rules where a bare ``# dancelint: disable=CODE`` is not enough — the
+    #: suppression must carry a ``-- reason`` (enforced as LNT001).
+    requires_reason: bool = False
+
+    @abstractmethod
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``context``'s file."""
+
+    def finding(
+        self,
+        context: FileContext,
+        message: str,
+        node: object = None,
+        *,
+        line: int | None = None,
+    ) -> Finding:
+        import ast
+
+        anchor = node if isinstance(node, ast.AST) else None
+        return context.finding(
+            self.code, message, anchor, line=line, severity=self.severity
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and index the rule by its code."""
+    rule = rule_class()
+    if not rule.code:
+        raise ReproError(f"rule {rule_class.__name__} declares no code")
+    if rule.code in _REGISTRY:
+        raise ReproError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_class
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules once so their ``@register`` decorators run."""
+    from repro.analysis import rules_concurrency  # noqa: F401
+    from repro.analysis import rules_determinism  # noqa: F401
+    from repro.analysis import rules_errors  # noqa: F401
+
+
+def all_rules(select: frozenset[str] | set[str] | None = None) -> list[Rule]:
+    """Every registered rule (optionally restricted to ``select`` codes)."""
+    _load_builtin_rules()
+    rules = [_REGISTRY[code] for code in sorted(_REGISTRY)]
+    if select is None:
+        return rules
+    unknown = set(select) - set(_REGISTRY)
+    if unknown:
+        raise ReproError(
+            f"unknown rule codes: {sorted(unknown)} (known: {sorted(_REGISTRY)})"
+        )
+    return [rule for rule in rules if rule.code in select]
+
+
+def get_rule(code: str) -> Rule:
+    _load_builtin_rules()
+    rule = _REGISTRY.get(code)
+    if rule is None:
+        raise ReproError(f"unknown rule code {code!r} (known: {sorted(_REGISTRY)})")
+    return rule
+
+
+def rule_codes() -> list[str]:
+    _load_builtin_rules()
+    return sorted(_REGISTRY)
+
+
+def requires_reason(code: str) -> bool:
+    """Whether suppressing ``code`` demands a written justification."""
+    _load_builtin_rules()
+    rule = _REGISTRY.get(code)
+    return rule is not None and rule.requires_reason

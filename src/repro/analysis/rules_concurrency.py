@@ -1,0 +1,335 @@
+"""Concurrency & resource rules (CON2xx): shared state obeys its locks.
+
+These rules operate only on *threaded modules* — files importing
+``threading``, ``concurrent.futures``, ``socketserver``, or ``http.server``
+— because that is where another thread can observe a torn update.  The
+conventions they enforce are the ones the service tier already follows:
+
+* attributes documented ``# guarded-by: <lock>`` are touched only inside
+  ``with <lock>:`` (methods named ``*_locked`` assert the caller holds it,
+  and ``__init__`` is exempt — the object is not yet shared);
+* shared dicts are iterated via snapshots (``list(d.items())``), the exact
+  shape of the PR 7 live-dict bug;
+* every ``shared_memory`` segment creation has matching ``close``/``unlink``
+  handling in its owner.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, register
+
+#: Method-name suffix asserting "caller holds the lock" (the convention
+#: already used across repro.service.session / repro.search.shm).
+LOCKED_SUFFIX = "_locked"
+
+#: Methods exempt from lock enforcement: construction and finalisation run
+#: before/after the object is reachable from other threads.
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__del__", "__post_init__"})
+
+
+def _self_attribute(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _guarded_attributes(
+    class_node: ast.ClassDef, guards: Mapping[int, str]
+) -> dict[str, str]:
+    """``self.<attr>`` assignments whose line carries a guarded-by annotation."""
+    guarded: dict[str, str] = {}
+    for node in ast.walk(class_node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            attribute = _self_attribute(target)
+            if attribute is None:
+                continue
+            lock = guards.get(target.lineno)
+            if lock is not None:
+                guarded[attribute] = lock
+    return guarded
+
+
+def _normalize_lock(expression: str) -> str:
+    """Canonical text of a lock expression (whitespace-insensitive compare)."""
+    try:
+        return ast.unparse(ast.parse(expression, mode="eval").body)
+    except SyntaxError:
+        return expression.strip()
+
+
+class _LockWalker:
+    """Walks a method body tracking which lock expressions are lexically held.
+
+    Entering a nested function or lambda clears the held set: a closure body
+    runs later, possibly after the lock was released, so lexical nesting
+    inside ``with`` proves nothing for it.
+    """
+
+    def __init__(self) -> None:
+        self.accesses: list[tuple[ast.Attribute, frozenset[str]]] = []
+
+    def walk(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, ast.With):
+            acquired = {
+                _normalize_lock(ast.unparse(item.context_expr))
+                for item in node.items
+            }
+            for item in node.items:
+                self.walk(item, held)
+            for child in node.body:
+                self.walk(child, held | acquired)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            for child in ast.iter_child_nodes(node):
+                self.walk(child, frozenset())
+            return
+        if isinstance(node, ast.Attribute) and _self_attribute(node) is not None:
+            self.accesses.append((node, held))
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, held)
+
+
+@register
+class GuardedAttributeRule(Rule):
+    """CON201: ``# guarded-by:`` attributes are only touched under their lock.
+
+    Annotate the attribute's assignment in ``__init__`` (trailing comment or
+    a standalone comment directly above); every later access anywhere in the
+    class must then sit lexically inside ``with <lock>:`` — or in a method
+    whose name ends in ``_locked``, the repo's "caller holds the lock"
+    convention.
+    """
+
+    code = "CON201"
+    name = "guarded-attribute"
+    description = "guarded-by annotated attribute accessed outside its lock"
+    severity = Severity.ERROR
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        if not context.is_threaded:
+            return
+        for class_node in ast.walk(context.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            guarded = _guarded_attributes(class_node, context.guards)
+            if not guarded:
+                continue
+            normalized = {
+                attribute: _normalize_lock(lock) for attribute, lock in guarded.items()
+            }
+            for method in class_node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in _EXEMPT_METHODS or method.name.endswith(LOCKED_SUFFIX):
+                    continue
+                walker = _LockWalker()
+                for child in method.body:
+                    walker.walk(child, frozenset())
+                for access, held in walker.accesses:
+                    attribute = access.attr
+                    lock = normalized.get(attribute)
+                    if lock is None or lock in held:
+                        continue
+                    yield self.finding(
+                        context,
+                        f"self.{attribute} is '# guarded-by: {guarded[attribute]}' "
+                        f"but {class_node.name}.{method.name} touches it outside "
+                        f"'with {guarded[attribute]}:' (hold the lock, or mark "
+                        f"the method *{LOCKED_SUFFIX})",
+                        access,
+                    )
+
+
+def _with_presumes_lock(item_expr: str) -> bool:
+    """Whether a ``with`` context expression looks like a self-owned lock."""
+    return item_expr.startswith("self.")
+
+
+@register
+class LiveDictIterationRule(Rule):
+    """CON202: no iteration over a live shared dict — snapshot it first.
+
+    ``for k, v in self._cache.items():`` raises ``RuntimeError: dictionary
+    changed size during iteration`` the moment another thread inserts (the
+    PR 7 ``_adopt_encodings_from`` bug under concurrent serve load).
+    Iterate ``list(self._cache.items())`` instead, or hold the dict's
+    guarding lock around the loop (iterations lexically inside a ``with
+    self.<anything>:`` block are presumed lock-protected).
+    """
+
+    code = "CON202"
+    name = "live-dict-iteration"
+    description = "iterating a shared self.* dict without snapshotting it"
+    severity = Severity.ERROR
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        if not context.is_threaded:
+            return
+        for class_node in ast.walk(context.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            for method in class_node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in _EXEMPT_METHODS or method.name.endswith(LOCKED_SUFFIX):
+                    continue
+                yield from self._check_method(context, method)
+
+    def _check_method(
+        self, context: FileContext, method: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        walker = _IterationWalker()
+        for child in method.body:
+            walker.walk(child, under_lock=False)
+        for iterable in walker.live_iterations:
+            view = iterable.func.attr  # type: ignore[attr-defined]
+            owner = ast.unparse(iterable.func.value)  # type: ignore[attr-defined]
+            yield self.finding(
+                context,
+                f"iterating {owner}.{view}() live in a threaded class; another "
+                f"thread mutating it mid-loop raises RuntimeError — iterate "
+                f"list({owner}.{view}()) or hold the guarding lock",
+                iterable,
+            )
+
+
+class _IterationWalker:
+    """Finds ``self.X.items()/keys()/values()`` used as a live iterable."""
+
+    _VIEWS = frozenset({"items", "keys", "values"})
+
+    def __init__(self) -> None:
+        self.live_iterations: list[ast.Call] = []
+
+    def _is_live_view(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._VIEWS
+            and _self_attribute(node.func.value) is not None
+        )
+
+    def walk(self, node: ast.AST, under_lock: bool) -> None:
+        if isinstance(node, ast.With):
+            locked = under_lock or any(
+                _with_presumes_lock(ast.unparse(item.context_expr))
+                for item in node.items
+            )
+            for child in node.body:
+                self.walk(child, locked)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            for child in ast.iter_child_nodes(node):
+                self.walk(child, False)
+            return
+        iterables: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables = [node.iter]
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iterables = [generator.iter for generator in node.generators]
+        if not under_lock:
+            for iterable in iterables:
+                if self._is_live_view(iterable):
+                    self.live_iterations.append(iterable)  # type: ignore[arg-type]
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, under_lock)
+
+
+@register
+class SharedMemoryLifecycleRule(Rule):
+    """CON203: shared-memory segments need ``close``/``unlink`` handling.
+
+    A ``SharedMemory(create=True)`` segment outlives the process unless
+    someone unlinks it (``scripts/check_shm_leaks.py`` hunts the stragglers
+    dynamically; this rule catches them at lint time).  The creating
+    function's class — or the module, for free functions — must contain both
+    a ``.close()`` and a ``.unlink()`` call, i.e. own the segment lifecycle
+    the way :class:`repro.search.shm.SharedColumnStore` does.
+    """
+
+    code = "CON203"
+    name = "shm-lifecycle"
+    description = "SharedMemory(create=True) without close/unlink in its owner"
+    severity = Severity.ERROR
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        creations = [
+            node
+            for node in ast.walk(context.tree)
+            if self._creates_segment(node)
+        ]
+        if not creations:
+            return
+        owners = self._owners(context.tree)
+        for creation in creations:
+            owner = owners.get(id(creation), context.tree)
+            cleanup = {
+                node.func.attr
+                for node in ast.walk(owner)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+            }
+            missing = {"close", "unlink"} - cleanup
+            if missing:
+                scope = (
+                    f"class {owner.name}"
+                    if isinstance(owner, ast.ClassDef)
+                    else "this module"
+                )
+                yield self.finding(
+                    context,
+                    f"SharedMemory(create=True) but {scope} never calls "
+                    f"{' or '.join(sorted(missing))}(); segments must be "
+                    "closed and unlinked on every path",
+                    creation,
+                )
+
+    @staticmethod
+    def _creates_segment(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        named = (
+            isinstance(func, ast.Attribute) and func.attr == "SharedMemory"
+        ) or (isinstance(func, ast.Name) and func.id == "SharedMemory")
+        if not named:
+            return False
+        return any(
+            keyword.arg == "create"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is True
+            for keyword in node.keywords
+        )
+
+    @staticmethod
+    def _owners(tree: ast.Module) -> dict[int, ast.ClassDef]:
+        """Map creation-site node ids to their innermost enclosing class."""
+        owners: dict[int, ast.ClassDef] = {}
+
+        def visit(node: ast.AST, enclosing: ast.ClassDef | None) -> None:
+            if isinstance(node, ast.ClassDef):
+                enclosing = node
+            elif enclosing is not None and SharedMemoryLifecycleRule._creates_segment(
+                node
+            ):
+                owners[id(node)] = enclosing
+            for child in ast.iter_child_nodes(node):
+                visit(child, enclosing)
+
+        visit(tree, None)
+        return owners

@@ -1,0 +1,292 @@
+"""Determinism rules (DET1xx): served bits must not depend on process state.
+
+Every rule here guards a failure mode this repo has actually shipped and
+fixed dynamically before (PR 1: ``hash()``-derived workload columns differed
+across processes; PR 5: hidden RNG streams in Step 1): unseeded randomness,
+``PYTHONHASHSEED``-salted hashing, unordered-set iteration feeding results,
+and wall-clock / entropy reads outside measurement code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, register
+
+#: ``random`` module functions that consume the *global* (unseeded) stream.
+_GLOBAL_STREAM_FUNCTIONS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``(module, attribute)`` calls that read wall-clock time or OS entropy.
+#: ``time.perf_counter`` / ``time.monotonic`` are *not* here: measuring
+#: durations is fine everywhere, it is absolute time that leaks into state.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("uuid", "uuid1"),
+        ("uuid", "uuid4"),
+        ("os", "urandom"),
+        ("random", "SystemRandom"),
+    }
+)
+
+#: ``time`` conversions that default to "now" when called without a seconds
+#: argument; with an explicit argument they are pure and allowed.
+_IMPLICIT_NOW = {
+    ("time", "ctime"): 0,
+    ("time", "gmtime"): 0,
+    ("time", "localtime"): 0,
+    ("time", "strftime"): 1,
+}
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET101: no unseeded ``random.Random()`` and no global-stream calls.
+
+    The global ``random`` stream is seeded from OS entropy at import, so any
+    draw from it differs per process; an argument-less ``random.Random()``
+    does the same.  Every RNG in this repo must be constructed from an
+    explicit seed (ultimately a blake2b derivation of the request seed).
+    """
+
+    code = "DET101"
+    name = "unseeded-random"
+    description = "unseeded random.Random() or module-level random.* stream call"
+    severity = Severity.ERROR
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = context.resolve_call(node)
+            if resolved is None or resolved[0] != "random":
+                continue
+            _, attribute = resolved
+            if attribute == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    context,
+                    "random.Random() without a seed draws from OS entropy; "
+                    "pass an explicit (blake2b-derived) seed",
+                    node,
+                )
+            elif attribute in _GLOBAL_STREAM_FUNCTIONS:
+                yield self.finding(
+                    context,
+                    f"random.{attribute}() uses the process-global RNG stream; "
+                    "construct a seeded random.Random(seed) instead",
+                    node,
+                )
+
+
+@register
+class BuiltinHashRule(Rule):
+    """DET102: no builtin ``hash()`` — it is ``PYTHONHASHSEED``-salted.
+
+    ``hash(str)`` differs across processes unless ``PYTHONHASHSEED`` is
+    pinned, so any value derived from it (seeds, stripe routing that leaks
+    into output order, persisted keys) breaks cross-process bit-identity.
+    Use ``hashlib.blake2b`` for stable hashing.  Genuinely hash-table-only
+    uses (``__hash__`` backing ``__eq__``, lock-stripe routing) are
+    allowlisted with ``# dancelint: disable=DET102 -- <justification>``;
+    the justification is mandatory (LNT001 otherwise).
+    """
+
+    code = "DET102"
+    name = "builtin-hash"
+    description = "builtin hash() is PYTHONHASHSEED-salted; use hashlib.blake2b"
+    severity = Severity.ERROR
+    requires_reason = True
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield self.finding(
+                    context,
+                    "builtin hash() is salted by PYTHONHASHSEED and differs "
+                    "across processes; use hashlib.blake2b, or allowlist with "
+                    "a justification if the value never leaves this process",
+                    node,
+                )
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+    )
+
+
+def _is_unordered(node: ast.AST) -> bool:
+    """Whether ``node`` visibly evaluates to an unordered set.
+
+    Deliberately syntactic — no type inference — so it only fires on
+    expressions that are sets *by construction*: set literals and
+    comprehensions, ``set()`` / ``frozenset()`` calls, set-operator
+    expressions over them, and set algebra over ``dict.keys()`` views
+    (a plain ``.keys()`` iteration is insertion-ordered and fine; ``keys() -
+    other`` is a set).  Wrapping in ``sorted()`` makes any of them ordered.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "difference",
+            "intersection",
+            "symmetric_difference",
+            "union",
+        ):
+            return _is_unordered(node.func.value) or _is_keys_call(node.func.value)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        for operand in (node.left, node.right):
+            if _is_unordered(operand) or _is_keys_call(operand):
+                return True
+    return False
+
+
+#: Callables whose result does not depend on argument order, so a
+#: comprehension passed directly to them may iterate an unordered set.
+#: ``sum`` is deliberately absent: float addition is not associative, so
+#: summing a set in hash order is exactly the bug this rule exists to catch.
+_ORDER_INSENSITIVE_WRAPPERS = frozenset(
+    {"all", "any", "frozenset", "len", "max", "min", "set", "sorted"}
+)
+
+_Comprehension = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _order_insensitive_comprehensions(tree: ast.Module) -> set[ast.expr]:
+    """Comprehensions passed directly to an order-insensitive callable."""
+    wrapped: set[ast.expr] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_INSENSITIVE_WRAPPERS
+        ):
+            for argument in node.args:
+                if isinstance(argument, _Comprehension):
+                    wrapped.add(argument)
+    return wrapped
+
+
+def _iteration_sites(tree: ast.Module) -> Iterator[tuple[ast.expr, ast.expr | None]]:
+    """Yield ``(iterable expression, owning comprehension or None)`` pairs."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, None
+        elif isinstance(node, _Comprehension):
+            for generator in node.generators:
+                yield generator.iter, node
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET103: no iteration over bare sets — fold order must be defined.
+
+    Set iteration order depends on insertion history *and* element hashes
+    (salted for strings), so a loop over a bare set that feeds seed
+    derivation, result emission, or any non-commutative fold differs across
+    processes.  Wrap the iterable in ``sorted(...)``; genuinely
+    order-insensitive folds (pure dict construction, commutative sums) are
+    baseline or suppression material.
+    """
+
+    code = "DET103"
+    name = "unordered-iteration"
+    description = "iteration over an unordered set; wrap in sorted(...)"
+    severity = Severity.WARNING
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        wrapped = _order_insensitive_comprehensions(context.tree)
+        for iterable, owner in _iteration_sites(context.tree):
+            if owner is not None and owner in wrapped:
+                continue
+            if _is_unordered(iterable):
+                yield self.finding(
+                    context,
+                    "iterating an unordered set: order depends on hashing and "
+                    "insertion history; wrap in sorted(...) if the fold or "
+                    "output depends on order",
+                    iterable,
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """DET104: no wall-clock / entropy reads outside measurement code.
+
+    ``time.time()``, ``uuid4()``, and ``os.urandom()`` smuggle per-run state
+    into whatever consumes them.  Duration measurement belongs to
+    ``time.perf_counter`` / ``time.monotonic`` (always allowed); the few
+    legitimate absolute-time uses (metrics timestamps, catalog provenance
+    stamps that never flow into served bits) carry a reasoned suppression.
+    """
+
+    code = "DET104"
+    name = "wall-clock-entropy"
+    description = "wall-clock time or OS entropy read outside measurement code"
+    severity = Severity.ERROR
+    requires_reason = True
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = context.resolve_call(node)
+            if resolved is None:
+                continue
+            if resolved in _WALL_CLOCK_CALLS:
+                module, attribute = resolved
+                yield self.finding(
+                    context,
+                    f"{module}.{attribute}() reads wall-clock time or OS "
+                    "entropy; derive values from the request seed, or use "
+                    "perf_counter/monotonic for durations",
+                    node,
+                )
+            elif resolved in _IMPLICIT_NOW and len(node.args) <= _IMPLICIT_NOW[resolved]:
+                module, attribute = resolved
+                yield self.finding(
+                    context,
+                    f"{module}.{attribute}() without an explicit seconds "
+                    "argument defaults to the current wall-clock time",
+                    node,
+                )

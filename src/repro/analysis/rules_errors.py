@@ -1,0 +1,166 @@
+"""Typed-error contract rules (ERR3xx).
+
+The HTTP tier (PR 7) maps exception *types* to status codes and typed JSON
+bodies — ``SearchError`` → 422, ``StorageError`` → 500, other
+:class:`~repro.exceptions.ReproError` → 400, anything else → an opaque 500.
+That mapping only stays total if the library raises typed errors everywhere
+and broad catches do not swallow them silently, so both halves are rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import Rule, register
+
+#: Builtin exceptions the library must not raise directly: each of these
+#: reaching the HTTP boundary becomes an opaque 500 instead of a typed body.
+#: (Raising is the contract — *catching* builtins stays fine, and control-flow
+#: exceptions such as NotImplementedError / KeyboardInterrupt / SystemExit /
+#: GeneratorExit / AssertionError are exempt.)
+UNTYPED_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError",
+        "AttributeError",
+        "BaseException",
+        "BrokenPipeError",
+        "BufferError",
+        "ConnectionError",
+        "EOFError",
+        "Exception",
+        "FileExistsError",
+        "FileNotFoundError",
+        "FloatingPointError",
+        "IOError",
+        "ImportError",
+        "IndexError",
+        "InterruptedError",
+        "IsADirectoryError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "ModuleNotFoundError",
+        "NameError",
+        "NotADirectoryError",
+        "OSError",
+        "OverflowError",
+        "PermissionError",
+        "RecursionError",
+        "ReferenceError",
+        "RuntimeError",
+        "StopAsyncIteration",
+        "StopIteration",
+        "SystemError",
+        "TypeError",
+        "UnboundLocalError",
+        "UnicodeDecodeError",
+        "UnicodeEncodeError",
+        "UnicodeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler's body ends by raising.
+
+    Covers cleanup-and-reraise (``cleanup(); raise``) and wrap-to-typed
+    (``raise StorageError(...) from error``) — neither swallows anything,
+    so breadth is harmless there.
+    """
+    return bool(handler.body) and isinstance(handler.body[-1], ast.Raise)
+
+
+def _exception_names(node: ast.expr | None) -> list[tuple[str, ast.expr]]:
+    """The plain names an ``except`` clause or ``raise`` target refers to."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Name):
+        return [(node.id, node)]
+    if isinstance(node, ast.Tuple):
+        names: list[tuple[str, ast.expr]] = []
+        for element in node.elts:
+            names.extend(_exception_names(element))
+        return names
+    return []
+
+
+@register
+class BroadExceptRule(Rule):
+    """ERR301: no ``except Exception`` / bare ``except`` without a reason.
+
+    A broad catch swallows typed errors (and genuine bugs) before the HTTP
+    mapping layer can classify them.  Handlers whose body ends by raising —
+    cleanup-and-reraise, wrap-to-typed — swallow nothing and are exempt.  The
+    handful of load-bearing broad catches — process-pool initializers that
+    must never fail, unpickling (which can raise nearly anything), the HTTP
+    boundary itself — carry
+    ``# dancelint: disable=ERR301 -- <why the breadth is load-bearing>``.
+    """
+
+    code = "ERR301"
+    name = "broad-except"
+    description = "except Exception / bare except without a written reason"
+    severity = Severity.WARNING
+    requires_reason = True
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler) or _reraises(node):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    context,
+                    "bare 'except:' catches everything including SystemExit; "
+                    "catch a ReproError subclass, or justify the breadth",
+                    node,
+                )
+                continue
+            for name, anchor in _exception_names(node.type):
+                if name in _BROAD_NAMES:
+                    yield self.finding(
+                        context,
+                        f"'except {name}' swallows typed errors before the "
+                        "HTTP mapping layer sees them; narrow to a ReproError "
+                        "subclass, or justify why the breadth is load-bearing",
+                        anchor,
+                    )
+
+
+@register
+class UntypedRaiseRule(Rule):
+    """ERR302: every raised exception is a :class:`ReproError` subclass.
+
+    Raising ``ValueError`` et al. breaks the typed error→status contract.
+    Where callers legitimately expect the builtin (``pytest.raises(ValueError)``,
+    mapping protocols wanting ``KeyError``), derive a dual-inheritance type —
+    ``class MeasureError(ReproError, ValueError)`` — so both contracts hold.
+    """
+
+    code = "ERR302"
+    name = "untyped-raise"
+    description = "raising a builtin exception instead of a ReproError subclass"
+    severity = Severity.ERROR
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            for name, anchor in _exception_names(target):
+                if name in UNTYPED_EXCEPTIONS:
+                    yield self.finding(
+                        context,
+                        f"raise {name} is invisible to the typed error→status "
+                        "mapping; raise a ReproError subclass (dual-inherit "
+                        f"from {name} if callers catch the builtin)",
+                        anchor,
+                    )

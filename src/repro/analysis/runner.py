@@ -1,0 +1,87 @@
+"""The ``repro-dance lint`` front-end, shared with ``check_invariants.py``.
+
+Kept inside the package (rather than in ``repro.cli``) so the CI script can
+drive the exact same argument handling without importing the full CLI and
+its workload dependencies.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import LintResult, lint_paths
+from repro.analysis.report import format_json, format_rules, format_text
+from repro.exceptions import ReproError
+
+#: Where the repo's accepted-debt baseline ships (relative to the repo root).
+DEFAULT_BASELINE = Path("scripts") / "dancelint_baseline.json"
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    output_format: str = "text",
+    baseline_path: str | Path | None = None,
+    write_baseline: str | Path | None = None,
+    select: Sequence[str] | None = None,
+    root: Path | None = None,
+    stream: TextIO | None = None,
+) -> int:
+    """Lint ``paths`` and print a report; returns the process exit code.
+
+    ``0``: clean (after suppressions and baseline).  ``1``: findings.
+    ``2``: usage / configuration errors (unknown rule code, unreadable
+    baseline).  With ``write_baseline`` the current findings are persisted as
+    the new accepted debt and the run exits ``0``.
+    """
+    stream = stream if stream is not None else sys.stdout
+    if output_format not in ("text", "json"):
+        print(f"error: unknown format {output_format!r}", file=sys.stderr)
+        return 2
+    try:
+        baseline = (
+            Baseline.load(baseline_path) if baseline_path is not None else None
+        )
+        result = lint_result(
+            paths, baseline=baseline, select=select, root=root
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if write_baseline is not None:
+        Baseline.from_findings(result.findings).write(write_baseline)
+        print(
+            f"wrote baseline with {len(result.findings)} finding(s) "
+            f"to {write_baseline}",
+            file=stream,
+        )
+        return 0
+    if output_format == "json":
+        stream.write(format_json(result))
+    else:
+        print(format_text(result), file=stream)
+    return 0 if result.ok else 1
+
+
+def lint_result(
+    paths: Sequence[str | Path],
+    *,
+    baseline: Baseline | None = None,
+    select: Sequence[str] | None = None,
+    root: Path | None = None,
+) -> LintResult:
+    """The library form of :func:`run_lint` (no printing, no exit codes)."""
+    return lint_paths(
+        paths,
+        select=frozenset(select) if select else None,
+        baseline=baseline,
+        root=root,
+    )
+
+
+def explain_rules(stream: TextIO | None = None) -> int:
+    print(format_rules(), file=stream if stream is not None else sys.stdout)
+    return 0

@@ -1,0 +1,106 @@
+"""Suppression and annotation comment parsing for dancelint.
+
+Two comment conventions are recognised, both line-oriented so they survive
+refactors that move code between files:
+
+``# dancelint: disable=CODE[,CODE...][ -- reason]``
+    Suppresses findings of the listed codes on the comment's own line; a
+    *standalone* comment line (nothing but the comment) also covers the next
+    non-blank line, so long statements can carry their suppression above
+    them.  Rules marked ``requires_reason`` (the ``hash()`` audit, the
+    broad-except contract) reject bare disables: the suppression still
+    applies, but the missing justification is itself reported as ``LNT001``.
+
+``# guarded-by: <lock expression>``
+    Documents that the attribute assigned on this line (or on the next line,
+    for standalone comments) may only be touched while ``<lock expression>``
+    is held — enforced by rule CON201 in threaded modules.  The lock
+    expression is compared textually against ``with`` context expressions
+    (``self._lock``, ``self._cond``, ``self._locks[index]``), so annotate
+    with exactly the expression the code uses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+_DISABLE_RE = re.compile(
+    r"#\s*dancelint:\s*disable\s*=\s*"
+    r"(?P<codes>[A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>\S.*?)\s*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``disable=`` comment: the codes it silences and why."""
+
+    line: int
+    codes: frozenset[str]
+    reason: str | None
+
+    def covers(self, code: str) -> bool:
+        return code in self.codes
+
+
+def _is_standalone_comment(line: str) -> bool:
+    stripped = line.strip()
+    return stripped.startswith("#")
+
+
+def _effective_lines(lines: list[str], comment_line: int) -> list[int]:
+    """The 1-indexed source lines a comment on ``comment_line`` applies to.
+
+    A trailing comment covers its own line.  A standalone comment covers its
+    own line *and* the next non-blank line (skipping further comment lines,
+    so a block of annotations above one statement all land on it).
+    """
+    covered = [comment_line]
+    if not _is_standalone_comment(lines[comment_line - 1]):
+        return covered
+    for offset in range(comment_line + 1, len(lines) + 1):
+        text = lines[offset - 1].strip()
+        if not text:
+            continue
+        if text.startswith("#"):
+            continue
+        covered.append(offset)
+        break
+    return covered
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, Suppression]:
+    """Map each covered source line to its :class:`Suppression`.
+
+    Later comments win if two suppressions cover the same line (adjacent
+    standalone + trailing comments), which keeps the semantics predictable:
+    the closest comment to the code decides.
+    """
+    table: dict[int, Suppression] = {}
+    for index, text in enumerate(lines, start=1):
+        match = _DISABLE_RE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group("codes").split(",") if code.strip()
+        )
+        suppression = Suppression(line=index, codes=codes, reason=match.group("reason"))
+        for covered in _effective_lines(lines, index):
+            table[covered] = suppression
+    return table
+
+
+def parse_guards(lines: list[str]) -> Mapping[int, str]:
+    """Map each covered source line to its ``guarded-by`` lock expression."""
+    table: dict[int, str] = {}
+    for index, text in enumerate(lines, start=1):
+        match = _GUARDED_BY_RE.search(text)
+        if match is None:
+            continue
+        lock = match.group("lock")
+        for covered in _effective_lines(lines, index):
+            table[covered] = lock
+    return table

@@ -43,6 +43,12 @@ shell without writing Python:
 ``repro-dance export-graph``
     Build the join graph from samples and export it to JSON and/or DOT.
 
+``repro-dance lint``
+    Run dancelint, the repo's AST-based determinism / concurrency invariant
+    checker (:mod:`repro.analysis`), over source paths: ``--baseline``
+    absorbs the accepted debt in ``scripts/dancelint_baseline.json``,
+    ``--format json`` emits the CI artifact, ``--explain`` lists every rule.
+
 All commands operate on the built-in synthetic workloads (``tpch`` / ``tpce``),
 since the library ships no external data.
 """
@@ -460,6 +466,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the dancelint static invariant checker (see repro.analysis)."""
+    from repro.analysis.runner import DEFAULT_BASELINE, explain_rules, run_lint
+
+    if args.explain:
+        return explain_rules()
+    select = [
+        code.strip()
+        for chunk in (args.select or [])
+        for code in chunk.split(",")
+        if code.strip()
+    ]
+    baseline = args.baseline
+    if args.use_default_baseline and baseline is None:
+        baseline = DEFAULT_BASELINE
+    return run_lint(
+        args.paths or ["src/repro"],
+        output_format=args.output_format,
+        baseline_path=baseline,
+        write_baseline=args.write_baseline,
+        select=select or None,
+    )
+
+
 def cmd_export_graph(args: argparse.Namespace) -> int:
     marketplace, _ = _build_marketplace(args.workload, args.scale, args.seed)
     dance = _build_dance(marketplace, args)
@@ -656,6 +686,49 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--json-out", type=Path)
     export.add_argument("--dot-out", type=Path)
     export.set_defaults(func=cmd_export_graph)
+
+    lint = subparsers.add_parser(
+        "lint", help="run dancelint, the static determinism/concurrency checker"
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files or directories to lint (default: src/repro)"
+    )
+    lint.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json matches the CI artifact schema)",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="absorb findings recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--use-default-baseline",
+        action="store_true",
+        help="shorthand for --baseline scripts/dancelint_baseline.json",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="persist the current findings as the new accepted debt and exit 0",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="comma-separated rule codes to run (repeatable); default: all rules",
+    )
+    lint.add_argument(
+        "--explain", action="store_true", help="list every registered rule and exit"
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

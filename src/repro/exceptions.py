@@ -128,3 +128,38 @@ class NoOwnedCandidatesError(InfeasibleAcquisitionError):
 
 class QualityError(ReproError):
     """Invalid functional dependency or quality computation input."""
+
+
+class MeasureError(ReproError, ValueError):
+    """Invalid input to an information-theoretic measure (entropy, CE, JI).
+
+    Dual-inherits from :class:`ValueError` because the measure functions are
+    also used as plain numeric library code whose callers legitimately write
+    ``except ValueError`` — both contracts hold: the HTTP tier classifies it
+    as a 400-family :class:`ReproError`, numeric callers still catch it.
+    """
+
+
+class BackendError(ReproError, ValueError):
+    """A relational backend received rows or parameters it cannot execute."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """Invalid workload-generation parameters (sizes, rates, seeds)."""
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """A named workload query / dataset does not exist.
+
+    Dual-inherits from :class:`KeyError` so registry-style callers that treat
+    the lookup as a mapping access keep working.  ``str()`` is overridden
+    because ``KeyError`` quotes its lone argument (``str(KeyError("x")) ==
+    "'x'"``), which would garble the HTTP error body.
+    """
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        return self.message

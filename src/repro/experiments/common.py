@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro.exceptions import UnknownWorkloadError
 from repro.graph.join_graph import JoinGraph
 from repro.graph.landmarks import derive_landmark_seed
 from repro.marketplace.dataset import MarketplaceDataset
@@ -38,7 +39,7 @@ def load_workload(
         return tpch_workload(scale=scale if scale is not None else 0.2, seed=seed)
     if name == "tpce":
         return tpce_workload(scale=scale if scale is not None else 0.15, seed=seed)
-    raise KeyError(f"unknown workload {name!r} (expected 'tpch' or 'tpce')")
+    raise UnknownWorkloadError(f"unknown workload {name!r} (expected 'tpch' or 'tpce')")
 
 
 @dataclass

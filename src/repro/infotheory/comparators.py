@@ -13,6 +13,8 @@ import math
 from collections import Counter
 from typing import Hashable, Sequence
 
+from repro.exceptions import MeasureError
+
 
 def pearson_correlation(x: Sequence[object], y: Sequence[object]) -> float:
     """Pearson's r for two aligned numeric sequences (``None`` pairs are dropped).
@@ -44,7 +46,7 @@ def pearson_correlation(x: Sequence[object], y: Sequence[object]) -> float:
 def cramers_v(x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
     """Cramér's V association for two aligned categorical sequences, in [0, 1]."""
     if len(x) != len(y):
-        raise ValueError("cramers_v requires aligned sequences")
+        raise MeasureError("cramers_v requires aligned sequences")
     n = len(x)
     if n == 0:
         return 0.0

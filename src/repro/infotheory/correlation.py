@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.exceptions import MeasureError
 from repro.infotheory.cumulative import conditional_cumulative_entropy, cumulative_entropy
 from repro.infotheory.entropy import (
     conditional_entropy,
@@ -35,7 +36,7 @@ def correlation(
 ) -> float:
     """``CORR(X, Y)`` for one ``X`` column and one (possibly tuple-valued) ``Y`` column."""
     if len(x_values) != len(y_values):
-        raise ValueError("correlation requires aligned sequences")
+        raise MeasureError("correlation requires aligned sequences")
     if x_type is AttributeType.NUMERICAL:
         return cumulative_entropy(x_values) - conditional_cumulative_entropy(
             x_values, y_values

@@ -16,6 +16,8 @@ import math
 from collections import defaultdict
 from typing import Hashable, Sequence
 
+from repro.exceptions import MeasureError
+
 
 def _clean_numeric(values: Sequence[object]) -> list[float]:
     cleaned: list[float] = []
@@ -27,7 +29,7 @@ def _clean_numeric(values: Sequence[object]) -> list[float]:
         elif isinstance(value, (int, float)):
             cleaned.append(float(value))
         else:
-            raise ValueError(f"cumulative entropy requires numeric values, got {value!r}")
+            raise MeasureError(f"cumulative entropy requires numeric values, got {value!r}")
     return cleaned
 
 
@@ -65,7 +67,7 @@ def conditional_cumulative_entropy(
     dropped from their group.
     """
     if len(x) != len(y):
-        raise ValueError("conditional_cumulative_entropy requires aligned sequences")
+        raise MeasureError("conditional_cumulative_entropy requires aligned sequences")
     groups: dict[Hashable, list[object]] = defaultdict(list)
     for x_value, y_value in zip(x, y):
         groups[y_value].append(x_value)

@@ -25,6 +25,7 @@ import math
 from collections import Counter
 from typing import Hashable, Iterable, Mapping, Sequence
 
+from repro.exceptions import MeasureError
 from repro.relational import backend as _backend
 
 
@@ -58,7 +59,7 @@ def joint_entropy(*value_sequences: Sequence[Hashable]) -> float:
     length = len(value_sequences[0])
     for seq in value_sequences:
         if len(seq) != length:
-            raise ValueError("joint_entropy requires sequences of equal length")
+            raise MeasureError("joint_entropy requires sequences of equal length")
     return shannon_entropy(list(zip(*value_sequences)))
 
 
@@ -69,14 +70,14 @@ def conditional_entropy(x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
     ``sum_y p(y) H(X | y)``.
     """
     if len(x) != len(y):
-        raise ValueError("conditional_entropy requires sequences of equal length")
+        raise MeasureError("conditional_entropy requires sequences of equal length")
     return joint_entropy(x, y) - shannon_entropy(y)
 
 
 def mutual_information(x: Sequence[Hashable], y: Sequence[Hashable]) -> float:
     """Mutual information ``I(X; Y) = H(X) + H(Y) - H(X, Y)`` in bits (clamped at 0)."""
     if len(x) != len(y):
-        raise ValueError("mutual_information requires sequences of equal length")
+        raise MeasureError("mutual_information requires sequences of equal length")
     value = shannon_entropy(x) + shannon_entropy(y) - joint_entropy(x, y)
     return max(0.0, value)
 
@@ -135,7 +136,7 @@ def joint_entropy_of_codes(
     bit-identical across backends.
     """
     if len(x_codes) != len(y_codes):
-        raise ValueError("joint_entropy_of_codes requires aligned code columns")
+        raise MeasureError("joint_entropy_of_codes requires aligned code columns")
     if _backend.is_array(x_codes) and _backend.is_array(y_codes):
         np = _backend.get_numpy()
         combined = x_codes.astype(np.int64) * y_num_codes + y_codes

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.exceptions import JoinError
+from repro.exceptions import JoinError, MeasureError
 from repro.infotheory.entropy import entropy_of_counts, joint_entropy, mutual_information
 from repro.relational.joins import shared_join_attributes
 from repro.relational.table import Table
@@ -35,7 +35,7 @@ def join_informativeness_from_pairs(
 ) -> float:
     """JI computed directly from the aligned ``(D.J, D'.J)`` value pairs."""
     if len(left_values) != len(right_values):
-        raise ValueError("join informativeness requires aligned value sequences")
+        raise MeasureError("join informativeness requires aligned value sequences")
     if not left_values:
         return 1.0
     joint = joint_entropy(left_values, right_values)

@@ -21,9 +21,9 @@ from repro.relational.table import Table, Value
 
 def _disagreeing_value(current: Value, pool: Sequence[Value], rng: random.Random) -> Value:
     """Pick a value from ``pool`` different from ``current`` (or synthesise one)."""
-    candidates = [value for value in set(pool) if value != current]
+    candidates = sorted(set(pool) - {current}, key=repr)
     if candidates:
-        return rng.choice(sorted(candidates, key=repr))
+        return rng.choice(candidates)
     if isinstance(current, (int, float)) and not isinstance(current, bool):
         return current + 1
     return f"{current}_dirty"

@@ -46,6 +46,8 @@ import warnings
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
+from repro.exceptions import BackendError
+
 try:  # numpy is an optional dependency; everything degrades to lists without it.
     import numpy as _NUMPY  # type: ignore[import-not-found]
 except ImportError:  # pragma: no cover - exercised via the masked-numpy tests
@@ -86,12 +88,13 @@ def get_numpy():
 def normalize(name: str) -> str:
     """Canonical backend name for ``name`` (``"numpy"``/``"python"``/``"auto"``).
 
-    Raises :class:`ValueError` for unknown names; accepted aliases are
+    Raises :class:`~repro.exceptions.BackendError` (a ``ValueError``) for
+    unknown names; accepted aliases are
     ``np``, ``list``, ``pure-python``, ``purepython``, and the empty string.
     """
     canonical = _ALIASES.get(name.strip().lower())
     if canonical is None:
-        raise ValueError(
+        raise BackendError(
             f"unknown columnar backend {name!r}; expected one of "
             f"{sorted(set(_ALIASES.values()))}"
         )

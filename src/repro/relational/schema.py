@@ -105,6 +105,9 @@ class Schema:
         return self._attributes == other._attributes
 
     def __hash__(self) -> int:
+        # dancelint: disable=DET102 -- backs __eq__ for in-process dict/set use
+        # only; persisted or cross-process schema identity goes through
+        # storage.serialize.table_fingerprint (blake2b), never through this.
         return hash(self._attributes)
 
     def __repr__(self) -> str:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.exceptions import InfeasibleAcquisitionError
+from repro.exceptions import InfeasibleAcquisitionError, ReproError
 from repro.graph.join_graph import JoinGraph
 from repro.graph.target import TargetGraph, TargetGraphEvaluation
 from repro.quality.fd import FunctionalDependency
@@ -80,10 +80,12 @@ def _exhaustive_search(
             evaluation = candidate.evaluate(
                 tables, source_attributes, target_attributes, fds, pricing, ji_cache=ji_cache
             )
-        except Exception:
+        except ReproError:
             # A candidate may be un-joinable on the evaluation tables (e.g. a
-            # projected sample no longer carries the join attribute); such
-            # candidates are simply not acquirable and are skipped.
+            # projected sample no longer carries the join attribute, raising
+            # JoinError / MeasureError); such candidates are simply not
+            # acquirable and are skipped.  Anything outside the typed
+            # hierarchy is a genuine bug and propagates.
             continue
         if not evaluation.satisfies(
             max_weight=max_weight, min_quality=min_quality, budget=budget

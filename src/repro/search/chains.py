@@ -92,10 +92,15 @@ class LockStripedCache:
     def __init__(self, stripes: int = 16) -> None:
         if stripes < 1:
             raise SearchError(f"stripes must be >= 1, got {stripes}")
+        # guarded-by: self._locks[index]
         self._stripes: list[dict] = [{} for _ in range(stripes)]
         self._locks = [threading.Lock() for _ in range(stripes)]
 
     def _index(self, key) -> int:
+        # dancelint: disable=DET102,CON201 -- stripe routing: the salted hash
+        # picks which stripe guards a key (it never orders results, derives
+        # seeds, or crosses a process boundary), and the stripe *list* is
+        # immutable after __init__ — only the dicts inside it need the locks.
         return hash(key) % len(self._stripes)
 
     def get(self, key, default=None):
@@ -114,6 +119,8 @@ class LockStripedCache:
             return key in self._stripes[index]
 
     def __len__(self) -> int:
+        # dancelint: disable=CON201 -- racy-but-consistent gauge: each len()
+        # reads one dict atomically under the GIL; exactness is not promised.
         return sum(len(stripe) for stripe in self._stripes)
 
     def update(self, items: Mapping) -> None:
@@ -129,6 +136,8 @@ class LockStripedCache:
         entries written mid-snapshot may be missed.
         """
         snapshot: list[tuple] = []
+        # dancelint: disable=CON201 -- iterates the immutable stripe list;
+        # each stripe's entries are copied under that stripe's own lock.
         for stripe, lock in zip(self._stripes, self._locks):
             with lock:
                 snapshot.extend(stripe.items())
@@ -361,7 +370,7 @@ def _preload_shared_worker(spec: "_shm.WorkerSpec") -> None:
     the pool permanently broken from its initializer."""
     try:
         _shm.ensure_session(spec)
-    except Exception:
+    except Exception:  # dancelint: disable=ERR301 -- pool initializer must never raise
         pass
 
 

@@ -109,7 +109,7 @@ def _attach_segment(name: str):
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore
-    except Exception:
+    except Exception:  # dancelint: disable=ERR301 -- tracker internals vary by version
         pass
     return segment
 
@@ -527,21 +527,22 @@ class SharedChainState:
         self.token = token
         self.share_worker_caches = share_worker_caches
         self._lock = threading.Lock()
-        self._stores: list[SharedColumnStore] = []
-        self._deltas: list[StoreManifest] = []
-        self._stats = {
+        self._stores: list[SharedColumnStore] = []  # guarded-by: self._lock
+        self._deltas: list[StoreManifest] = []  # guarded-by: self._lock
+        self._stats = {  # guarded-by: self._lock
             "deltas_published": 0,
             "rebases": 0,
             "worker_cold_loads": 0,
             "worker_resyncs": 0,
             "worker_deltas_applied": 0,
         }
-        self._closed = False
-        self._base = self._publish_base(join_graph, fds, version)
+        self._closed = False  # guarded-by: self._lock
+        with self._lock:
+            self._base = self._publish_base_locked(join_graph, fds, version)
 
     # -- publishing -------------------------------------------------------
 
-    def _publish_base(self, join_graph, fds, version) -> StoreManifest:
+    def _publish_base_locked(self, join_graph, fds, version) -> StoreManifest:
         store = SharedColumnStore(self.token)
         manifest = store.export_tables(
             join_graph.instance_tables(),
@@ -556,10 +557,10 @@ class SharedChainState:
             },
         )
         self._stores.append(store)
-        self._graph = join_graph
-        self._revision = join_graph.revision
-        self._fds = tuple(fds)
-        self._version = version
+        self._graph = join_graph  # guarded-by: self._lock
+        self._revision = join_graph.revision  # guarded-by: self._lock
+        self._fds = tuple(fds)  # guarded-by: self._lock
+        self._version = version  # guarded-by: self._lock
         return manifest
 
     def publish_delta(
@@ -628,7 +629,7 @@ class SharedChainState:
         stale = self._stores
         self._stores = []
         self._deltas = []
-        self._base = self._publish_base(join_graph, fds, version)
+        self._base = self._publish_base_locked(join_graph, fds, version)
         self._stats["rebases"] += 1
         # Unlinking is safe while workers still hold the old mappings: POSIX
         # keeps the memory alive until the last attachment closes, and any
@@ -655,12 +656,13 @@ class SharedChainState:
     ) -> bool:
         """Same contract as ``ChainPoolState.covers``: light payloads are only
         valid when the published state is exactly the caller's world."""
-        if self._closed or join_graph is not self._graph:
-            return False
-        if join_graph.revision != self._revision:
-            return False
-        if tuple(fds) != self._fds:
-            return False
+        with self._lock:
+            if self._closed or join_graph is not self._graph:
+                return False
+            if join_graph.revision != self._revision:
+                return False
+            if tuple(fds) != self._fds:
+                return False
         for name, table in tables.items():
             if name not in join_graph or join_graph.sample(name) is not table:
                 return False
@@ -670,7 +672,8 @@ class SharedChainState:
 
     @property
     def version(self) -> int:
-        return self._version
+        with self._lock:
+            return self._version
 
     def note_worker_stats(self, stats: Mapping[str, int]) -> None:
         with self._lock:

@@ -50,11 +50,11 @@ class AdmissionQueue:
         self.max_depth = max_depth
         self.policy = policy
         self._slot_freed = threading.Condition(threading.Lock())
-        self._depth = 0
-        self._peak_depth = 0
-        self._admitted = 0
-        self._rejected = 0
-        self._blocked_seconds = 0.0
+        self._depth = 0  # guarded-by: self._slot_freed
+        self._peak_depth = 0  # guarded-by: self._slot_freed
+        self._admitted = 0  # guarded-by: self._slot_freed
+        self._rejected = 0  # guarded-by: self._slot_freed
+        self._blocked_seconds = 0.0  # guarded-by: self._slot_freed
 
     def admit(self) -> bool:
         """Take one slot.  Returns ``False`` iff the queue is full under ``reject``.

@@ -328,16 +328,16 @@ class QosScheduler:
         self._execution_estimate = execution_estimate
         self._clock = clock
         self._cond = threading.Condition(threading.Lock())
-        self._wfq = WeightedFairQueue()
-        self._executing = 0
-        self._peak_depth = 0
-        self._admitted = 0
-        self._rejected = 0
-        self._rate_limited = 0
-        self._deadline_exceeded = 0
-        self._blocked_seconds = 0.0
-        self._buckets: dict[tuple[str | None, str], TokenBucket] = {}
-        self._tiers: dict[str, _TierStats] = {
+        self._wfq = WeightedFairQueue()  # guarded-by: self._cond
+        self._executing = 0  # guarded-by: self._cond
+        self._peak_depth = 0  # guarded-by: self._cond
+        self._admitted = 0  # guarded-by: self._cond
+        self._rejected = 0  # guarded-by: self._cond
+        self._rate_limited = 0  # guarded-by: self._cond
+        self._deadline_exceeded = 0  # guarded-by: self._cond
+        self._blocked_seconds = 0.0  # guarded-by: self._cond
+        self._buckets: dict[tuple[str | None, str], TokenBucket] = {}  # guarded-by: self._cond
+        self._tiers: dict[str, _TierStats] = {  # guarded-by: self._cond
             name: _TierStats(window=256) for name in sorted(config.tiers)
         }
 

@@ -673,7 +673,7 @@ class _AcquisitionHandler(BaseHTTPRequestHandler):
                 self._serve_single(spec)
         except ReproError as error:
             self._send_error_response(error)
-        except Exception:  # noqa: BLE001 - boundary: typed body, no traceback
+        except Exception:  # dancelint: disable=ERR301 -- HTTP boundary: typed 500 body
             self._send_json(
                 500,
                 {

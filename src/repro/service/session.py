@@ -173,19 +173,19 @@ class AcquisitionService:
         self._service_id = next(_SERVICE_COUNTER)
         self._candidate_filter = candidate_filter
         self._lock = threading.Lock()
-        self._closed = False
-        self._synced_version: int | None = None
-        self._ji_cache: LockStripedCache | None = None
-        self._evaluation_caches: dict[tuple, LockStripedCache] = {}
-        self._step1_memo: CountingCache | None = None
-        self._chain_pool = None
-        self._chain_pool_state: ChainPoolState | None = None
-        self._request_pool: ThreadPoolExecutor | None = None
-        self._requests_served = 0
-        self._batches_served = 0
-        self._errors = 0
-        self._in_flight = 0
-        self._cache_resets = 0
+        self._closed = False  # guarded-by: self._lock
+        self._synced_version: int | None = None  # guarded-by: self._lock
+        self._ji_cache: LockStripedCache | None = None  # guarded-by: self._lock
+        self._evaluation_caches: dict[tuple, LockStripedCache] = {}  # guarded-by: self._lock
+        self._step1_memo: CountingCache | None = None  # guarded-by: self._lock
+        self._chain_pool = None  # guarded-by: self._lock
+        self._chain_pool_state: ChainPoolState | None = None  # guarded-by: self._lock
+        self._request_pool: ThreadPoolExecutor | None = None  # guarded-by: self._lock
+        self._requests_served = 0  # guarded-by: self._lock
+        self._batches_served = 0  # guarded-by: self._lock
+        self._errors = 0  # guarded-by: self._lock
+        self._in_flight = 0  # guarded-by: self._lock
+        self._cache_resets = 0  # guarded-by: self._lock
         self._admission = AdmissionQueue(
             service_config.max_queue_depth, service_config.admission
         )
@@ -638,7 +638,7 @@ class AcquisitionService:
                 self._ji_cache.update(state["ji"])
             if self._step1_memo is not None and state.get("step1"):
                 self._step1_memo.update(state["step1"])
-        except Exception as error:  # noqa: BLE001 - never fail serving on restore
+        except Exception as error:  # dancelint: disable=ERR301 -- restore is best-effort
             warnings.warn(
                 f"ignoring unreadable session caches in the catalog: {error}",
                 RuntimeWarning,

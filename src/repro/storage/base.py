@@ -153,6 +153,8 @@ class CatalogBackend(abc.ABC):
         """Stamp a fresh catalog: schema version, backend kind, creation time."""
         self.put_meta(META_SCHEMA_VERSION, SCHEMA_VERSION)
         self.put_meta(META_KIND, self.kind)
+        # dancelint: disable=DET104 -- provenance stamp: metadata only, never
+        # read back into any computation or served result.
         self.put_meta(META_CREATED, time.strftime("%Y-%m-%dT%H:%M:%S"))
 
     def check_schema_version(self) -> int:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import random
 
+from repro.exceptions import WorkloadError
+
 from repro.workloads.schema_spec import (
     ColumnSpec,
     GeneratedWorkload,
@@ -36,7 +38,7 @@ def random_galaxy_workload(
     join graph connected and controls its depth.
     """
     if num_tables < 1:
-        raise ValueError("num_tables must be >= 1")
+        raise WorkloadError("num_tables must be >= 1")
     rng = random.Random(seed)
     builder = WorkloadBuilder("galaxy", seed=seed)
 

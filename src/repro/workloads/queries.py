@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.exceptions import UnknownWorkloadError
 from repro.workloads.schema_spec import GeneratedWorkload
 
 
@@ -108,4 +109,4 @@ def queries_for(workload: GeneratedWorkload) -> dict[str, AcquisitionQuery]:
         return tpch_queries()
     if workload.name == "tpce":
         return tpce_queries()
-    raise KeyError(f"no predefined queries for workload {workload.name!r}")
+    raise UnknownWorkloadError(f"no predefined queries for workload {workload.name!r}")

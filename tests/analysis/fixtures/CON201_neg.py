@@ -1,0 +1,21 @@
+"""Negative fixture: every access holds the lock or is *_locked."""
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: self._lock
+
+    def bump(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def peek(self) -> int:
+        with self._lock:
+            return self._count
+
+    def _drain_locked(self) -> int:
+        value = self._count
+        self._count = 0
+        return value

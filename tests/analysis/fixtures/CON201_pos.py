@@ -1,0 +1,15 @@
+"""Positive fixture: guarded attribute touched without its lock."""
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: self._lock
+
+    def bump(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def peek(self) -> int:
+        return self._count

@@ -1,0 +1,16 @@
+"""Negative fixture: snapshot under the lock, then iterate the copy."""
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, int] = {}
+
+    def dump(self) -> list[str]:
+        with self._lock:
+            snapshot = list(self._entries.items())
+        lines = []
+        for key, value in snapshot:
+            lines.append(f"{key}={value}")
+        return lines

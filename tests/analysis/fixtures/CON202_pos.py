@@ -1,0 +1,14 @@
+"""Positive fixture: iterating a live shared dict (the PR 7 bug shape)."""
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, int] = {}
+
+    def dump(self) -> list[str]:
+        lines = []
+        for key, value in self._entries.items():
+            lines.append(f"{key}={value}")
+        return lines

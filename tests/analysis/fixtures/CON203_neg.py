@@ -1,0 +1,19 @@
+"""Negative fixture: the owner pairs creation with close and unlink."""
+from multiprocessing import shared_memory
+
+
+class Store:
+    def __init__(self) -> None:
+        self._segments = []
+
+    def publish(self, payload: bytes) -> str:
+        segment = shared_memory.SharedMemory(create=True, size=len(payload))
+        segment.buf[: len(payload)] = payload
+        self._segments.append(segment)
+        return segment.name
+
+    def close(self) -> None:
+        for segment in self._segments:
+            segment.close()
+            segment.unlink()
+        self._segments.clear()

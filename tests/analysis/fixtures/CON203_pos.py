@@ -1,0 +1,9 @@
+"""Positive fixture: a segment owner that never closes or unlinks."""
+from multiprocessing import shared_memory
+
+
+class LeakyStore:
+    def publish(self, payload: bytes):
+        segment = shared_memory.SharedMemory(create=True, size=len(payload))
+        segment.buf[: len(payload)] = payload
+        return segment.name

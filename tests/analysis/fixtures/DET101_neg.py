@@ -1,0 +1,6 @@
+"""Negative fixture: explicitly seeded RNGs are fine."""
+import random
+
+rng = random.Random(42)
+value = rng.random()
+other = random.Random(b"derived-seed")

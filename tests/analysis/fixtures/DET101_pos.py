@@ -1,0 +1,5 @@
+"""Positive fixture: unseeded randomness (DET101 fires twice)."""
+import random
+
+value = random.random()
+rng = random.Random()

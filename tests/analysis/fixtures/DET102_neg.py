@@ -1,0 +1,6 @@
+"""Negative fixture: blake2b is the stable hash."""
+import hashlib
+
+def stripe_for(key: str, stripes: int) -> int:
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % stripes

@@ -1,0 +1,4 @@
+"""Positive fixture: builtin hash() routing (DET102 fires)."""
+
+def stripe_for(key: str, stripes: int) -> int:
+    return hash(key) % stripes

@@ -1,0 +1,9 @@
+"""Negative fixture: sorted wrappers and order-insensitive reductions."""
+
+def fold(items):
+    total = ""
+    for item in sorted({"b", "a", "c"}):
+        total += item
+    count = len({x for x in items})
+    smallest = min(x for x in set(items))
+    return total, count, smallest

@@ -1,0 +1,7 @@
+"""Positive fixture: folds over bare sets (DET103 fires twice)."""
+
+def fold(items):
+    total = ""
+    for item in {"b", "a", "c"}:
+        total += item
+    return total + "".join(str(x) for x in set(items))

@@ -1,0 +1,7 @@
+"""Negative fixture: durations and explicit-epoch conversions are fine."""
+import time
+
+start = time.perf_counter()
+elapsed = time.perf_counter() - start
+tick = time.monotonic()
+epoch_text = time.strftime("%Y-%m-%d", time.gmtime(0))

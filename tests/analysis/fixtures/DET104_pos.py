@@ -1,0 +1,9 @@
+"""Positive fixture: wall-clock and entropy reads (DET104 fires)."""
+import os
+import time
+import uuid
+
+stamp = time.time()
+token = uuid.uuid4()
+noise = os.urandom(8)
+implicit_now = time.strftime("%Y-%m-%d")

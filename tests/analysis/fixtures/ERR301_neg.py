@@ -1,0 +1,20 @@
+"""Negative fixture: narrow catches, cleanup-and-reraise, wrap-to-typed."""
+
+class TypedError(Exception):
+    pass
+
+
+def careful(action, cleanup):
+    try:
+        action()
+    except ValueError:
+        return None
+    try:
+        action()
+    except BaseException:
+        cleanup()
+        raise
+    try:
+        action()
+    except Exception as error:
+        raise TypedError("wrapped") from error

@@ -1,0 +1,11 @@
+"""Positive fixture: broad catches that swallow (ERR301 fires twice)."""
+
+def swallow(action):
+    try:
+        action()
+    except Exception:
+        pass
+    try:
+        action()
+    except:  # noqa: E722
+        return None

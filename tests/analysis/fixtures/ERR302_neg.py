@@ -1,0 +1,14 @@
+"""Negative fixture: typed errors (dual-inheritance keeps both contracts)."""
+
+class ReproError(Exception):
+    pass
+
+
+class MeasureError(ReproError, ValueError):
+    pass
+
+
+def check(value: int) -> int:
+    if value < 0:
+        raise MeasureError("value must be >= 0")
+    return value

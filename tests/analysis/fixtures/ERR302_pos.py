@@ -1,0 +1,8 @@
+"""Positive fixture: raising builtins (ERR302 fires twice)."""
+
+def check(value: int) -> int:
+    if value < 0:
+        raise ValueError("value must be >= 0")
+    if value > 100:
+        raise KeyError("value out of range")
+    return value

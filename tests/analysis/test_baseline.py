@@ -1,0 +1,82 @@
+"""Baseline persistence: round trips, count-aware matching, line-move stability."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.baseline import Baseline
+from repro.exceptions import ReproError
+
+DIRTY = "import time\n\nnow = time.time()\n"
+
+
+def findings_of(source: str):
+    return lint_source(source, path="module.py")
+
+
+def test_round_trip(tmp_path: Path) -> None:
+    findings = findings_of(DIRTY)
+    assert findings
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).write(path)
+    loaded = Baseline.load(path)
+    fresh, absorbed = loaded.filter(findings)
+    assert fresh == [] and absorbed == len(findings)
+
+
+def test_baseline_survives_line_moves(tmp_path: Path) -> None:
+    baseline = Baseline.from_findings(findings_of(DIRTY))
+    # Insert unrelated lines above: line numbers change, content does not.
+    moved = "import time\n\nx = 1\ny = 2\n\nnow = time.time()\n"
+    fresh, absorbed = baseline.filter(findings_of(moved))
+    assert fresh == [] and absorbed == 1
+
+
+def test_editing_the_flagged_line_unbaselines_it() -> None:
+    baseline = Baseline.from_findings(findings_of(DIRTY))
+    edited = "import time\n\nnow = time.time() + 1.0\n"
+    fresh, _ = baseline.filter(findings_of(edited))
+    assert fresh, "an edited flagged line must resurface"
+
+
+def test_count_aware_matching() -> None:
+    baseline = Baseline.from_findings(findings_of(DIRTY))
+    doubled = "import time\n\nnow = time.time()\nnow = time.time()\n"
+    fresh, absorbed = baseline.filter(findings_of(doubled))
+    # One occurrence is accepted debt; adding a second identical line is new.
+    assert absorbed == 1 and len(fresh) == 1
+
+
+def test_load_rejects_missing_and_malformed(tmp_path: Path) -> None:
+    with pytest.raises(ReproError, match="does not exist"):
+        Baseline.load(tmp_path / "nope.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json at all")
+    with pytest.raises(ReproError, match="cannot read baseline"):
+        Baseline.load(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text('{"version": 99, "entries": []}')
+    with pytest.raises(ReproError, match="version"):
+        Baseline.load(wrong)
+
+
+def test_lint_paths_reports_baselined_count(tmp_path: Path) -> None:
+    target = tmp_path / "module.py"
+    target.write_text(DIRTY)
+    first = lint_paths([target], root=tmp_path)
+    assert first.findings
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(first.findings).write(path)
+    second = lint_paths([target], baseline=Baseline.load(path), root=tmp_path)
+    assert second.ok and second.baselined == len(first.findings)
+
+
+def test_merge_sums_counts() -> None:
+    one = Baseline.from_findings(findings_of(DIRTY))
+    merged = Baseline.merge([one, one])
+    doubled = "import time\n\nnow = time.time()\nnow = time.time()\n"
+    fresh, absorbed = merged.filter(findings_of(doubled))
+    assert fresh == [] and absorbed == 2

@@ -1,0 +1,84 @@
+"""The ``repro-dance lint`` subcommand: exit codes, formats, baselines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+DIRTY = "import time\n\nnow = time.time()\n"
+CLEAN = "import time\n\nstart = time.perf_counter()\n"
+
+
+def write(tmp_path: Path, name: str, body: str) -> Path:
+    path = tmp_path / name
+    path.write_text(body)
+    return path
+
+
+def test_clean_file_exits_zero(tmp_path: Path, capsys) -> None:
+    target = write(tmp_path, "clean.py", CLEAN)
+    assert main(["lint", str(target)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_source_context(tmp_path: Path, capsys) -> None:
+    target = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["lint", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "DET104" in out and "time.time()" in out
+
+
+def test_json_format_matches_artifact_schema(tmp_path: Path, capsys) -> None:
+    target = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["lint", str(target), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["errors"] == 1
+    (finding,) = payload["findings"]
+    assert finding["code"] == "DET104"
+    assert finding["path"].endswith("dirty.py")
+    assert finding["fingerprint"]
+
+
+def test_select_restricts_rules(tmp_path: Path) -> None:
+    target = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["lint", str(target), "--select", "ERR301,ERR302"]) == 0
+    assert main(["lint", str(target), "--select", "DET104"]) == 1
+
+
+def test_unknown_select_code_is_a_usage_error(tmp_path: Path, capsys) -> None:
+    target = write(tmp_path, "clean.py", CLEAN)
+    assert main(["lint", str(target), "--select", "NOPE999"]) == 2
+    assert "unknown rule codes" in capsys.readouterr().err
+
+
+def test_missing_path_is_a_usage_error(tmp_path: Path, capsys) -> None:
+    assert main(["lint", str(tmp_path / "absent.py")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_write_then_use_baseline_round_trip(tmp_path: Path, capsys) -> None:
+    target = write(tmp_path, "dirty.py", DIRTY)
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(target), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # New debt on top of the baseline still fails.
+    target.write_text(DIRTY + "again = time.time()\n")
+    assert main(["lint", str(target), "--baseline", str(baseline)]) == 1
+
+
+def test_missing_baseline_is_a_usage_error(tmp_path: Path, capsys) -> None:
+    target = write(tmp_path, "clean.py", CLEAN)
+    assert main(["lint", str(target), "--baseline", str(tmp_path / "nope.json")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_explain_lists_every_rule(capsys) -> None:
+    assert main(["lint", "--explain"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DET101", "DET102", "DET103", "DET104",
+                 "CON201", "CON202", "CON203", "ERR301", "ERR302"):
+        assert code in out

@@ -1,0 +1,169 @@
+"""Per-rule behaviour: every fixture pair, plus the precision carve-outs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source, rule_codes
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SHIPPED = sorted(code for code in rule_codes() if not code.startswith("LNT"))
+
+
+def test_shipped_rule_inventory() -> None:
+    assert SHIPPED == [
+        "CON201",
+        "CON202",
+        "CON203",
+        "DET101",
+        "DET102",
+        "DET103",
+        "DET104",
+        "ERR301",
+        "ERR302",
+    ]
+
+
+@pytest.mark.parametrize("code", SHIPPED)
+def test_rule_fires_on_positive_fixture(code: str) -> None:
+    result = lint_paths([FIXTURES / f"{code}_pos.py"], select={code})
+    assert result.findings, f"{code} must fire on its positive fixture"
+    assert all(f.code == code for f in result.findings)
+
+
+@pytest.mark.parametrize("code", SHIPPED)
+def test_rule_silent_on_negative_fixture(code: str) -> None:
+    result = lint_paths([FIXTURES / f"{code}_neg.py"], select={code})
+    assert not result.findings, [f.render() for f in result.findings]
+
+
+def test_det101_seeded_random_passes() -> None:
+    findings = lint_source("import random\nrng = random.Random(7)\n")
+    assert not [f for f in findings if f.code == "DET101"]
+
+
+def test_det101_sees_from_import_alias() -> None:
+    findings = lint_source("from random import Random as R\nrng = R()\n")
+    assert [f for f in findings if f.code == "DET101"]
+
+
+def test_det103_sorted_wrapper_is_ordered() -> None:
+    findings = lint_source("for x in sorted({3, 1, 2}):\n    print(x)\n")
+    assert not [f for f in findings if f.code == "DET103"]
+
+
+def test_det103_comprehension_inside_sorted_passes() -> None:
+    findings = lint_source("names = sorted(n for n in {'b', 'a'})\n")
+    assert not [f for f in findings if f.code == "DET103"]
+
+
+def test_det103_sum_of_set_comprehension_still_fires() -> None:
+    # Float addition is not associative, so sum() is NOT order-insensitive.
+    findings = lint_source("total = sum(x for x in {0.1, 0.2, 0.3})\n")
+    assert [f for f in findings if f.code == "DET103"]
+
+
+def test_det103_keys_algebra_fires_but_plain_keys_passes() -> None:
+    fires = lint_source("d, e = {}, {}\nfor k in d.keys() - e.keys():\n    pass\n")
+    assert [f for f in fires if f.code == "DET103"]
+    silent = lint_source("d = {}\nfor k in d.keys():\n    pass\n")
+    assert not [f for f in silent if f.code == "DET103"]
+
+
+def test_err301_reraise_and_wrap_to_typed_exempt() -> None:
+    source = (
+        "def f(action, cleanup):\n"
+        "    try:\n"
+        "        action()\n"
+        "    except BaseException:\n"
+        "        cleanup()\n"
+        "        raise\n"
+        "    try:\n"
+        "        action()\n"
+        "    except Exception as error:\n"
+        "        raise RuntimeError('typed') from error\n"
+    )
+    assert not [f for f in lint_source(source) if f.code == "ERR301"]
+
+
+def test_err301_tuple_containing_exception_fires() -> None:
+    source = "try:\n    pass\nexcept (ValueError, Exception):\n    pass\n"
+    assert [f for f in lint_source(source) if f.code == "ERR301"]
+
+
+def test_err302_reraising_caught_builtin_is_exempt() -> None:
+    # `raise` with no expression and `raise error` of a bound name are not
+    # constructing a builtin; only `raise ValueError(...)` style is flagged.
+    source = (
+        "def f(action):\n"
+        "    try:\n"
+        "        action()\n"
+        "    except ValueError as error:\n"
+        "        raise\n"
+    )
+    assert not [f for f in lint_source(source) if f.code == "ERR302"]
+
+
+def test_con201_locked_suffix_and_dunder_init_exempt() -> None:
+    source = (
+        "import threading\n\n\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._state = {}  # guarded-by: self._lock\n\n"
+        "    def _mutate_locked(self):\n"
+        "        self._state['k'] = 1\n"
+    )
+    assert not [f for f in lint_source(source) if f.code == "CON201"]
+
+
+def test_con201_nested_function_does_not_inherit_lock() -> None:
+    source = (
+        "import threading\n\n\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._state = 0  # guarded-by: self._lock\n\n"
+        "    def run(self):\n"
+        "        with self._lock:\n"
+        "            def worker():\n"
+        "                return self._state\n"
+        "            return worker\n"
+    )
+    # The closure may outlive the with-block, so the lexical lock does not
+    # cover it.
+    assert [f for f in lint_source(source) if f.code == "CON201"]
+
+
+def test_con201_requires_threaded_module() -> None:
+    source = (
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = object()\n"
+        "        self._state = 0  # guarded-by: self._lock\n\n"
+        "    def peek(self):\n"
+        "        return self._state\n"
+    )
+    # No threading-family import: the file is single-threaded by construction.
+    assert not [f for f in lint_source(source) if f.code == "CON201"]
+
+
+def test_con202_snapshot_under_lock_passes() -> None:
+    source = (
+        "import threading\n\n\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._d = {}\n\n"
+        "    def dump(self):\n"
+        "        with self._lock:\n"
+        "            return [k for k in self._d.keys()]\n"
+    )
+    assert not [f for f in lint_source(source) if f.code == "CON202"]
+
+
+def test_parse_error_is_a_finding_not_a_crash() -> None:
+    findings = lint_source("def broken(:\n")
+    assert [f for f in findings if f.code == "LNT000"]

@@ -1,0 +1,50 @@
+"""The repo's own invariants: src/repro is clean under the shipped baseline.
+
+This is the test-suite mirror of the ``static-analysis`` CI job — a rule or
+annotation change that dirties the tree fails here first, locally.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.baseline import Baseline
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SHIPPED_BASELINE = REPO_ROOT / "scripts" / "dancelint_baseline.json"
+
+
+def test_src_repro_is_clean_under_shipped_baseline() -> None:
+    baseline = Baseline.load(SHIPPED_BASELINE)
+    result = lint_paths([REPO_ROOT / "src" / "repro"], baseline=baseline, root=REPO_ROOT)
+    assert result.ok, "\n" + "\n".join(f.render() for f in result.findings)
+    # The baseline is exact: every accepted entry still matches a real
+    # finding, so stale entries (fixed debt left in the file) fail too.
+    assert result.baselined == len(baseline), (
+        f"baseline lists {len(baseline)} finding(s) but only "
+        f"{result.baselined} matched; regenerate scripts/dancelint_baseline.json"
+    )
+
+
+def test_check_invariants_script_passes() -> None:
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_invariants.py"),
+         "--skip-advisory"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_every_shipped_suppression_carries_a_reason() -> None:
+    """Audited rules (DET102/DET104/ERR301) are only ever suppressed with
+    a written justification anywhere under src/repro — LNT001 enforces it
+    at lint time; this pins the current tree to zero bare suppressions."""
+    result = lint_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+    bare = [f for f in result.findings if f.code == "LNT001"]
+    assert not bare, "\n".join(f.render() for f in bare)

@@ -1,0 +1,106 @@
+"""Suppression syntax: coverage, reasons, and the LNT001 audit diagnostic."""
+
+from __future__ import annotations
+
+from repro.analysis import lint_source
+from repro.analysis.suppressions import parse_guards, parse_suppressions
+
+
+def codes(findings) -> list[str]:
+    return [f.code for f in findings]
+
+
+def test_trailing_suppression_covers_its_line() -> None:
+    src = "import time\n\nnow = time.time()  # dancelint: disable=DET104 -- test scaffolding\n"
+    assert "DET104" not in codes(lint_source(src))
+
+
+def test_standalone_suppression_covers_next_code_line() -> None:
+    src = (
+        "import time\n\n"
+        "# dancelint: disable=DET104 -- test scaffolding\n"
+        "now = time.time()\n"
+    )
+    assert "DET104" not in codes(lint_source(src))
+
+
+def test_standalone_suppression_skips_comment_lines() -> None:
+    src = (
+        "import time\n\n"
+        "# dancelint: disable=DET104 -- test scaffolding\n"
+        "# more prose about why\n"
+        "now = time.time()\n"
+    )
+    assert "DET104" not in codes(lint_source(src))
+
+
+def test_suppression_does_not_leak_past_the_next_statement() -> None:
+    src = (
+        "import time\n\n"
+        "# dancelint: disable=DET104 -- only the first read\n"
+        "a = time.time()\n"
+        "b = time.time()\n"
+    )
+    assert codes(lint_source(src)).count("DET104") == 1
+
+
+def test_multi_code_suppression() -> None:
+    src = (
+        "import time\n\n"
+        "x = hash(time.time())  # dancelint: disable=DET102,DET104 -- scaffolding\n"
+    )
+    result = codes(lint_source(src))
+    assert "DET102" not in result and "DET104" not in result
+
+
+def test_unrelated_code_is_not_suppressed() -> None:
+    src = "import time\n\nnow = time.time()  # dancelint: disable=ERR301 -- wrong code\n"
+    assert "DET104" in codes(lint_source(src))
+
+
+def test_bare_suppression_of_audited_rule_emits_lnt001() -> None:
+    src = "x = hash('k')  # dancelint: disable=DET102\n"
+    result = codes(lint_source(src))
+    assert "DET102" not in result
+    assert "LNT001" in result
+
+
+def test_reasoned_suppression_of_audited_rule_is_silent() -> None:
+    src = "x = hash('k')  # dancelint: disable=DET102 -- routing only, in-process\n"
+    assert codes(lint_source(src)) == []
+
+
+def test_bare_suppression_of_unaudited_rule_is_fine() -> None:
+    src = (
+        "for x in {3, 1, 2}:  # dancelint: disable=DET103\n"
+        "    print(x)\n"
+    )
+    assert codes(lint_source(src)) == []
+
+
+def test_parse_suppressions_table() -> None:
+    lines = [
+        "x = 1",
+        "# dancelint: disable=DET101,ERR302 -- because reasons",
+        "y = 2",
+        "z = 3  # dancelint: disable=DET102",
+    ]
+    table = parse_suppressions(lines)
+    assert table[2].codes == frozenset({"DET101", "ERR302"})
+    assert table[2].reason == "because reasons"
+    assert table[3].codes == frozenset({"DET101", "ERR302"})  # carried forward
+    assert table[4].codes == frozenset({"DET102"})
+    assert table[4].reason is None
+    assert 1 not in table
+
+
+def test_parse_guards() -> None:
+    lines = [
+        "self._lock = threading.Lock()",
+        "self._depth = 0  # guarded-by: self._slot_freed",
+        "self._stats = {}  # guarded-by: self._locks[index]",
+    ]
+    guards = parse_guards(lines)
+    assert guards[2] == "self._slot_freed"
+    assert guards[3] == "self._locks[index]"
+    assert 1 not in guards
